@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benchmarks.
+ *
+ * Every bench runs the full pipeline at a reduced scale (capacities and
+ * batch divided together, ratios preserved; see DESIGN.md §1.5) so the
+ * whole evaluation regenerates in minutes. Set G10_SCALE=1 in the
+ * environment to run at paper scale, or G10_SCALE=N for 1/N.
+ */
+
+#ifndef G10_BENCH_BENCH_UTIL_H
+#define G10_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "api/g10.h"
+
+namespace g10::bench {
+
+/** Scale divisor from $G10_SCALE (default @p def). */
+inline unsigned
+scaleFromEnv(unsigned def)
+{
+    if (const char* s = std::getenv("G10_SCALE")) {
+        int v = std::atoi(s);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return def;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string& what, unsigned scale)
+{
+    std::cout << "# " << what << "\n# scale: 1/" << scale
+              << " of the paper's platform (batch and capacities "
+                 "divided together; see DESIGN.md)\n\n";
+}
+
+/** Cache of built traces keyed by (model, batch, scale). */
+class TraceCache
+{
+  public:
+    const KernelTrace&
+    get(ModelKind m, int batch, unsigned scale)
+    {
+        auto key = std::make_tuple(static_cast<int>(m), batch,
+                                   static_cast<int>(scale));
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            it = cache_
+                     .emplace(key,
+                              buildModelScaled(m, batch, scale))
+                     .first;
+        }
+        return it->second;
+    }
+
+  private:
+    std::map<std::tuple<int, int, int>, KernelTrace> cache_;
+};
+
+/** Run one (trace, design) pair on a scaled platform. */
+inline ExecStats
+runDesign(const KernelTrace& trace, DesignPoint design,
+          const SystemConfig& base_sys, unsigned scale,
+          double timing_error = 0.0)
+{
+    ExperimentConfig cfg;
+    cfg.sys = base_sys.scaledDown(scale);
+    cfg.scaleDown = 1;  // trace is already scaled
+    cfg.design = design;
+    cfg.timingErrorPct = timing_error;
+    return runExperimentOnTrace(trace, cfg);
+}
+
+/** Memory demand of a trace as % of (scaled) GPU capacity. */
+inline double
+memoryPercent(const KernelTrace& trace, const SystemConfig& base_sys,
+              unsigned scale)
+{
+    SystemConfig sys = base_sys.scaledDown(scale);
+    return 100.0 * static_cast<double>(trace.totalTensorBytes()) /
+           static_cast<double>(sys.gpuMemBytes);
+}
+
+/** Fig. 2/3/4 use these four characterization workloads. */
+struct CharacterizationWorkload
+{
+    ModelKind model;
+    int batch;
+    const char* label;
+};
+
+inline std::vector<CharacterizationWorkload>
+characterizationWorkloads()
+{
+    return {
+        {ModelKind::BertBase, 128, "BERT-128"},
+        {ModelKind::ViT, 512, "ViT-512"},
+        {ModelKind::ResNet152, 512, "ResNet152-512"},
+        {ModelKind::Inceptionv3, 512, "Inceptionv3-512"},
+    };
+}
+
+}  // namespace g10::bench
+
+#endif  // G10_BENCH_BENCH_UTIL_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 2: memory consumption of all vs. active tensors per kernel
+ * (relative to the peak consumption in one training iteration).
+ *
+ * The paper's observation O1: active tensors are <10% (≈1% on average)
+ * of the total requirement, so most memory can be swapped out.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 2: memory consumption of all vs. active tensors",
+           scale);
+
+    for (const auto& wl : characterizationWorkloads()) {
+        KernelTrace trace = buildModelScaled(wl.model, wl.batch, scale);
+        VitalityAnalysis vit(trace, SystemConfig().kernelLaunchOverheadNs);
+        auto active = vit.activeBytesPerKernel();
+        auto live = vit.liveBytesPerKernel();
+        Bytes peak = 0;
+        for (Bytes b : live)
+            peak = std::max(peak, b);
+
+        Table table(std::string("Fig 2 (") + wl.label +
+                    "): % of peak memory, sampled over kernel index");
+        table.setHeader({"kernel_idx", "all_tensors_pct",
+                         "active_tensors_pct"});
+        std::size_t step = std::max<std::size_t>(1, live.size() / 24);
+        for (std::size_t k = 0; k < live.size(); k += step) {
+            table.addRowOf(
+                static_cast<long>(k),
+                100.0 * static_cast<double>(live[k]) /
+                    static_cast<double>(peak),
+                100.0 * static_cast<double>(active[k]) /
+                    static_cast<double>(peak));
+        }
+        table.print(std::cout);
+
+        double avg_active = 0.0;
+        double max_active = 0.0;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            double frac = static_cast<double>(active[k]) /
+                          static_cast<double>(peak);
+            avg_active += frac;
+            max_active = std::max(max_active, frac);
+        }
+        avg_active /= static_cast<double>(active.size());
+        std::printf("summary: kernels=%zu avg_active=%.2f%% "
+                    "max_active=%.2f%% (paper: ~1%% avg, <10%% typ)\n\n",
+                    active.size(), 100.0 * avg_active,
+                    100.0 * max_active);
+    }
+    return 0;
+}

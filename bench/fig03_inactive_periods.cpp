@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 3: distribution (CDF) of tensor inactive-period lengths.
+ *
+ * Observation O2: many periods are far longer than the SSD latency
+ * (20 us), leaving room to swap tensors out and back "for free".
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 3: distribution of inactive period lengths", scale);
+
+    for (const auto& wl : characterizationWorkloads()) {
+        KernelTrace trace = buildModelScaled(wl.model, wl.batch, scale);
+        VitalityAnalysis vit(trace,
+                             SystemConfig().kernelLaunchOverheadNs);
+
+        Distribution lengths_us;
+        for (const auto& p : vit.periods())
+            lengths_us.add(static_cast<double>(p.lengthNs()) / 1000.0);
+
+        Table table(std::string("Fig 3 (") + wl.label +
+                    "): inactive period length CDF");
+        table.setHeader({"percentile", "length_us"});
+        for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99})
+            table.addRowOf(p, lengths_us.percentile(p));
+        table.print(std::cout);
+
+        double over_ssd_lat = lengths_us.fractionAbove(20.0);
+        double over_100ms = lengths_us.fractionAbove(1e5);
+        std::printf("summary: periods=%zu  >SSD-latency(20us)=%.1f%%  "
+                    ">100ms=%.1f%% (paper: 50-60%%+ of periods are "
+                    "very long)\n\n",
+                    lengths_us.count(), 100.0 * over_ssd_lat,
+                    100.0 * over_100ms);
+    }
+    return 0;
+}

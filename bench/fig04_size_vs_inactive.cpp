@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4: joint distribution of tensor size vs. inactive-period
+ * length, plus the paper's headline: 60-80% of inactive periods are
+ * long enough to hide their own swap round trip (O3).
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 4: tensor size vs. inactive period length", scale);
+
+    SystemConfig sys;
+    for (const auto& wl : characterizationWorkloads()) {
+        KernelTrace trace = buildModelScaled(wl.model, wl.batch, scale);
+        VitalityAnalysis vit(trace, sys.kernelLaunchOverheadNs);
+        BandwidthModel bw(sys.scaledDown(scale));
+
+        // 2D histogram: size decade x inactive-time decade.
+        constexpr int kSizeBins = 6;   // 10KB .. 10GB
+        constexpr int kTimeBins = 7;   // 10us .. 100s
+        std::vector<std::vector<int>> grid(
+            kSizeBins, std::vector<int>(kTimeBins, 0));
+        std::size_t hideable = 0;
+        for (const auto& p : vit.periods()) {
+            Bytes size = trace.tensor(p.tensor).bytes;
+            double log_size =
+                std::log10(static_cast<double>(size)) - 4.0;  // 10KB
+            double log_time =
+                std::log10(static_cast<double>(p.lengthNs()) / 1000.0) -
+                1.0;  // 10us
+            int si = std::clamp(static_cast<int>(log_size), 0,
+                                kSizeBins - 1);
+            int ti = std::clamp(static_cast<int>(log_time), 0,
+                                kTimeBins - 1);
+            ++grid[static_cast<std::size_t>(si)]
+                  [static_cast<std::size_t>(ti)];
+
+            TimeNs round_trip = bw.evictDuration(size, MemLoc::Ssd) +
+                                bw.prefetchDuration(size, MemLoc::Ssd);
+            if (p.lengthNs() > round_trip)
+                ++hideable;
+        }
+
+        Table table(std::string("Fig 4 (") + wl.label +
+                    "): period counts, size decade x time decade");
+        table.setHeader({"size\\time", "10us", "100us", "1ms", "10ms",
+                         "100ms", "1s", ">=10s"});
+        const char* size_labels[kSizeBins] = {"10KB",  "100KB", "1MB",
+                                              "10MB",  "100MB", ">=1GB"};
+        for (int s = 0; s < kSizeBins; ++s) {
+            std::vector<std::string> row;
+            row.push_back(size_labels[s]);
+            for (int t = 0; t < kTimeBins; ++t)
+                row.push_back(std::to_string(
+                    grid[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(t)]));
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::printf("summary: %.1f%% of %zu periods can hide their own "
+                    "SSD swap round trip (paper: 60-80%%)\n\n",
+                    100.0 * static_cast<double>(hideable) /
+                        static_cast<double>(
+                            std::max<std::size_t>(1,
+                                                  vit.periods().size())),
+                    vit.periods().size());
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 11: end-to-end DNN training throughput of every design,
+ * normalized to the infinite-memory ideal, at the paper's batch sizes.
+ *
+ * Expected shape: Base UVM worst; FlashNeuron/DeepUM+ in between
+ * (FlashNeuron failing on the workspace-heavy large-batch models, per
+ * the paper's footnote 1); G10-GDS < G10-Host < G10; G10 near-ideal on
+ * CNNs and bandwidth-bound on ViT.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 11: normalized training throughput (vs. Ideal)",
+           scale);
+
+    SystemConfig sys;
+    TraceCache cache;
+
+    Table table("Fig 11: throughput normalized to Ideal");
+    std::vector<std::string> header = {"model", "B", "M_pct"};
+    for (DesignPoint d : allDesignPoints())
+        header.push_back(designPointName(d));
+    table.setHeader(header);
+
+    std::map<DesignPoint, std::vector<double>> per_design;
+    for (ModelKind m : allModels()) {
+        int batch = paperBatchSize(m);
+        const KernelTrace& trace = cache.get(m, batch, scale);
+
+        std::vector<std::string> row = {
+            modelName(m), std::to_string(trace.batchSize()),
+            Table::formatCell(memoryPercent(trace, sys, scale))};
+        for (DesignPoint d : allDesignPoints()) {
+            ExecStats st = runDesign(trace, d, sys, scale);
+            if (st.failed) {
+                row.push_back("fail");
+            } else {
+                row.push_back(Table::formatCell(st.normalizedPerf()));
+                per_design[d].push_back(st.normalizedPerf());
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // Paper headline numbers for comparison.
+    auto mean = [](const std::vector<double>& v) {
+        double s = 0.0;
+        for (double x : v)
+            s += x;
+        return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+    };
+    std::printf(
+        "\nsummary: mean normalized perf -- G10 %.3f (paper 0.903), "
+        "DeepUM+ %.3f, FlashNeuron %.3f, Base UVM %.3f\n",
+        mean(per_design[DesignPoint::G10]),
+        mean(per_design[DesignPoint::DeepUmPlus]),
+        mean(per_design[DesignPoint::FlashNeuron]),
+        mean(per_design[DesignPoint::BaseUvm]));
+    double g10 = mean(per_design[DesignPoint::G10]);
+    double fn = mean(per_design[DesignPoint::FlashNeuron]);
+    double du = mean(per_design[DesignPoint::DeepUmPlus]);
+    if (fn > 0 && du > 0)
+        std::printf("summary: G10 speedup vs FlashNeuron %.2fx "
+                    "(paper 1.56x avg), vs DeepUM+ %.2fx (paper "
+                    "1.31x avg)\n",
+                    g10 / fn, g10 / du);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 12: execution-time breakdown -- the share of each iteration
+ * where tensor migrations overlap compute vs. stall it.
+ *
+ * Expected shape: G10 has by far the smallest stall share; Base UVM is
+ * mostly stall.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 12: compute/stall execution time breakdown", scale);
+
+    SystemConfig sys;
+    TraceCache cache;
+
+    Table table("Fig 12: % of iteration time");
+    table.setHeader({"model", "design", "compute_and_overlap_pct",
+                     "stall_pct"});
+    for (ModelKind m : allModels()) {
+        const KernelTrace& trace =
+            cache.get(m, paperBatchSize(m), scale);
+        for (DesignPoint d :
+             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
+              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+            ExecStats st = runDesign(trace, d, sys, scale);
+            if (st.failed) {
+                table.addRowOf(modelName(m), designPointName(d), "fail",
+                               "fail");
+                continue;
+            }
+            double stall =
+                100.0 * static_cast<double>(st.totalStallNs) /
+                static_cast<double>(st.measuredIterationNs);
+            table.addRowOf(modelName(m), designPointName(d),
+                           100.0 - stall, stall);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 13: distribution of per-kernel execution-time slowdown vs.
+ * ideal (lower is better).
+ *
+ * Expected shape: under Base UVM the majority of kernels are slowed;
+ * FlashNeuron/DeepUM+ slow 4-30% of kernels; G10 slows only 1-6%.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 13: per-kernel slowdown distribution", scale);
+
+    SystemConfig sys;
+    TraceCache cache;
+
+    Table table("Fig 13: kernel slowdown (actual/ideal)");
+    table.setHeader({"model", "design", "p50", "p90", "p99",
+                     "pct_kernels_slowed>10%"});
+    for (ModelKind m : allModels()) {
+        const KernelTrace& trace =
+            cache.get(m, paperBatchSize(m), scale);
+        for (DesignPoint d :
+             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
+              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+            ExecStats st = runDesign(trace, d, sys, scale);
+            if (st.failed) {
+                table.addRowOf(modelName(m), designPointName(d), "fail",
+                               "fail", "fail", "fail");
+                continue;
+            }
+            Distribution slowdown;
+            std::size_t slowed = 0;
+            for (const auto& ks : st.kernels) {
+                double r = static_cast<double>(ks.actualNs) /
+                           static_cast<double>(
+                               std::max<TimeNs>(1, ks.idealNs));
+                slowdown.add(r);
+                if (r > 1.10)
+                    ++slowed;
+            }
+            table.addRowOf(
+                modelName(m), designPointName(d),
+                slowdown.percentile(0.50), slowdown.percentile(0.90),
+                slowdown.percentile(0.99),
+                100.0 * static_cast<double>(slowed) /
+                    static_cast<double>(st.kernels.size()));
+        }
+    }
+    table.print(std::cout);
+    std::printf("\n(paper: G10 slows only 1-6%% of kernels; baselines "
+                "4-30%%; Base UVM more than half)\n");
+    return 0;
+}

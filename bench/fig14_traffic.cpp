@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 14: tensor migration traffic per iteration, split by path
+ * (GPU-SSD vs. GPU-Host) and direction.
+ *
+ * Expected shape: Base UVM/DeepUM+ move more data than necessary;
+ * FlashNeuron moves too little (it never swaps weights) and only via
+ * the SSD; G10 balances -- transformers lean on the host path, CNNs
+ * put more than half on the SSD.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(16);
+    banner("Figure 14: migration traffic breakdown (GB, scaled "
+           "platform)", scale);
+
+    SystemConfig sys;
+    TraceCache cache;
+
+    Table table("Fig 14: per-iteration migration traffic");
+    table.setHeader({"model", "design", "gpu_ssd_GB", "gpu_host_GB",
+                     "reads_GB", "writes_GB", "total_GB"});
+    for (ModelKind m : allModels()) {
+        const KernelTrace& trace =
+            cache.get(m, paperBatchSize(m), scale);
+        for (DesignPoint d :
+             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
+              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+            ExecStats st = runDesign(trace, d, sys, scale);
+            if (st.failed) {
+                table.addRowOf(modelName(m), designPointName(d), "fail",
+                               "fail", "fail", "fail", "fail");
+                continue;
+            }
+            double ssd = static_cast<double>(st.traffic.gpuToSsd +
+                                             st.traffic.ssdToGpu) /
+                         1e9;
+            double host = static_cast<double>(st.traffic.gpuToHost +
+                                              st.traffic.hostToGpu) /
+                          1e9;
+            double reads =
+                static_cast<double>(st.traffic.totalToGpu()) / 1e9;
+            double writes =
+                static_cast<double>(st.traffic.totalFromGpu()) / 1e9;
+            table.addRowOf(modelName(m), designPointName(d), ssd, host,
+                           reads, writes, ssd + host);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 15: training throughput (samples/sec) as batch size grows.
+ *
+ * Expected shape: all designs match the ideal at small batches; as the
+ * footprint outgrows GPU memory the baselines fall away first and G10
+ * stays closest to ideal at every batch size.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(32);
+    banner("Figure 15: throughput vs. batch size", scale);
+
+    const std::map<ModelKind, std::vector<int>> batches = {
+        {ModelKind::BertBase, {128, 256, 512, 768, 1024}},
+        {ModelKind::ViT, {256, 512, 768, 1024, 1280}},
+        {ModelKind::Inceptionv3, {512, 768, 1024, 1280, 1536, 1792}},
+        {ModelKind::ResNet152, {256, 512, 768, 1024, 1280}},
+        {ModelKind::SENet154, {256, 512, 768, 1024}},
+    };
+
+    SystemConfig sys;
+    TraceCache cache;
+    for (ModelKind m : allModels()) {
+        Table table(std::string("Fig 15 (") + modelName(m) +
+                    "): samples/sec vs. paper-scale batch size");
+        table.setHeader({"batch", "Ideal", "Base UVM", "FlashNeuron",
+                         "DeepUM+", "G10"});
+        for (int b : batches.at(m)) {
+            const KernelTrace& trace = cache.get(m, b, scale);
+            std::vector<std::string> row = {std::to_string(b)};
+            for (DesignPoint d :
+                 {DesignPoint::Ideal, DesignPoint::BaseUvm,
+                  DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
+                  DesignPoint::G10}) {
+                ExecStats st = runDesign(trace, d, sys, scale);
+                row.push_back(st.failed
+                                  ? "fail"
+                                  : Table::formatCell(
+                                        st.throughput() *
+                                        static_cast<double>(scale)));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::printf("(throughputs rescaled x%u so numbers are comparable "
+                "to the paper's per-paper-batch axes)\n",
+                scaleFromEnv(32));
+    return 0;
+}

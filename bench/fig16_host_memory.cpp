@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 16: G10 execution time as host DRAM capacity varies.
+ *
+ * Expected shape: a modest host staging area (32 GB at paper scale) is
+ * enough for most models at small batch; the needed capacity grows
+ * with batch size; execution time falls monotonically (to a floor) as
+ * host memory grows.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(32);
+    banner("Figure 16: G10 execution time vs. host memory capacity",
+           scale);
+
+    const std::map<ModelKind, std::vector<int>> batches = {
+        {ModelKind::BertBase, {256, 384, 512, 640}},
+        {ModelKind::ViT, {768, 1024, 1280, 1536}},
+        {ModelKind::Inceptionv3, {512, 1024, 1280, 1536}},
+        {ModelKind::ResNet152, {768, 1024, 1280, 1536}},
+        {ModelKind::SENet154, {256, 512, 768, 1024}},
+    };
+    const std::vector<unsigned> host_gb = {0, 32, 64, 128, 256};
+
+    SystemConfig sys;
+    TraceCache cache;
+    for (ModelKind m : allModels()) {
+        Table table(std::string("Fig 16 (") + modelName(m) +
+                    "): iteration time in seconds (paper-equivalent "
+                    "= x scale), rows = batch");
+        std::vector<std::string> header = {"batch\\hostGB"};
+        for (unsigned h : host_gb)
+            header.push_back(std::to_string(h));
+        table.setHeader(header);
+
+        for (int b : batches.at(m)) {
+            const KernelTrace& trace = cache.get(m, b, scale);
+            std::vector<std::string> row = {std::to_string(b)};
+            for (unsigned h : host_gb) {
+                SystemConfig s = sys;
+                s.hostMemBytes = static_cast<Bytes>(h) * GiB;
+                ExecStats st =
+                    runDesign(trace, DesignPoint::G10, s, scale);
+                row.push_back(
+                    st.failed
+                        ? "fail"
+                        : Table::formatCell(
+                              static_cast<double>(
+                                  st.measuredIterationNs) /
+                              1e9 * static_cast<double>(scale)));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 17: G10 vs. DeepUM+ vs. FlashNeuron as host memory varies
+ * (ViT-1024 and Inceptionv3-1280).
+ *
+ * Expected shape: with no host memory G10 still beats DeepUM+ by a
+ * wide margin (DeepUM+ needs host staging); FlashNeuron is flat (it
+ * never uses host memory); G10 stays fastest everywhere.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(32);
+    banner("Figure 17: designs vs. host memory capacity", scale);
+
+    struct Workload { ModelKind m; int batch; };
+    const std::vector<Workload> workloads = {
+        {ModelKind::ViT, 1024}, {ModelKind::Inceptionv3, 1280}};
+    const std::vector<unsigned> host_gb = {0, 16, 32, 64, 256};
+
+    SystemConfig sys;
+    TraceCache cache;
+    for (const auto& wl : workloads) {
+        const KernelTrace& trace = cache.get(wl.m, wl.batch, scale);
+        Table table(std::string("Fig 17 (") + modelName(wl.m) + "-" +
+                    std::to_string(wl.batch) +
+                    "): iteration seconds (paper-equivalent)");
+        table.setHeader(
+            {"host_GB", "DeepUM+", "FlashNeuron", "G10"});
+        for (unsigned h : host_gb) {
+            SystemConfig s = sys;
+            s.hostMemBytes = static_cast<Bytes>(h) * GiB;
+            std::vector<std::string> row = {std::to_string(h)};
+            for (DesignPoint d :
+                 {DesignPoint::DeepUmPlus, DesignPoint::FlashNeuron,
+                  DesignPoint::G10}) {
+                ExecStats st = runDesign(trace, d, s, scale);
+                row.push_back(
+                    st.failed
+                        ? "fail"
+                        : Table::formatCell(
+                              static_cast<double>(
+                                  st.measuredIterationNs) /
+                              1e9 * static_cast<double>(scale)));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

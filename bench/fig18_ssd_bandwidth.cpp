@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 18: normalized performance as aggregate SSD bandwidth scales
+ * (stacking SSDs), with a PCIe 4.0 x16 (32 GB/s) interconnect.
+ *
+ * Expected shape: G10 leads at every bandwidth; CNNs reach 90-100% of
+ * ideal with 1-4 SSDs; BERT/ViT saturate below ideal because the
+ * interconnect, not the SSD, becomes the bottleneck.
+ */
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace g10;
+    using namespace g10::bench;
+
+    unsigned scale = scaleFromEnv(32);
+    banner("Figure 18: normalized perf vs. SSD bandwidth (PCIe 4.0)",
+           scale);
+
+    const std::vector<double> ssd_gbps = {6.4, 12.8, 19.2, 25.6, 32.0};
+
+    SystemConfig pcie4;
+    pcie4.pcieGBps = 32.0;
+
+    TraceCache cache;
+    for (ModelKind m : allModels()) {
+        const KernelTrace& trace =
+            cache.get(m, paperBatchSize(m), scale);
+        Table table(std::string("Fig 18 (") + modelName(m) +
+                    "): normalized perf vs. SSD bandwidth");
+        table.setHeader({"ssd_GBps", "Base UVM", "FlashNeuron",
+                         "DeepUM+", "G10"});
+        for (double bw : ssd_gbps) {
+            SystemConfig s = pcie4;
+            s.ssdReadGBps = bw;
+            s.ssdWriteGBps = bw * (3.0 / 3.2);
+            std::vector<std::string> row = {Table::formatCell(bw)};
+            for (DesignPoint d :
+                 {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
+                  DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+                ExecStats st = runDesign(trace, d, s, scale);
+                row.push_back(st.failed ? "fail"
+                                        : Table::formatCell(
+                                              st.normalizedPerf()));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Quickstart: train one model under several GPU-memory designs and
+ * compare against the infinite-memory ideal.
+ *
+ * Usage: quickstart [model] [batch] [scale_down]
+ *   model      BERT | ViT | Inceptionv3 | ResNet152 | SENet154
+ *   batch      paper-scale batch size (default: the model's Fig. 11 one)
+ *   scale_down divide batch + capacities by this (default 8; 1 = paper)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "api/g10.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace g10;
+
+    ModelKind model = ModelKind::ResNet152;
+    if (argc > 1)
+        model = modelKindFromName(argv[1]);
+    int batch = (argc > 2) ? std::atoi(argv[2]) : 0;
+    if (batch <= 0)
+        batch = paperBatchSize(model);
+    unsigned scale = (argc > 3)
+        ? static_cast<unsigned>(std::atoi(argv[3])) : 8;
+
+    ExperimentConfig cfg;
+    cfg.model = model;
+    cfg.batchSize = batch;
+    cfg.scaleDown = scale;
+
+    // Describe the workload once.
+    KernelTrace trace = buildModelScaled(model, batch, scale);
+    SystemConfig sys = cfg.sys.scaledDown(scale);
+    VitalityAnalysis vit(trace, sys.kernelLaunchOverheadNs);
+
+    std::cout << "Model " << trace.modelName() << "  batch "
+              << trace.batchSize() << " (scale 1/" << scale << ")\n"
+              << "  kernels:           " << trace.numKernels() << "\n"
+              << "  tensors:           " << trace.numTensors() << "\n"
+              << "  memory demand:     "
+              << static_cast<double>(vit.peakMemoryBytes()) / 1e9
+              << " GB peak  ("
+              << 100.0 * static_cast<double>(vit.peakMemoryBytes()) /
+                     static_cast<double>(sys.gpuMemBytes)
+              << "% of GPU memory)\n"
+              << "  ideal iteration:   "
+              << static_cast<double>(trace.totalComputeNs()) / 1e9
+              << " s\n\n";
+
+    Table table("DNN training throughput vs. design (higher is better)");
+    table.setHeader({"design", "iter_time_s", "samples_per_s",
+                     "vs_ideal", "stall_frac", "faults"});
+
+    ExperimentConfig run = cfg;
+    run.sys = sys;
+    run.scaleDown = 1;  // trace/sys already scaled
+    for (DesignPoint d :
+         {DesignPoint::Ideal, DesignPoint::BaseUvm,
+          DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
+          DesignPoint::G10}) {
+        run.design = d;
+        ExecStats st = runExperimentOnTrace(trace, run);
+        if (st.failed) {
+            table.addRowOf(designPointName(d), "FAILED",
+                           st.failReason.c_str(), "-", "-", "-");
+            continue;
+        }
+        double iter_s =
+            static_cast<double>(st.measuredIterationNs) / 1e9;
+        double stall_frac =
+            static_cast<double>(st.totalStallNs) /
+            static_cast<double>(st.measuredIterationNs);
+        table.addRowOf(designPointName(d), iter_s, st.throughput(),
+                       st.normalizedPerf(), stall_frac,
+                       static_cast<unsigned long long>(
+                           st.pageFaultBatches));
+    }
+    table.print(std::cout);
+    return 0;
+}

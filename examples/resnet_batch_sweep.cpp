@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario: "how large a batch can I train?" -- the question the
+ * paper's intro motivates for CNN training. Sweeps ResNet-152 batch
+ * sizes across designs and reports throughput plus the largest batch
+ * each design can run at >=80% of its small-batch efficiency.
+ *
+ * Usage: resnet_batch_sweep [scale_down]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "api/g10.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace g10;
+
+    unsigned scale = (argc > 1)
+        ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+    if (scale < 1)
+        scale = 1;
+
+    const ModelKind model = ModelKind::ResNet152;
+    const std::vector<int> batches = {128, 256, 512, 768, 1024, 1280,
+                                      1536};
+    const std::vector<DesignPoint> designs = {
+        DesignPoint::Ideal, DesignPoint::BaseUvm,
+        DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
+        DesignPoint::G10};
+
+    std::cout << "ResNet-152 batch-size scaling study (1/" << scale
+              << " platform scale)\n\n";
+
+    Table table("throughput (images/sec, paper-equivalent)");
+    std::vector<std::string> header = {"batch"};
+    for (DesignPoint d : designs)
+        header.push_back(designPointName(d));
+    table.setHeader(header);
+
+    std::map<DesignPoint, double> best_small;
+    std::map<DesignPoint, int> biggest_ok;
+    for (int b : batches) {
+        KernelTrace trace = buildModelScaled(model, b, scale);
+        std::vector<std::string> row = {std::to_string(b)};
+        for (DesignPoint d : designs) {
+            ExperimentConfig cfg;
+            cfg.sys = SystemConfig().scaledDown(scale);
+            cfg.scaleDown = 1;
+            cfg.design = d;
+            ExecStats st = runExperimentOnTrace(trace, cfg);
+            if (st.failed) {
+                row.push_back("fail");
+                continue;
+            }
+            double tput = st.throughput() * static_cast<double>(scale);
+            row.push_back(Table::formatCell(tput));
+            if (best_small[d] == 0.0)
+                best_small[d] = tput;
+            if (tput >= 0.8 * best_small[d])
+                biggest_ok[d] = b;
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nlargest batch within 80% of peak throughput:\n";
+    for (DesignPoint d : designs)
+        std::cout << "  " << designPointName(d) << ": "
+                  << (biggest_ok.count(d) ? biggest_ok[d] : 0) << "\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Developer tool: inspect what the G10 compile pipeline did to a model
+ * -- the tensor vitality summary, the migration schedule, and an
+ * excerpt of the instrumented GPU program in the style of the paper's
+ * Fig. 9.
+ *
+ * Usage: schedule_inspector [model] [batch] [scale_down] [from] [to]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "api/g10.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace g10;
+
+    ModelKind model = (argc > 1) ? modelKindFromName(argv[1])
+                                 : ModelKind::Inceptionv3;
+    int batch = (argc > 2) ? std::atoi(argv[2]) : 0;
+    if (batch <= 0)
+        batch = paperBatchSize(model);
+    unsigned scale = (argc > 3)
+        ? static_cast<unsigned>(std::atoi(argv[3])) : 16;
+    KernelId from = (argc > 4)
+        ? static_cast<KernelId>(std::atoi(argv[4])) : 0;
+    KernelId to = (argc > 5)
+        ? static_cast<KernelId>(std::atoi(argv[5])) : from + 12;
+
+    KernelTrace trace = buildModelScaled(model, batch, scale);
+    SystemConfig sys = SystemConfig().scaledDown(scale);
+    CompiledPlan plan = compileG10Plan(trace, sys);
+    const VitalityAnalysis& vit = *plan.vitality;
+
+    std::cout << "=== " << trace.modelName() << " b="
+              << trace.batchSize() << " (1/" << scale << " scale) ===\n"
+              << "kernels:            " << trace.numKernels() << "\n"
+              << "tensors:            " << trace.numTensors() << "\n"
+              << "inactive periods:   " << vit.periods().size() << "\n"
+              << "peak live memory:   "
+              << static_cast<double>(vit.peakMemoryBytes()) / 1e9
+              << " GB (capacity "
+              << static_cast<double>(sys.gpuMemBytes) / 1e9 << " GB)\n"
+              << "planned migrations: "
+              << plan.schedule.migrations.size() << "  ("
+              << static_cast<double>(plan.schedule.bytesToSsd) / 1e9
+              << " GB -> SSD, "
+              << static_cast<double>(plan.schedule.bytesToHost) / 1e9
+              << " GB -> host)\n"
+              << "planned peak:       "
+              << static_cast<double>(plan.schedule.finalPeakBytes) / 1e9
+              << " GB\n"
+              << "eager prefetches:   " << plan.prefetchStats.rescheduled
+              << " moved earlier (total slack "
+              << static_cast<double>(
+                     plan.prefetchStats.totalSlackGainedNs) / 1e9
+              << " s)\n\n";
+
+    std::cout << "--- instrumented program (kernels " << from << ".."
+              << to << "), cf. paper Fig. 9 ---\n";
+    printInstrumentedProgram(std::cout, vit, plan.plan, from, to);
+
+    // The five largest planned migrations.
+    auto migs = plan.schedule.migrations;
+    std::sort(migs.begin(), migs.end(),
+              [](const ScheduledMigration& a,
+                 const ScheduledMigration& b) {
+                  return a.bytes > b.bytes;
+              });
+    std::cout << "\n--- largest planned migrations ---\n";
+    for (std::size_t i = 0; i < migs.size() && i < 5; ++i) {
+        const auto& m = migs[i];
+        std::cout << "  " << trace.tensor(m.tensor).name << ": "
+                  << static_cast<double>(m.bytes) / 1e6 << " MB -> "
+                  << memLocName(m.dest) << ", away "
+                  << static_cast<double>(m.prefetchStart -
+                                         m.evictStart) / 1e6
+                  << " ms\n";
+    }
+    return 0;
+}

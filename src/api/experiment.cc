@@ -1,0 +1,34 @@
+#include "experiment.h"
+
+#include "common/logging.h"
+
+namespace g10 {
+
+ExecStats
+runExperimentOnTrace(const KernelTrace& trace,
+                     const ExperimentConfig& config)
+{
+    DesignInstance design =
+        makeDesign(config.design, trace, config.sys);
+
+    RunConfig rc;
+    rc.sys = config.sys;
+    rc.iterations = config.iterations;
+    rc.uvmExtension = design.uvmExtension;
+    rc.timingErrorPct = config.timingErrorPct;
+    rc.seed = config.seed;
+
+    return simulate(trace, *design.policy, rc);
+}
+
+ExecStats
+runExperiment(const ExperimentConfig& config)
+{
+    KernelTrace trace = buildModelScaled(config.model, config.batchSize,
+                                         config.scaleDown);
+    ExperimentConfig scaled = config;
+    scaled.sys = config.sys.scaledDown(config.scaleDown);
+    return runExperimentOnTrace(trace, scaled);
+}
+
+}  // namespace g10

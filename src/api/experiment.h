@@ -1,0 +1,60 @@
+/**
+ * @file
+ * One-call experiment facade used by the examples and every benchmark:
+ * build the model trace, instantiate a design point, simulate, return
+ * the statistics. This is the public entry point a downstream user
+ * starts from (see examples/quickstart.cpp).
+ */
+
+#ifndef G10_API_EXPERIMENT_H
+#define G10_API_EXPERIMENT_H
+
+#include <cstdint>
+
+#include "common/system_config.h"
+#include "models/model_zoo.h"
+#include "policies/design_point.h"
+#include "sim/runtime/policy.h"
+#include "sim/runtime/sim_runtime.h"
+
+namespace g10 {
+
+/** Full description of one simulated experiment. */
+struct ExperimentConfig
+{
+    ModelKind model = ModelKind::ResNet152;
+
+    /** Paper-scale batch size (before scale-down). */
+    int batchSize = 256;
+
+    /**
+     * Divide batch and all platform capacities by this factor; ratios
+     * (memory-over-capacity, compute-vs-transfer) are preserved while
+     * simulation cost shrinks. 1 = paper scale.
+     */
+    unsigned scaleDown = 8;
+
+    /** Platform before scaling (Table 2 defaults). */
+    SystemConfig sys;
+
+    DesignPoint design = DesignPoint::G10;
+
+    int iterations = 2;
+    double timingErrorPct = 0.0;
+    std::uint64_t seed = 42;
+};
+
+/** Run one experiment end to end. */
+ExecStats runExperiment(const ExperimentConfig& config);
+
+/**
+ * Run one experiment against an already-built trace (lets callers
+ * amortize trace construction across designs). The platform in
+ * @p config.sys must already be scaled consistently with the trace.
+ */
+ExecStats runExperimentOnTrace(const KernelTrace& trace,
+                               const ExperimentConfig& config);
+
+}  // namespace g10
+
+#endif  // G10_API_EXPERIMENT_H

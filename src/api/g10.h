@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Umbrella header for the G10 library.
+ *
+ * Pulls in the public API surface: platform configuration, the model
+ * zoo, the compile-time pipeline (vitality analysis + migration
+ * scheduling), the runtime simulator with all design points, and the
+ * one-call experiment facade.
+ */
+
+#ifndef G10_API_G10_H
+#define G10_API_G10_H
+
+#include "api/experiment.h"
+#include "common/stats.h"
+#include "common/logging.h"
+#include "common/system_config.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "core/g10_compiler.h"
+#include "core/sched/plan_builder.h"
+#include "core/vitality/vitality.h"
+#include "graph/trace.h"
+#include "models/model_zoo.h"
+#include "policies/baselines.h"
+#include "policies/design_point.h"
+#include "policies/g10_policy.h"
+#include "sim/runtime/sim_runtime.h"
+
+#endif  // G10_API_G10_H

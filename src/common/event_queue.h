@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Minimal discrete-event simulation core.
+ *
+ * Events are closures scheduled at absolute simulated times. Ties are broken
+ * by insertion order so simulation runs are fully deterministic. The queue
+ * is the single source of simulated "now" for a run; components must never
+ * keep their own clocks.
+ */
+
+#ifndef G10_COMMON_EVENT_QUEUE_H
+#define G10_COMMON_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.h"
+#include "types.h"
+
+namespace g10 {
+
+/**
+ * A deterministic priority queue of timed callbacks.
+ *
+ * Typical use:
+ * @code
+ *   EventQueue eq;
+ *   eq.schedule(10 * USEC, [&] { ... });
+ *   eq.run();
+ * @endcode
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time in nanoseconds. */
+    TimeNs now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling in the past is an internal error.
+     */
+    void
+    schedule(TimeNs when, Callback cb)
+    {
+        if (when < now_)
+            panic("event scheduled in the past (when=%lld now=%lld)",
+                  static_cast<long long>(when),
+                  static_cast<long long>(now_));
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    void scheduleAfter(TimeNs delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains.
+     * @return the time of the last executed event (== now()).
+     */
+    TimeNs
+    run()
+    {
+        while (step()) {
+        }
+        return now_;
+    }
+
+    /**
+     * Run events with time <= @p until; afterwards now() == max(reached
+     * event time, until).
+     */
+    TimeNs
+    runUntil(TimeNs until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until)
+            step();
+        if (now_ < until)
+            now_ = until;
+        return now_;
+    }
+
+    /**
+     * Execute the single earliest event.
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the callback out before popping so the event may schedule
+        // new events (including at the same timestamp).
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed_;
+        return true;
+    }
+
+    /** Total number of events executed so far (for micro-benchmarks). */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        TimeNs when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    TimeNs now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace g10
+
+#endif  // G10_COMMON_EVENT_QUEUE_H

@@ -1,0 +1,129 @@
+#include "stats.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "logging.h"
+
+namespace g10 {
+
+double
+Distribution::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Distribution::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+const std::vector<double>&
+Distribution::sorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    return samples_;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto& s = sorted();
+    if (s.size() == 1)
+        return s[0];
+    double idx = p * static_cast<double>(s.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    auto hi = std::min(lo + 1, s.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double
+Distribution::fractionAbove(double v) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const auto& s = sorted();
+    auto it = std::upper_bound(s.begin(), s.end(), v);
+    return static_cast<double>(s.end() - it) /
+           static_cast<double>(s.size());
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int bins_per_decade)
+    : lo_(lo)
+{
+    if (lo <= 0.0 || hi <= lo || bins_per_decade <= 0)
+        panic("LogHistogram: bad range [%g, %g] x %d",
+              lo, hi, bins_per_decade);
+    log_lo_ = std::log10(lo);
+    bin_width_log_ = 1.0 / bins_per_decade;
+    double decades = std::log10(hi) - log_lo_;
+    auto regular = static_cast<std::size_t>(
+        std::ceil(decades * bins_per_decade));
+    // +2 clamp bins: [0] for underflow, [n+1] for overflow.
+    counts_.assign(regular + 2, 0);
+}
+
+void
+LogHistogram::add(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++counts_.front();
+        return;
+    }
+    double pos = (std::log10(v) - log_lo_) / bin_width_log_;
+    auto idx = static_cast<std::size_t>(pos) + 1;
+    if (idx >= counts_.size() - 1) {
+        ++counts_.back();
+        return;
+    }
+    ++counts_[idx];
+}
+
+double
+LogHistogram::binCenter(std::size_t i) const
+{
+    if (i == 0)
+        return lo_ / 2.0;
+    double lo_edge = log_lo_ + static_cast<double>(i - 1) * bin_width_log_;
+    return std::pow(10.0, lo_edge + bin_width_log_ / 2.0);
+}
+
+double
+LogHistogram::cdfAt(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t cum = 0;
+    for (std::size_t j = 0; j <= i && j < counts_.size(); ++j)
+        cum += counts_[j];
+    return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+}  // namespace g10

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lightweight statistics containers used across the simulator: scalar
+ * counters, reservoir-free sample distributions (exact percentiles), and
+ * logarithmic histograms for the paper's CDF figures (Figs. 3, 13).
+ */
+
+#ifndef G10_COMMON_STATS_H
+#define G10_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types.h"
+
+namespace g10 {
+
+/**
+ * An exact sample distribution. Stores every sample; fine for the
+ * per-kernel and per-period populations in this simulator (<= a few 10^5).
+ */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void add(double v) { samples_.push_back(v); sorted_ = false; }
+
+    /** Number of samples recorded. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /**
+     * Exact p-quantile with linear interpolation, p in [0,1].
+     * 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Fraction of samples strictly greater than @p v. */
+    double fractionAbove(double v) const;
+
+    /** All samples, ascending (sorts lazily). */
+    const std::vector<double>& sorted() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Histogram with logarithmically spaced bins, e.g. for inactive-period
+ * lengths spanning 10 us .. 100 s.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param lo         lower edge of the first bin (> 0)
+     * @param hi         upper edge of the last regular bin
+     * @param bins_per_decade  resolution
+     */
+    LogHistogram(double lo, double hi, int bins_per_decade);
+
+    /** Record one sample; out-of-range samples clamp to the edge bins. */
+    void add(double v);
+
+    /** Number of bins (including the two clamp bins). */
+    std::size_t binCount() const { return counts_.size(); }
+
+    /** Count in bin @p i. */
+    std::uint64_t binCountAt(std::size_t i) const { return counts_[i]; }
+
+    /** Geometric center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Total samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Cumulative fraction of samples <= upper edge of bin i. */
+    double cdfAt(std::size_t i) const;
+
+  private:
+    double lo_;
+    double log_lo_;
+    double bin_width_log_;  // width of one bin in log10 space
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** A named monotonically increasing counter. */
+struct Counter
+{
+    std::string name;
+    std::uint64_t value = 0;
+
+    Counter& operator+=(std::uint64_t d) { value += d; return *this; }
+};
+
+}  // namespace g10
+
+#endif  // G10_COMMON_STATS_H

@@ -1,0 +1,176 @@
+#include "step_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.h"
+
+namespace g10 {
+
+void
+StepFunction::add(TimeNs t0, TimeNs t1, double delta)
+{
+    if (t1 <= t0 || delta == 0.0)
+        return;
+
+    // Ensure breakpoints exist at t0 and t1 carrying the current value.
+    auto ensure = [this](TimeNs t) {
+        auto it = points_.lower_bound(t);
+        if (it != points_.end() && it->first == t)
+            return it;
+        double prev = (it == points_.begin())
+            ? 0.0 : std::prev(it)->second;
+        return points_.emplace_hint(it, t, prev);
+    };
+
+    auto first = ensure(t0);
+    auto last = ensure(t1);
+    for (auto it = first; it != last; ++it)
+        it->second += delta;
+}
+
+double
+StepFunction::valueAt(TimeNs t) const
+{
+    auto it = points_.upper_bound(t);
+    if (it == points_.begin())
+        return 0.0;
+    return std::prev(it)->second;
+}
+
+double
+StepFunction::maxOver(TimeNs t0, TimeNs t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    double best = valueAt(t0);
+    for (auto it = points_.upper_bound(t0);
+         it != points_.end() && it->first < t1; ++it)
+        best = std::max(best, it->second);
+    return best;
+}
+
+double
+StepFunction::minOver(TimeNs t0, TimeNs t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    double best = valueAt(t0);
+    for (auto it = points_.upper_bound(t0);
+         it != points_.end() && it->first < t1; ++it)
+        best = std::min(best, it->second);
+    return best;
+}
+
+double
+StepFunction::maxValue() const
+{
+    double best = 0.0;
+    for (const auto& [t, v] : points_)
+        best = std::max(best, v);
+    return best;
+}
+
+double
+StepFunction::integralAbove(TimeNs t0, TimeNs t1, double threshold,
+                            double cap_per_t) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    double area = 0.0;
+    TimeNs cur = t0;
+    double cur_val = valueAt(t0);
+    auto it = points_.upper_bound(t0);
+    while (cur < t1) {
+        TimeNs next = (it == points_.end())
+            ? t1 : std::min<TimeNs>(it->first, t1);
+        double excess = cur_val - threshold;
+        if (excess > 0.0) {
+            double contrib = std::min(excess, cap_per_t);
+            area += contrib * static_cast<double>(next - cur);
+        }
+        cur = next;
+        if (it != points_.end() && it->first == next) {
+            cur_val = it->second;
+            ++it;
+        }
+    }
+    return area;
+}
+
+TimeNs
+StepFunction::earliestFit(TimeNs t_min, TimeNs t_latest, TimeNs t_end,
+                          double delta, double limit) const
+{
+    if (t_latest < t_min)
+        return t_latest;
+
+    // The prefetch must fit from its issue time t' all the way to t_end
+    // (when the tensor turns active and is accounted for by the kernel
+    // itself). Scan segments backward from t_latest; the answer is the
+    // start of the earliest contiguous run of segments, ending at or after
+    // t_latest, whose value + delta stays within limit.
+    if (maxOver(t_latest, std::max(t_latest + 1, t_end)) + delta > limit) {
+        // Even the latest position overflows; report t_latest and let the
+        // caller keep the latest-safe schedule (capacity will be handled
+        // at runtime by demand eviction).
+        return t_latest;
+    }
+
+    TimeNs candidate = t_latest;
+    // Walk breakpoints in (t_min, t_latest] from the right.
+    auto it = points_.upper_bound(t_latest);
+    while (true) {
+        if (it == points_.begin()) {
+            // Value is 0 all the way back to -inf.
+            if (0.0 + delta <= limit)
+                candidate = t_min;
+            break;
+        }
+        --it;
+        if (it->second + delta > limit)
+            break;  // this segment [it->first, ...) would overflow
+        candidate = std::max<TimeNs>(t_min, it->first);
+        if (it->first <= t_min)
+            break;
+    }
+    return candidate;
+}
+
+std::vector<StepFunction::Segment>
+StepFunction::segments(TimeNs t0, TimeNs t1) const
+{
+    std::vector<Segment> out;
+    if (t1 <= t0)
+        return out;
+    TimeNs cur = t0;
+    double cur_val = valueAt(t0);
+    auto it = points_.upper_bound(t0);
+    while (cur < t1) {
+        TimeNs next = (it == points_.end())
+            ? t1 : std::min<TimeNs>(it->first, t1);
+        out.push_back(Segment{cur, next, cur_val});
+        cur = next;
+        if (it != points_.end() && it->first == next) {
+            cur_val = it->second;
+            ++it;
+        }
+    }
+    return out;
+}
+
+void
+StepFunction::compact()
+{
+    double prev = 0.0;
+    for (auto it = points_.begin(); it != points_.end();) {
+        if (it->second == prev) {
+            it = points_.erase(it);
+        } else {
+            prev = it->second;
+            ++it;
+        }
+    }
+}
+
+}  // namespace g10

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Piecewise-constant function over simulated time.
+ *
+ * This is the workhorse of G10's compile-time scheduler: the GPU memory
+ * pressure curve (bytes vs. time) and the per-link bandwidth occupancy
+ * timelines (busy fraction vs. time) are both StepFunctions. The eviction
+ * scheduler repeatedly needs
+ *   - range updates:   add +size over a tensor's residency interval,
+ *   - range queries:   max over [t0,t1), value at t,
+ *   - "benefit" math:  the integral of the part of the curve above a
+ *                      threshold, clipped per-interval (Fig. 7 of the paper).
+ */
+
+#ifndef G10_COMMON_STEP_FUNCTION_H
+#define G10_COMMON_STEP_FUNCTION_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "types.h"
+
+namespace g10 {
+
+/**
+ * A function f : TimeNs -> double that is constant between breakpoints.
+ * f is 0 everywhere initially. Mutations are range additions.
+ */
+class StepFunction
+{
+  public:
+    /** A maximal constant segment [begin, end) with value. */
+    struct Segment
+    {
+        TimeNs begin;
+        TimeNs end;
+        double value;
+    };
+
+    StepFunction() = default;
+
+    /** Add @p delta over the half-open interval [t0, t1). */
+    void add(TimeNs t0, TimeNs t1, double delta);
+
+    /** Value at time @p t. */
+    double valueAt(TimeNs t) const;
+
+    /** Maximum value over [t0, t1); 0 for empty intervals. */
+    double maxOver(TimeNs t0, TimeNs t1) const;
+
+    /** Minimum value over [t0, t1); 0 for empty intervals. */
+    double minOver(TimeNs t0, TimeNs t1) const;
+
+    /** Global maximum over the whole support. */
+    double maxValue() const;
+
+    /**
+     * Integral over [t0, t1) of max(0, min(cap_per_t, f(t) - threshold))
+     * where cap_per_t limits the per-instant contribution.
+     *
+     * With cap_per_t = +inf this is the area of the curve above
+     * @p threshold; with cap_per_t = tensor size it is exactly the paper's
+     * shaded "benefit" area of evicting that tensor (the eviction cannot
+     * reduce pressure at an instant by more than the tensor's size).
+     *
+     * @return area in value-units * nanoseconds
+     */
+    double integralAbove(TimeNs t0, TimeNs t1, double threshold,
+                         double cap_per_t) const;
+
+    /**
+     * Latest t' <= t_latest such that f(t) + delta <= limit for all
+     * t in [t', t_end). Returns t_latest if the condition already fails at
+     * t_latest itself (caller falls back to the latest safe time), else the
+     * earliest such t' bounded below by @p t_min.
+     *
+     * Used by the eager-prefetch pass (§4.4): search backward from the
+     * latest safe prefetch time for the earliest time the whole tensor fits
+     * under the capacity limit.
+     */
+    TimeNs earliestFit(TimeNs t_min, TimeNs t_latest, TimeNs t_end,
+                       double delta, double limit) const;
+
+    /** Dump all maximal segments intersecting [t0, t1). */
+    std::vector<Segment> segments(TimeNs t0, TimeNs t1) const;
+
+    /** Number of internal breakpoints (for complexity tests). */
+    std::size_t breakpointCount() const { return points_.size(); }
+
+    /** Remove breakpoints that no longer change the value. */
+    void compact();
+
+  private:
+    // Maps breakpoint time -> value from that time until the next
+    // breakpoint. Value before the first breakpoint is 0.
+    std::map<TimeNs, double> points_;
+};
+
+}  // namespace g10
+
+#endif  // G10_COMMON_STEP_FUNCTION_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Hardware platform description (the paper's Table 2).
+ *
+ * One SystemConfig instance describes the machine being simulated; it is
+ * consumed both by the compile-time migration scheduler (which needs the
+ * bandwidths/latencies to cost migrations) and by the runtime simulator.
+ */
+
+#ifndef G10_COMMON_SYSTEM_CONFIG_H
+#define G10_COMMON_SYSTEM_CONFIG_H
+
+#include "types.h"
+
+namespace g10 {
+
+/**
+ * Simulated platform parameters. Defaults reproduce Table 2 of the paper:
+ * A100-40GB, 128 GB host DRAM, Samsung Z-NAND-class SSD, PCIe Gen3 x16.
+ */
+struct SystemConfig
+{
+    /** GPU on-board memory capacity (HBM2e). */
+    Bytes gpuMemBytes = 40 * GiB;
+
+    /** Host DRAM capacity available for tensor staging. */
+    Bytes hostMemBytes = 128 * GiB;
+
+    /** Virtual-memory page size. */
+    Bytes pageBytes = 4 * KiB;
+
+    /**
+     * Residency-tracking / fault-service granularity. Real UVM services
+     * faults in multi-page batches; tracking 40+ GB at 4 KB granularity
+     * per-event is also intractable, so residency state is kept per chunk.
+     */
+    Bytes chunkBytes = 64 * KiB;
+
+    /** PCIe Gen3 x16 per-direction bandwidth, GB/s. */
+    double pcieGBps = 15.754;
+
+    /** SSD sequential read bandwidth, GB/s (Z-NAND). */
+    double ssdReadGBps = 3.2;
+
+    /** SSD sequential write bandwidth, GB/s (Z-NAND). */
+    double ssdWriteGBps = 3.0;
+
+    /** SSD read latency per command. */
+    TimeNs ssdReadLatencyNs = 20 * USEC;
+
+    /** SSD program (write) latency per command. */
+    TimeNs ssdWriteLatencyNs = 16 * USEC;
+
+    /** SSD capacity. */
+    Bytes ssdCapacityBytes = 3200ULL * 1000 * 1000 * 1000;  // 3.2 TB
+
+    /** End-to-end GPU page-fault handling latency (host round trip). */
+    TimeNs gpuFaultLatencyNs = 45 * USEC;
+
+    /**
+     * Host software overhead per driver-managed copy chunk when G10's
+     * UVM extension is absent (PTE updates + syscall path for every
+     * flash/host page-group access). The unified page table (§4.5)
+     * lets the hardware migration arbiter batch whole transfer sets
+     * instead, eliminating most of this.
+     */
+    TimeNs hostSwOverheadNs = 15 * USEC;
+
+    /** Driver copy granularity without the UVM extension. */
+    Bytes nonUvmCopyBytes = 512 * KiB;
+
+    /** DMA transfer-set batch size used by the migration arbiter. */
+    Bytes transferSetBytes = 2 * MiB;
+
+    /**
+     * Bytes migrated per demand-fault service round trip. On-demand
+     * paging discovers faults serially (the faulting warp must resume
+     * and touch the next page before the next fault is raised), so this
+     * granularity -- not the DMA batch -- gates Base UVM throughput.
+     */
+    Bytes faultBatchBytes = 1 * MiB;
+
+    /** Kernel launch overhead added to each replayed kernel. */
+    TimeNs kernelLaunchOverheadNs = 5 * USEC;
+
+    /**
+     * Return a copy with all capacities divided by @p factor.
+     *
+     * Bandwidths and latencies are left untouched; pairing this with a
+     * model built at `scale = factor` preserves every ratio the paper's
+     * normalized figures depend on while shrinking simulation work.
+     */
+    SystemConfig
+    scaledDown(unsigned factor) const
+    {
+        SystemConfig c = *this;
+        if (factor <= 1)
+            return c;
+        c.gpuMemBytes /= factor;
+        c.hostMemBytes /= factor;
+        c.ssdCapacityBytes /= factor;
+        return c;
+    }
+};
+
+}  // namespace g10
+
+#endif  // G10_COMMON_SYSTEM_CONFIG_H

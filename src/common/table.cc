@@ -1,0 +1,135 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "logging.h"
+
+namespace g10 {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic("Table '%s': row width %zu != header width %zu",
+              title_.c_str(), row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::formatCell(double v)
+{
+    char buf[64];
+    if (v == 0.0) {
+        return "0";
+    } else if (std::abs(v) >= 1e6 || std::abs(v) < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.3e", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+    }
+    return buf;
+}
+
+std::string
+Table::formatCell(int v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::formatCell(long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::formatCell(long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::formatCell(unsigned long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::formatCell(unsigned long long v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::formatCell(const char* v)
+{
+    return v;
+}
+
+std::string
+Table::formatCell(const std::string& v)
+{
+    return v;
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_)
+        grow(r);
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    os.flush();
+}
+
+void
+Table::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& r : rows_)
+        emit(r);
+    os.flush();
+}
+
+}  // namespace g10

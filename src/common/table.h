@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Plain-text/CSV table emitter for the benchmark binaries.
+ *
+ * Every figure-reproduction bench prints its series both as an aligned
+ * human-readable table (stdout) and, optionally, as CSV for plotting.
+ */
+
+#ifndef G10_COMMON_TABLE_H
+#define G10_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g10 {
+
+/** Columnar table with uniform-width pretty printing. */
+class Table
+{
+  public:
+    /** @param title printed as a header line above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles/ints into a row. */
+    template <typename... Ts>
+    void
+    addRowOf(Ts&&... cells)
+    {
+        addRow(std::vector<std::string>{formatCell(cells)...});
+    }
+
+    /** Pretty-print with aligned columns. */
+    void print(std::ostream& os) const;
+
+    /** Emit RFC-4180-ish CSV (no quoting of embedded commas needed here). */
+    void printCsv(std::ostream& os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format helper shared with benches. */
+    static std::string formatCell(double v);
+    static std::string formatCell(int v);
+    static std::string formatCell(long v);
+    static std::string formatCell(long long v);
+    static std::string formatCell(unsigned long v);
+    static std::string formatCell(unsigned long long v);
+    static std::string formatCell(const char* v);
+    static std::string formatCell(const std::string& v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace g10
+
+#endif  // G10_COMMON_TABLE_H

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every G10 module.
+ *
+ * All simulated time is kept in integer nanoseconds to avoid floating-point
+ * drift in the event queue; all capacities and transfer sizes are kept in
+ * bytes. Helper constants give readable literals at call sites
+ * (e.g. `4 * KiB`, `20 * USEC`).
+ */
+
+#ifndef G10_COMMON_TYPES_H
+#define G10_COMMON_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace g10 {
+
+/** Simulated time, in nanoseconds. */
+using TimeNs = std::int64_t;
+
+/** Memory/storage size, in bytes. */
+using Bytes = std::uint64_t;
+
+/** Dense integer id of a tensor within one DnnGraph. */
+using TensorId = std::int32_t;
+
+/** Dense integer id (execution-order index) of a kernel within one trace. */
+using KernelId = std::int32_t;
+
+/** Sentinel for "no tensor". */
+inline constexpr TensorId kInvalidTensor = -1;
+
+/** Sentinel for "no kernel". */
+inline constexpr KernelId kInvalidKernel = -1;
+
+/** Largest representable time; used as "never". */
+inline constexpr TimeNs kTimeInfinity =
+    std::numeric_limits<TimeNs>::max() / 4;
+
+// Size literals.
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+
+// Time literals (nanoseconds).
+inline constexpr TimeNs NSEC = 1;
+inline constexpr TimeNs USEC = 1000;
+inline constexpr TimeNs MSEC = 1000 * USEC;
+inline constexpr TimeNs SEC = 1000 * MSEC;
+
+/**
+ * Duration of moving @p size bytes at @p gbps gigabytes per second.
+ *
+ * @param size  transfer size in bytes
+ * @param gbps  bandwidth in GB/s (decimal gigabytes, as datasheets quote)
+ * @return transfer time in nanoseconds (at least 1 ns for non-empty sizes)
+ */
+inline TimeNs
+transferTimeNs(Bytes size, double gbps)
+{
+    if (size == 0 || gbps <= 0.0)
+        return 0;
+    double ns = static_cast<double>(size) / gbps;  // bytes / (GB/s) == ns
+    TimeNs t = static_cast<TimeNs>(ns);
+    return t > 0 ? t : 1;
+}
+
+/** Bytes per second -> GB/s pretty factor used in reports. */
+inline double
+toGBps(Bytes bytes, TimeNs elapsed)
+{
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(bytes) / static_cast<double>(elapsed);
+}
+
+}  // namespace g10
+
+#endif  // G10_COMMON_TYPES_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The end-to-end G10 compile-time pipeline: vitality analysis ->
+ * smart eviction scheduling -> smart prefetch scheduling -> instrumented
+ * migration plan. This is the main entry point a framework integration
+ * would call once per model/batch configuration.
+ */
+
+#ifndef G10_CORE_G10_COMPILER_H
+#define G10_CORE_G10_COMPILER_H
+
+#include <memory>
+
+#include "common/system_config.h"
+#include "core/sched/eviction_scheduler.h"
+#include "core/sched/plan_builder.h"
+#include "core/sched/prefetch_scheduler.h"
+#include "core/vitality/vitality.h"
+#include "graph/trace.h"
+
+namespace g10 {
+
+/** Which migration paths the compiled plan may use. */
+struct G10CompilerOptions
+{
+    EvictionSchedulerParams eviction;
+    PrefetchSchedulerParams prefetch;
+};
+
+/** Everything the compile stage produces for one configuration. */
+struct CompiledPlan
+{
+    std::unique_ptr<VitalityAnalysis> vitality;
+    EvictionSchedule schedule;
+    PrefetchStats prefetchStats;
+    MigrationPlan plan;
+};
+
+/**
+ * Run the full pipeline.
+ *
+ * @param trace   one-iteration kernel trace (kept alive by the caller)
+ * @param config  platform description (capacities/bandwidths)
+ * @param options path/tuning knobs; defaults give full G10
+ */
+CompiledPlan compileG10Plan(const KernelTrace& trace,
+                            const SystemConfig& config,
+                            G10CompilerOptions options = {});
+
+}  // namespace g10
+
+#endif  // G10_CORE_G10_COMPILER_H

@@ -1,0 +1,224 @@
+#include "bandwidth_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+const char*
+memLocName(MemLoc loc)
+{
+    switch (loc) {
+      case MemLoc::Gpu: return "GPU";
+      case MemLoc::Host: return "Host";
+      case MemLoc::Ssd: return "SSD";
+    }
+    return "?";
+}
+
+std::pair<const MigrationInstr*, const MigrationInstr*>
+MigrationPlan::instrsBefore(KernelId k) const
+{
+    if (kernelFirstInstr.empty())
+        return {nullptr, nullptr};
+    auto idx = static_cast<std::size_t>(k);
+    if (idx + 1 >= kernelFirstInstr.size())
+        return {nullptr, nullptr};
+    const MigrationInstr* base = instrs.data();
+    return {base + kernelFirstInstr[idx], base + kernelFirstInstr[idx + 1]};
+}
+
+BandwidthModel::BandwidthModel(const SystemConfig& config)
+    : config_(config)
+{
+    if (config.pcieGBps <= 0.0 || config.ssdReadGBps <= 0.0 ||
+        config.ssdWriteGBps <= 0.0)
+        fatal("bandwidths must be positive");
+}
+
+double
+BandwidthModel::evictGBps(MemLoc dest) const
+{
+    switch (dest) {
+      case MemLoc::Ssd:
+        return std::min(config_.pcieGBps, config_.ssdWriteGBps);
+      case MemLoc::Host:
+        return config_.pcieGBps;
+      case MemLoc::Gpu:
+        break;
+    }
+    panic("evictGBps: GPU is not an eviction destination");
+}
+
+double
+BandwidthModel::prefetchGBps(MemLoc src) const
+{
+    switch (src) {
+      case MemLoc::Ssd:
+        return std::min(config_.pcieGBps, config_.ssdReadGBps);
+      case MemLoc::Host:
+        return config_.pcieGBps;
+      case MemLoc::Gpu:
+        break;
+    }
+    panic("prefetchGBps: GPU is not a prefetch source");
+}
+
+TimeNs
+BandwidthModel::evictDuration(Bytes bytes, MemLoc dest) const
+{
+    TimeNs lat = (dest == MemLoc::Ssd) ? config_.ssdWriteLatencyNs : 0;
+    return lat + transferTimeNs(bytes, evictGBps(dest));
+}
+
+TimeNs
+BandwidthModel::prefetchDuration(Bytes bytes, MemLoc src) const
+{
+    TimeNs lat = (src == MemLoc::Ssd) ? config_.ssdReadLatencyNs : 0;
+    return lat + transferTimeNs(bytes, prefetchGBps(src));
+}
+
+TimeNs
+BandwidthModel::drainTime(const StepFunction& util, double cap_gbps,
+                          double rate_cap_gbps, TimeNs t0, Bytes bytes)
+{
+    if (bytes == 0)
+        return t0;
+    // Never model less than 2% of the channel: a fully saturated plan
+    // still trickles (and completes; the scheduler then sees the huge
+    // cost and avoids it).
+    const double floor_rate = cap_gbps * 0.02;
+    double remaining = static_cast<double>(bytes);
+    TimeNs cur = t0;
+    // Walk far enough ahead: worst case at the floor rate.
+    TimeNs horizon =
+        t0 + transferTimeNs(bytes, floor_rate) + 100 * MSEC;
+    auto segs = util.segments(t0, horizon);
+    for (const auto& seg : segs) {
+        double avail = std::min(rate_cap_gbps,
+                                std::max(cap_gbps - seg.value,
+                                         floor_rate));
+        double span_ns = static_cast<double>(seg.end - cur);
+        double can_move = avail * span_ns;  // GB/s * ns == bytes
+        if (can_move >= remaining) {
+            cur += static_cast<TimeNs>(remaining / avail);
+            return std::max(cur, t0 + 1);
+        }
+        remaining -= can_move;
+        cur = seg.end;
+    }
+    // Past the horizon the channel is unreserved.
+    cur += transferTimeNs(static_cast<Bytes>(remaining),
+                          std::min(rate_cap_gbps, cap_gbps));
+    return std::max(cur, t0 + 1);
+}
+
+FlowSchedule
+BandwidthModel::planEvict(TimeNs t0, Bytes bytes, MemLoc dest) const
+{
+    FlowSchedule f;
+    f.start = t0;
+    double rate = evictGBps(dest);
+    TimeNs done = drainTime(pcieOut_, config_.pcieGBps, rate, t0, bytes);
+    if (dest == MemLoc::Ssd) {
+        done = std::max(done, drainTime(ssdWrite_, config_.ssdWriteGBps,
+                                        rate, t0, bytes));
+        done += config_.ssdWriteLatencyNs;
+    }
+    f.complete = done;
+    return f;
+}
+
+FlowSchedule
+BandwidthModel::planPrefetch(TimeNs t0, Bytes bytes, MemLoc src) const
+{
+    FlowSchedule f;
+    f.start = t0;
+    double rate = prefetchGBps(src);
+    TimeNs done = drainTime(pcieIn_, config_.pcieGBps, rate, t0, bytes);
+    if (src == MemLoc::Ssd) {
+        done = std::max(done, drainTime(ssdRead_, config_.ssdReadGBps,
+                                        rate, t0, bytes));
+        done += config_.ssdReadLatencyNs;
+    }
+    f.complete = done;
+    return f;
+}
+
+TimeNs
+BandwidthModel::latestPrefetchStart(TimeNs deadline, Bytes bytes,
+                                    MemLoc src) const
+{
+    // Start from the uncontended bound and push earlier until the
+    // contention-aware completion meets the deadline (few iterations
+    // suffice; fall back to a full uncontended slot earlier).
+    TimeNs start = deadline - prefetchDuration(bytes, src);
+    for (int iter = 0; iter < 6; ++iter) {
+        FlowSchedule f = planPrefetch(start, bytes, src);
+        if (f.complete <= deadline)
+            return start;
+        start -= (f.complete - deadline);
+    }
+    return start;
+}
+
+bool
+BandwidthModel::ssdEvictSaturated(TimeNs t0, Bytes bytes) const
+{
+    // Saturated = the contention-aware eviction takes noticeably longer
+    // than the uncontended transfer (Algorithm 1's "to_ssd_traffic is
+    // full during t_r .. t_r + t_s").
+    FlowSchedule f = planEvict(t0, bytes, MemLoc::Ssd);
+    TimeNs ideal = evictDuration(bytes, MemLoc::Ssd);
+    return f.duration() > ideal + ideal / 2;
+}
+
+bool
+BandwidthModel::ssdPrefetchSaturated(TimeNs t0, Bytes bytes) const
+{
+    FlowSchedule f = planPrefetch(t0, bytes, MemLoc::Ssd);
+    TimeNs ideal = prefetchDuration(bytes, MemLoc::Ssd);
+    return f.duration() > ideal + ideal / 2;
+}
+
+void
+BandwidthModel::reserveEvict(const FlowSchedule& f, Bytes bytes,
+                             MemLoc dest)
+{
+    if (f.complete <= f.start)
+        return;
+    double rate = static_cast<double>(bytes) /
+                  static_cast<double>(f.complete - f.start);
+    pcieOut_.add(f.start, f.complete, rate);
+    if (dest == MemLoc::Ssd)
+        ssdWrite_.add(f.start, f.complete, rate);
+}
+
+void
+BandwidthModel::reservePrefetch(const FlowSchedule& f, Bytes bytes,
+                                MemLoc src)
+{
+    if (f.complete <= f.start)
+        return;
+    double rate = static_cast<double>(bytes) /
+                  static_cast<double>(f.complete - f.start);
+    pcieIn_.add(f.start, f.complete, rate);
+    if (src == MemLoc::Ssd)
+        ssdRead_.add(f.start, f.complete, rate);
+}
+
+void
+BandwidthModel::releasePrefetch(const FlowSchedule& f, Bytes bytes,
+                                MemLoc src)
+{
+    if (f.complete <= f.start)
+        return;
+    double rate = static_cast<double>(bytes) /
+                  static_cast<double>(f.complete - f.start);
+    pcieIn_.add(f.start, f.complete, -rate);
+    if (src == MemLoc::Ssd)
+        ssdRead_.add(f.start, f.complete, -rate);
+}
+
+}  // namespace g10

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Compile-time bandwidth model of the PCIe/SSD fabric.
+ *
+ * The eviction scheduler needs to (a) predict when a planned migration
+ * *completes* given everything else already scheduled on the fabric, and
+ * (b) detect when the SSD path is saturated so Algorithm 1 can fall back
+ * to host memory (lines 7-17).
+ *
+ * Flows are modeled fluidly: each channel keeps a utilization timeline
+ * (GB/s in flight vs. time), and a new flow of B bytes starting at t0
+ * completes when the channel's *available* bandwidth integrated from t0
+ * reaches B. A flow crossing two resources (PCIe direction + SSD side)
+ * completes at the max of both drains. This captures the queueing that a
+ * per-flow "bytes / bandwidth" estimate misses -- the difference between
+ * a plan that meets its eviction deadlines and one that silently
+ * oversubscribes the link.
+ *
+ * Four directed channels are modeled:
+ *   GPU -> SSD   (PCIe out + SSD write bandwidth)
+ *   SSD -> GPU   (PCIe in  + SSD read bandwidth)
+ *   GPU -> Host  (PCIe out)
+ *   Host -> GPU  (PCIe in)
+ */
+
+#ifndef G10_CORE_SCHED_BANDWIDTH_MODEL_H
+#define G10_CORE_SCHED_BANDWIDTH_MODEL_H
+
+#include "common/step_function.h"
+#include "common/system_config.h"
+#include "common/types.h"
+#include "core/sched/schedule_types.h"
+
+namespace g10 {
+
+/** Planned timing of one migration flow. */
+struct FlowSchedule
+{
+    TimeNs start = 0;
+    TimeNs complete = 0;
+
+    TimeNs duration() const { return complete - start; }
+};
+
+/** Durations and utilization tracking for planned migrations. */
+class BandwidthModel
+{
+  public:
+    explicit BandwidthModel(const SystemConfig& config);
+
+    /** Uncontended time to evict @p bytes to @p dest. */
+    TimeNs evictDuration(Bytes bytes, MemLoc dest) const;
+
+    /** Uncontended time to prefetch @p bytes back from @p src. */
+    TimeNs prefetchDuration(Bytes bytes, MemLoc src) const;
+
+    /** Effective GB/s of the (uncontended) eviction path to @p dest. */
+    double evictGBps(MemLoc dest) const;
+
+    /** Effective GB/s of the (uncontended) prefetch path from @p src. */
+    double prefetchGBps(MemLoc src) const;
+
+    /** Contention-aware completion of an eviction starting at @p t0. */
+    FlowSchedule planEvict(TimeNs t0, Bytes bytes, MemLoc dest) const;
+
+    /** Contention-aware completion of a prefetch starting at @p t0. */
+    FlowSchedule planPrefetch(TimeNs t0, Bytes bytes, MemLoc src) const;
+
+    /**
+     * Latest start so that a prefetch of @p bytes from @p src completes
+     * by @p deadline under current reservations (conservative: found by
+     * backward refinement; never later than the uncontended bound).
+     */
+    TimeNs latestPrefetchStart(TimeNs deadline, Bytes bytes,
+                               MemLoc src) const;
+
+    /**
+     * Is the SSD write path too busy to absorb an eviction of @p bytes
+     * starting at @p t0 without significantly overrunning the
+     * uncontended duration (Algorithm 1 line 9)?
+     */
+    bool ssdEvictSaturated(TimeNs t0, Bytes bytes) const;
+
+    /** Same check for the SSD read path of a prefetch. */
+    bool ssdPrefetchSaturated(TimeNs t0, Bytes bytes) const;
+
+    /** Record a planned eviction flow on the relevant channels. */
+    void reserveEvict(const FlowSchedule& f, Bytes bytes, MemLoc dest);
+
+    /** Record a planned prefetch flow on the relevant channels. */
+    void reservePrefetch(const FlowSchedule& f, Bytes bytes, MemLoc src);
+
+    /** Remove a previously reserved prefetch flow (rescheduling). */
+    void releasePrefetch(const FlowSchedule& f, Bytes bytes, MemLoc src);
+
+    const SystemConfig& config() const { return config_; }
+
+  private:
+    /**
+     * Time at which a flow of @p bytes starting at @p t0 finishes
+     * draining through a channel with capacity @p cap_gbps and existing
+     * utilization @p util, at most at rate @p rate_cap_gbps.
+     */
+    static TimeNs drainTime(const StepFunction& util, double cap_gbps,
+                            double rate_cap_gbps, TimeNs t0, Bytes bytes);
+
+    SystemConfig config_;
+
+    // Utilization (GB/s in flight) per channel over planned time.
+    StepFunction ssdWrite_;
+    StepFunction ssdRead_;
+    StepFunction pcieOut_;  // GPU -> host/SSD direction
+    StepFunction pcieIn_;   // host/SSD -> GPU direction
+};
+
+}  // namespace g10
+
+#endif  // G10_CORE_SCHED_BANDWIDTH_MODEL_H

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Smart tensor eviction scheduling (paper §4.3, Algorithm 1).
+ *
+ * Iteratively selects the inactive period whose eviction yields the
+ * highest benefit/cost ratio -- benefit being the area of the
+ * memory-pressure curve above GPU capacity that the eviction removes
+ * (Fig. 7's shaded region), cost being the eviction + prefetch I/O time
+ * -- commits it, updates the pressure curve and per-channel bandwidth
+ * timelines, and repeats until pressure fits under capacity or no
+ * beneficial candidate remains.
+ *
+ * Destination choice follows Algorithm 1: SSD first (capacity), host
+ * memory when the SSD write path is saturated in the eviction window and
+ * the host still has room for the tensor over its inactive period.
+ *
+ * Candidate selection uses a lazy-greedy priority queue: benefits only
+ * shrink as evictions are committed (pressure only decreases), so a
+ * popped candidate whose recomputed score still dominates the next
+ * entry's stale score is globally best. This keeps the loop near
+ * O(P log P) instead of Algorithm 1's literal O(P^2) re-sort without
+ * changing its choices.
+ */
+
+#ifndef G10_CORE_SCHED_EVICTION_SCHEDULER_H
+#define G10_CORE_SCHED_EVICTION_SCHEDULER_H
+
+#include <vector>
+
+#include "common/step_function.h"
+#include "common/system_config.h"
+#include "core/sched/bandwidth_model.h"
+#include "core/sched/schedule_types.h"
+#include "core/vitality/vitality.h"
+
+namespace g10 {
+
+/** Tunables for the eviction pass. */
+struct EvictionSchedulerParams
+{
+    /** Safety margin subtracted from the latest safe prefetch time. */
+    TimeNs prefetchSafetyNs = 50 * USEC;
+
+    /** Ignore periods shorter than this (not worth a migration). */
+    TimeNs minPeriodNs = 100 * USEC;
+
+    /** Ignore tensors smaller than this (page-compaction territory). */
+    Bytes minTensorBytes = 64 * KiB;
+
+    /** Allow evictions to the SSD (G10, G10-GDS). */
+    bool allowSsd = true;
+
+    /** Allow evictions to host memory (G10, G10-Host). */
+    bool allowHost = true;
+
+    /**
+     * Fraction of host DRAM available for staging tensors (the rest
+     * belongs to the OS/framework).
+     */
+    double hostMemFraction = 1.0;
+};
+
+/** Output of the eviction pass (prefetches still at their latest time). */
+struct EvictionSchedule
+{
+    std::vector<ScheduledMigration> migrations;
+
+    /** Pressure curve after all committed evictions. */
+    StepFunction pressure;
+
+    /** Peak pressure before any eviction. */
+    Bytes initialPeakBytes = 0;
+
+    /** Peak pressure after scheduling. */
+    Bytes finalPeakBytes = 0;
+
+    /** Planned eviction traffic per destination. */
+    Bytes bytesToSsd = 0;
+    Bytes bytesToHost = 0;
+
+    /** Number of candidate evaluations (for complexity tests). */
+    std::uint64_t evaluations = 0;
+};
+
+/** Runs Algorithm 1 over one iteration's vitality analysis. */
+class EvictionScheduler
+{
+  public:
+    EvictionScheduler(const VitalityAnalysis& vitality,
+                      const SystemConfig& config,
+                      EvictionSchedulerParams params = {});
+
+    /** Execute the scheduling loop and return the committed schedule. */
+    EvictionSchedule run();
+
+    /** The bandwidth model after run() (prefetch pass continues on it). */
+    BandwidthModel& bandwidth() { return bandwidth_; }
+
+  private:
+    struct Candidate
+    {
+        std::size_t periodIndex;
+        double staleScore;
+    };
+
+    /**
+     * Benefit/cost of evicting the tensor of period @p pi right now.
+     * @return score, plus the window/durations via out-params.
+     */
+    double scorePeriod(std::size_t pi, const StepFunction& pressure,
+                       double cap, TimeNs* evict_complete,
+                       TimeNs* prefetch_latest) const;
+
+    const VitalityAnalysis& vitality_;
+    SystemConfig config_;
+    EvictionSchedulerParams params_;
+    BandwidthModel bandwidth_;
+
+    // Host staging occupancy over planned time (bytes).
+    StepFunction hostMemUse_;
+};
+
+}  // namespace g10
+
+#endif  // G10_CORE_SCHED_EVICTION_SCHEDULER_H

@@ -1,0 +1,134 @@
+#include "plan_builder.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+namespace {
+
+/** First kernel whose ideal start is >= t (within one iteration). */
+KernelId
+anchorKernel(const std::vector<TimeNs>& starts, TimeNs iter_len, TimeNs t)
+{
+    // Wrap-around times land in the next iteration's prefix.
+    if (t >= iter_len)
+        t -= iter_len;
+    if (t < 0)
+        t = 0;
+    auto it = std::lower_bound(starts.begin(), starts.end() - 1, t);
+    auto idx = static_cast<std::size_t>(it - starts.begin());
+    // starts has numKernels()+1 entries; clamp to a real kernel.
+    if (idx >= starts.size() - 1)
+        idx = starts.size() - 2;
+    return static_cast<KernelId>(idx);
+}
+
+}  // namespace
+
+MigrationPlan
+buildMigrationPlan(const VitalityAnalysis& vitality,
+                   const EvictionSchedule& schedule)
+{
+    const auto& starts = vitality.kernelStart();
+    const TimeNs iter_len = vitality.iterationLengthNs();
+    const std::size_t num_kernels = vitality.trace().numKernels();
+
+    MigrationPlan plan;
+    plan.instrs.reserve(schedule.migrations.size() * 2);
+
+    for (std::size_t mi = 0; mi < schedule.migrations.size(); ++mi) {
+        const ScheduledMigration& m = schedule.migrations[mi];
+        const InactivePeriod& p = vitality.periods()[m.periodIndex];
+
+        // Pre-evict right after the last active use completes, i.e.
+        // before the following kernel launches.
+        MigrationInstr evict;
+        evict.kind = InstrKind::PreEvict;
+        evict.tensor = m.tensor;
+        evict.bytes = m.bytes;
+        evict.dest = m.dest;
+        evict.issueBefore = static_cast<KernelId>(
+            (static_cast<std::size_t>(p.lastUse) + 1) % num_kernels);
+        evict.plannedTime = m.evictStart;
+        evict.migrationIndex = mi;
+        plan.instrs.push_back(evict);
+
+        MigrationInstr pf;
+        pf.kind = InstrKind::Prefetch;
+        pf.tensor = m.tensor;
+        pf.bytes = m.bytes;
+        pf.dest = MemLoc::Gpu;
+        pf.issueBefore = anchorKernel(starts, iter_len, m.prefetchStart);
+        pf.plannedTime = m.prefetchStart;
+        pf.migrationIndex = mi;
+        // Never anchor a prefetch after the tensor's next use.
+        if (!m.wrapsIteration && pf.issueBefore > p.nextUse)
+            pf.issueBefore = p.nextUse;
+        plan.instrs.push_back(pf);
+    }
+
+    std::sort(plan.instrs.begin(), plan.instrs.end(),
+              [](const MigrationInstr& a, const MigrationInstr& b) {
+                  if (a.issueBefore != b.issueBefore)
+                      return a.issueBefore < b.issueBefore;
+                  return a.plannedTime < b.plannedTime;
+              });
+
+    // Bucket index: kernelFirstInstr[k] .. kernelFirstInstr[k+1].
+    plan.kernelFirstInstr.assign(num_kernels + 1, 0);
+    std::size_t cursor = 0;
+    for (std::size_t k = 0; k < num_kernels; ++k) {
+        plan.kernelFirstInstr[k] = static_cast<std::uint32_t>(cursor);
+        while (cursor < plan.instrs.size() &&
+               plan.instrs[cursor].issueBefore ==
+                   static_cast<KernelId>(k))
+            ++cursor;
+    }
+    plan.kernelFirstInstr[num_kernels] =
+        static_cast<std::uint32_t>(plan.instrs.size());
+    return plan;
+}
+
+void
+printInstrumentedProgram(std::ostream& os,
+                         const VitalityAnalysis& vitality,
+                         const MigrationPlan& plan, KernelId first,
+                         KernelId last)
+{
+    const KernelTrace& trace = vitality.trace();
+    last = std::min<KernelId>(
+        last, static_cast<KernelId>(trace.numKernels()));
+    for (KernelId k = std::max<KernelId>(first, 0); k < last; ++k) {
+        auto [begin, end] = plan.instrsBefore(k);
+        for (const MigrationInstr* it = begin; it != end; ++it) {
+            const Tensor& t = trace.tensor(it->tensor);
+            if (it->kind == InstrKind::PreEvict) {
+                os << "  g10_pre_evict(" << t.name << ", " << t.bytes
+                   << ", " << memLocName(it->dest) << ");\n";
+            } else {
+                os << "  g10_prefetch(" << t.name << ", " << t.bytes
+                   << ");\n";
+            }
+        }
+        const Kernel& kern = trace.kernel(k);
+        os << "  // Kernel " << k << " [" << opKindName(kern.kind)
+           << "]\n";
+        os << "  " << kern.name << "(";
+        bool comma = false;
+        for (TensorId t : kern.inputs) {
+            os << (comma ? ", " : "") << trace.tensor(t).name;
+            comma = true;
+        }
+        for (TensorId t : kern.outputs) {
+            os << (comma ? ", " : "") << "&" << trace.tensor(t).name;
+            comma = true;
+        }
+        os << ");\n";
+    }
+    os.flush();
+}
+
+}  // namespace g10

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lowers a committed migration schedule to the instrumented instruction
+ * stream (paper §4.4 "Code Instrumentation", Fig. 9).
+ *
+ * Each scheduled eviction/prefetch is anchored to a position in the
+ * kernel launch stream: pre-evictions right after their tensor's last
+ * active use; prefetches before the first kernel whose ideal start time
+ * is at or past the chosen prefetch time. Wrap-around migrations of
+ * global tensors anchor into the next iteration's prefix, which the
+ * runtime executes on every iteration of the training loop.
+ */
+
+#ifndef G10_CORE_SCHED_PLAN_BUILDER_H
+#define G10_CORE_SCHED_PLAN_BUILDER_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/sched/eviction_scheduler.h"
+#include "core/sched/schedule_types.h"
+#include "core/vitality/vitality.h"
+
+namespace g10 {
+
+/** Build the instrumented plan from a finished schedule. */
+MigrationPlan buildMigrationPlan(const VitalityAnalysis& vitality,
+                                 const EvictionSchedule& schedule);
+
+/**
+ * Emit a human-readable instrumented-program listing in the style of the
+ * paper's Fig. 9 (kernel launches interleaved with g10_* calls), limited
+ * to kernels [first, last).
+ */
+void printInstrumentedProgram(std::ostream& os,
+                              const VitalityAnalysis& vitality,
+                              const MigrationPlan& plan,
+                              KernelId first, KernelId last);
+
+}  // namespace g10
+
+#endif  // G10_CORE_SCHED_PLAN_BUILDER_H

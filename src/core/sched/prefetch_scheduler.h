@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Smart tensor prefetching (paper §4.4).
+ *
+ * The eviction pass leaves every prefetch at its *latest safe* time,
+ * which maximizes pressure suppression but tolerates zero estimation
+ * error. This pass walks the committed migrations in latest-safe-time
+ * order and eagerly moves each prefetch to the earliest time at which
+ * the GPU can hold the whole tensor without exceeding capacity (Fig. 8),
+ * buying slack against profiling errors (§7.6) and I/O jitter.
+ */
+
+#ifndef G10_CORE_SCHED_PREFETCH_SCHEDULER_H
+#define G10_CORE_SCHED_PREFETCH_SCHEDULER_H
+
+#include "common/system_config.h"
+#include "core/sched/bandwidth_model.h"
+#include "core/sched/eviction_scheduler.h"
+
+namespace g10 {
+
+/** Tunables for the eager-prefetch pass. */
+struct PrefetchSchedulerParams
+{
+    /**
+     * Fraction of GPU capacity eager prefetches may fill up to. Slightly
+     * below 1.0 leaves allocator headroom for workspaces the scheduler
+     * cannot see.
+     */
+    double capacityFraction = 0.95;
+};
+
+/** Statistics of the eager pass. */
+struct PrefetchStats
+{
+    std::size_t rescheduled = 0;   ///< prefetches moved earlier
+    TimeNs totalSlackGainedNs = 0; ///< sum of (latest - chosen)
+};
+
+/**
+ * Rewrites migrations' prefetchStart in place (and re-reserves their
+ * bandwidth) using the post-eviction pressure curve in @p schedule.
+ */
+PrefetchStats
+schedulePrefetches(EvictionSchedule& schedule, BandwidthModel& bandwidth,
+                   const SystemConfig& config,
+                   PrefetchSchedulerParams params = {});
+
+}  // namespace g10
+
+#endif  // G10_CORE_SCHED_PREFETCH_SCHEDULER_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared types for migration planning: memory locations, scheduled
+ * migrations, and the instrumented migration plan (the paper's
+ * g10_prefetch / g10_pre_evict instruction stream, Fig. 9).
+ */
+
+#ifndef G10_CORE_SCHED_SCHEDULE_TYPES_H
+#define G10_CORE_SCHED_SCHEDULE_TYPES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace g10 {
+
+/** Tier of the unified memory space a page/tensor can live in. */
+enum class MemLoc : std::uint8_t { Gpu = 0, Host = 1, Ssd = 2 };
+
+/** Human-readable tier name. */
+const char* memLocName(MemLoc loc);
+
+/**
+ * One eviction+prefetch pair committed by the eviction scheduler for a
+ * specific tensor inactive period (times on the ideal timeline).
+ */
+struct ScheduledMigration
+{
+    std::size_t periodIndex = 0;   ///< into VitalityAnalysis::periods()
+    TensorId tensor = kInvalidTensor;
+    Bytes bytes = 0;
+    MemLoc dest = MemLoc::Ssd;
+
+    TimeNs evictStart = 0;         ///< period start (tensor turns inactive)
+    TimeNs evictComplete = 0;      ///< GPU copy of the tensor is freed
+    TimeNs prefetchLatest = 0;     ///< latest safe prefetch start (§4.4)
+    TimeNs prefetchStart = 0;      ///< chosen (possibly eager) start
+    TimeNs prefetchComplete = 0;   ///< planned arrival back in GPU memory
+    TimeNs prefetchDuration = 0;
+    bool wrapsIteration = false;
+};
+
+/** Kinds of instrumented migration instructions. */
+enum class InstrKind : std::uint8_t { Prefetch, PreEvict };
+
+/**
+ * One instruction inserted into the GPU program. Instructions are
+ * anchored to positions in the kernel stream ("issue just before kernel
+ * N launches"), the same mechanism as the paper's compiler
+ * instrumentation, so they keep working when runtime timing drifts from
+ * the ideal timeline (§7.6).
+ */
+struct MigrationInstr
+{
+    InstrKind kind = InstrKind::Prefetch;
+    TensorId tensor = kInvalidTensor;
+    Bytes bytes = 0;
+    MemLoc dest = MemLoc::Ssd;       ///< PreEvict destination
+    KernelId issueBefore = 0;        ///< anchor: kernel index in [0, N]
+    TimeNs plannedTime = 0;          ///< ideal-time the scheduler chose
+    std::size_t migrationIndex = 0;  ///< back-ref into the schedule
+};
+
+/** The complete instrumented plan for one training iteration. */
+struct MigrationPlan
+{
+    std::vector<MigrationInstr> instrs;  ///< sorted by issueBefore
+
+    /** Index of the first instruction anchored at each kernel id. */
+    std::vector<std::uint32_t> kernelFirstInstr;
+
+    /** Instructions to issue before kernel @p k launches. */
+    std::pair<const MigrationInstr*, const MigrationInstr*>
+    instrsBefore(KernelId k) const;
+
+    std::size_t size() const { return instrs.size(); }
+    bool empty() const { return instrs.empty(); }
+};
+
+}  // namespace g10
+
+#endif  // G10_CORE_SCHED_SCHEDULE_TYPES_H

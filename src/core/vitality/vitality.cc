@@ -1,0 +1,146 @@
+#include "vitality.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+VitalityAnalysis::VitalityAnalysis(const KernelTrace& trace,
+                                   TimeNs launch_overhead)
+    : trace_(&trace), launchOverhead_(launch_overhead)
+{
+    kernelStart_ = trace.idealStartTimes(launch_overhead);
+
+    auto uses = trace.buildUseLists();
+    liveness_.resize(trace.numTensors());
+
+    for (std::size_t ti = 0; ti < trace.numTensors(); ++ti) {
+        const Tensor& t = trace.tensor(static_cast<TensorId>(ti));
+        TensorLiveness& lv = liveness_[ti];
+        lv.tensor = t.id;
+        lv.isGlobal = t.isGlobal();
+        lv.uses = std::move(uses[ti]);
+        if (lv.uses.empty()) {
+            // Unused tensor: no periods; weights may legitimately be
+            // untouched (frozen), intermediates should not happen.
+            if (!lv.isGlobal)
+                warn("intermediate tensor '%s' is never used",
+                     t.name.c_str());
+            continue;
+        }
+        lv.birth = lv.isGlobal ? kInvalidKernel : lv.uses.front();
+        lv.death = lv.uses.back();
+
+        // Periods between consecutive uses.
+        for (std::size_t u = 0; u + 1 < lv.uses.size(); ++u) {
+            KernelId a = lv.uses[u];
+            KernelId b = lv.uses[u + 1];
+            if (b == a || b == a + 1)
+                continue;  // no gap
+            InactivePeriod p;
+            p.tensor = t.id;
+            p.lastUse = a;
+            p.nextUse = b;
+            p.startNs = kernelEnd(a);
+            p.endNs = kernelStart_[static_cast<std::size_t>(b)];
+            if (p.lengthNs() > 0)
+                periods_.push_back(p);
+        }
+
+        // Wrap-around period for globals: last use -> first use of the
+        // next iteration.
+        if (lv.isGlobal) {
+            InactivePeriod p;
+            p.tensor = t.id;
+            p.lastUse = lv.uses.back();
+            p.nextUse = lv.uses.front();
+            p.startNs = kernelEnd(lv.uses.back());
+            p.endNs = iterationLengthNs() +
+                      kernelStart_[static_cast<std::size_t>(
+                          lv.uses.front())];
+            if (p.lengthNs() > 0) {
+                p.wrapsIteration = true;
+                periods_.push_back(p);
+            }
+        }
+    }
+}
+
+TimeNs
+VitalityAnalysis::kernelEnd(KernelId k) const
+{
+    if (k < 0 || static_cast<std::size_t>(k) >= trace_->numKernels())
+        panic("kernelEnd: bad kernel id %d", k);
+    return kernelStart_[static_cast<std::size_t>(k)] +
+           trace_->kernel(k).durationNs;
+}
+
+StepFunction
+VitalityAnalysis::memoryPressure() const
+{
+    StepFunction f;
+    const TimeNs iter_end = iterationLengthNs();
+    for (const auto& lv : liveness_) {
+        if (lv.uses.empty() && !lv.isGlobal)
+            continue;
+        const Tensor& t = trace_->tensor(lv.tensor);
+        if (lv.isGlobal) {
+            f.add(0, iter_end, static_cast<double>(t.bytes));
+        } else {
+            TimeNs born = kernelStart_[static_cast<std::size_t>(lv.birth)];
+            TimeNs dead = kernelEnd(lv.death);
+            f.add(born, dead, static_cast<double>(t.bytes));
+        }
+    }
+    return f;
+}
+
+Bytes
+VitalityAnalysis::peakMemoryBytes() const
+{
+    return static_cast<Bytes>(memoryPressure().maxValue());
+}
+
+std::vector<Bytes>
+VitalityAnalysis::activeBytesPerKernel() const
+{
+    std::vector<Bytes> out(trace_->numKernels(), 0);
+    for (const auto& k : trace_->kernels()) {
+        Bytes sum = 0;
+        for (TensorId t : k.allTensors())
+            sum += trace_->tensor(t).bytes;
+        out[static_cast<std::size_t>(k.id)] = sum;
+    }
+    return out;
+}
+
+std::vector<Bytes>
+VitalityAnalysis::liveBytesPerKernel() const
+{
+    // Sweep births/deaths over kernel indices.
+    std::vector<std::int64_t> delta(trace_->numKernels() + 1, 0);
+    Bytes global_bytes = 0;
+    for (const auto& lv : liveness_) {
+        const Tensor& t = trace_->tensor(lv.tensor);
+        if (lv.isGlobal) {
+            global_bytes += t.bytes;
+            continue;
+        }
+        if (lv.uses.empty())
+            continue;
+        delta[static_cast<std::size_t>(lv.birth)] +=
+            static_cast<std::int64_t>(t.bytes);
+        delta[static_cast<std::size_t>(lv.death) + 1] -=
+            static_cast<std::int64_t>(t.bytes);
+    }
+    std::vector<Bytes> out(trace_->numKernels(), 0);
+    std::int64_t run = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        run += delta[i];
+        out[i] = global_bytes + static_cast<Bytes>(run);
+    }
+    return out;
+}
+
+}  // namespace g10

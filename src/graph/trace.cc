@@ -1,0 +1,197 @@
+#include "trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+const char*
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::Weight: return "weight";
+      case TensorKind::WeightGrad: return "weight_grad";
+      case TensorKind::Activation: return "activation";
+      case TensorKind::ActivationGrad: return "activation_grad";
+      case TensorKind::Workspace: return "workspace";
+    }
+    return "?";
+}
+
+const char*
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::DataLoad: return "DataLoad";
+      case OpKind::Conv2d: return "Conv2d";
+      case OpKind::ConvBackward: return "ConvBackward";
+      case OpKind::Gemm: return "Gemm";
+      case OpKind::BatchNorm: return "BatchNorm";
+      case OpKind::LayerNorm: return "LayerNorm";
+      case OpKind::Activation: return "Activation";
+      case OpKind::Pool: return "Pool";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::Attention: return "Attention";
+      case OpKind::Elementwise: return "Elementwise";
+      case OpKind::Reduce: return "Reduce";
+      case OpKind::Optimizer: return "Optimizer";
+      case OpKind::Embedding: return "Embedding";
+    }
+    return "?";
+}
+
+std::vector<TensorId>
+Kernel::allTensors() const
+{
+    std::vector<TensorId> all;
+    all.reserve(inputs.size() + outputs.size() + workspace.size());
+    all.insert(all.end(), inputs.begin(), inputs.end());
+    all.insert(all.end(), outputs.begin(), outputs.end());
+    all.insert(all.end(), workspace.begin(), workspace.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all;
+}
+
+TensorId
+KernelTrace::addTensor(std::string name, Bytes bytes, TensorKind kind)
+{
+    Tensor t;
+    t.id = static_cast<TensorId>(tensors_.size());
+    t.name = std::move(name);
+    t.bytes = bytes;
+    t.kind = kind;
+    tensors_.push_back(std::move(t));
+    return tensors_.back().id;
+}
+
+KernelId
+KernelTrace::addKernel(Kernel kernel)
+{
+    kernel.id = static_cast<KernelId>(kernels_.size());
+    kernels_.push_back(std::move(kernel));
+    return kernels_.back().id;
+}
+
+const Tensor&
+KernelTrace::tensor(TensorId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= tensors_.size())
+        panic("tensor id %d out of range (have %zu)", id, tensors_.size());
+    return tensors_[static_cast<std::size_t>(id)];
+}
+
+Tensor&
+KernelTrace::tensor(TensorId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= tensors_.size())
+        panic("tensor id %d out of range (have %zu)", id, tensors_.size());
+    return tensors_[static_cast<std::size_t>(id)];
+}
+
+const Kernel&
+KernelTrace::kernel(KernelId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= kernels_.size())
+        panic("kernel id %d out of range (have %zu)", id, kernels_.size());
+    return kernels_[static_cast<std::size_t>(id)];
+}
+
+TimeNs
+KernelTrace::totalComputeNs() const
+{
+    TimeNs total = 0;
+    for (const auto& k : kernels_)
+        total += k.durationNs;
+    return total;
+}
+
+void
+KernelTrace::scaleDurations(double factor)
+{
+    if (factor <= 0.0)
+        panic("scaleDurations: non-positive factor %g", factor);
+    for (auto& k : kernels_) {
+        auto scaled = static_cast<TimeNs>(
+            static_cast<double>(k.durationNs) * factor);
+        k.durationNs = std::max<TimeNs>(scaled, 1000);
+    }
+}
+
+std::vector<TimeNs>
+KernelTrace::idealStartTimes(TimeNs launch_overhead) const
+{
+    std::vector<TimeNs> starts(kernels_.size() + 1, 0);
+    TimeNs t = 0;
+    for (std::size_t i = 0; i < kernels_.size(); ++i) {
+        starts[i] = t;
+        t += kernels_[i].durationNs + launch_overhead;
+    }
+    starts[kernels_.size()] = t;
+    return starts;
+}
+
+std::vector<std::vector<KernelId>>
+KernelTrace::buildUseLists() const
+{
+    std::vector<std::vector<KernelId>> uses(tensors_.size());
+    for (const auto& k : kernels_) {
+        for (TensorId t : k.allTensors())
+            uses[static_cast<std::size_t>(t)].push_back(k.id);
+    }
+    return uses;
+}
+
+Bytes
+KernelTrace::totalTensorBytes() const
+{
+    Bytes total = 0;
+    for (const auto& t : tensors_)
+        total += t.bytes;
+    return total;
+}
+
+Bytes
+KernelTrace::peakKernelWorkingSet() const
+{
+    Bytes peak = 0;
+    for (const auto& k : kernels_) {
+        Bytes ws = 0;
+        for (TensorId t : k.allTensors())
+            ws += tensor(t).bytes;
+        peak = std::max(peak, ws);
+    }
+    return peak;
+}
+
+void
+KernelTrace::validate() const
+{
+    std::vector<bool> written(tensors_.size(), false);
+    for (const auto& k : kernels_) {
+        if (k.durationNs < 0)
+            panic("kernel %d has negative duration", k.id);
+        for (TensorId t : k.allTensors()) {
+            if (t < 0 || static_cast<std::size_t>(t) >= tensors_.size())
+                panic("kernel %d references bad tensor %d", k.id, t);
+        }
+        for (TensorId t : k.inputs) {
+            const auto& ten = tensors_[static_cast<std::size_t>(t)];
+            if (!written[static_cast<std::size_t>(t)] && !ten.isGlobal())
+                panic("kernel %d (%s) reads tensor %d (%s) before any "
+                      "kernel wrote it", k.id, k.name.c_str(), t,
+                      ten.name.c_str());
+        }
+        for (TensorId t : k.outputs)
+            written[static_cast<std::size_t>(t)] = true;
+        for (TensorId t : k.workspace)
+            written[static_cast<std::size_t>(t)] = true;
+    }
+    for (const auto& t : tensors_) {
+        if (t.bytes == 0)
+            panic("tensor %d (%s) has zero size", t.id, t.name.c_str());
+    }
+}
+
+}  // namespace g10

@@ -1,0 +1,184 @@
+#include "trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+namespace {
+
+const char*
+kindToken(TensorKind k)
+{
+    switch (k) {
+      case TensorKind::Weight: return "W";
+      case TensorKind::WeightGrad: return "dW";
+      case TensorKind::Activation: return "A";
+      case TensorKind::ActivationGrad: return "dA";
+      case TensorKind::Workspace: return "WS";
+    }
+    return "?";
+}
+
+TensorKind
+kindFromToken(const std::string& s)
+{
+    if (s == "W") return TensorKind::Weight;
+    if (s == "dW") return TensorKind::WeightGrad;
+    if (s == "A") return TensorKind::Activation;
+    if (s == "dA") return TensorKind::ActivationGrad;
+    if (s == "WS") return TensorKind::Workspace;
+    fatal("trace: unknown tensor kind '%s'", s.c_str());
+}
+
+const char*
+opToken(OpKind k)
+{
+    return opKindName(k);
+}
+
+OpKind
+opFromToken(const std::string& s)
+{
+    for (int i = 0; i <= static_cast<int>(OpKind::Embedding); ++i) {
+        auto k = static_cast<OpKind>(i);
+        if (s == opKindName(k))
+            return k;
+    }
+    fatal("trace: unknown op kind '%s'", s.c_str());
+}
+
+std::vector<TensorId>
+parseIdList(const std::string& field, const char* prefix)
+{
+    std::vector<TensorId> out;
+    std::string body = field.substr(std::string(prefix).size());
+    if (body.empty() || body == "-")
+        return out;
+    std::stringstream ss(body);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        out.push_back(static_cast<TensorId>(std::stol(tok)));
+    return out;
+}
+
+std::string
+idList(const std::vector<TensorId>& ids)
+{
+    if (ids.empty())
+        return "-";
+    std::string out;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(ids[i]);
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+writeTrace(std::ostream& os, const KernelTrace& trace)
+{
+    os << "# g10 kernel trace v1\n";
+    os << "trace " << trace.modelName() << " " << trace.batchSize()
+       << "\n";
+    for (const auto& t : trace.tensors())
+        os << "tensor " << t.id << " " << kindToken(t.kind) << " "
+           << t.bytes << " " << t.name << "\n";
+    for (const auto& k : trace.kernels())
+        os << "kernel " << k.id << " " << opToken(k.kind) << " "
+           << k.durationNs << " in=" << idList(k.inputs)
+           << " out=" << idList(k.outputs)
+           << " ws=" << idList(k.workspace) << " " << k.name << "\n";
+    os.flush();
+}
+
+KernelTrace
+readTrace(std::istream& is)
+{
+    KernelTrace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    bool have_header = false;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::stringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "trace") {
+            std::string name;
+            int batch = 0;
+            ss >> name >> batch;
+            if (name.empty() || batch < 1)
+                fatal("trace line %zu: bad header", lineno);
+            trace.setModelName(name);
+            trace.setBatchSize(batch);
+            have_header = true;
+        } else if (tag == "tensor") {
+            long id;
+            std::string kind;
+            unsigned long long bytes;
+            std::string name;
+            ss >> id >> kind >> bytes >> name;
+            if (!ss || name.empty())
+                fatal("trace line %zu: bad tensor", lineno);
+            TensorId got = trace.addTensor(name, bytes,
+                                           kindFromToken(kind));
+            if (got != static_cast<TensorId>(id))
+                fatal("trace line %zu: tensor ids must be dense "
+                      "(expected %d, got %ld)", lineno, got, id);
+        } else if (tag == "kernel") {
+            long id;
+            std::string op;
+            long long dur;
+            std::string in_f, out_f, ws_f, name;
+            ss >> id >> op >> dur >> in_f >> out_f >> ws_f >> name;
+            if (!ss || name.empty())
+                fatal("trace line %zu: bad kernel", lineno);
+            Kernel k;
+            k.name = name;
+            k.kind = opFromToken(op);
+            k.durationNs = dur;
+            k.inputs = parseIdList(in_f, "in=");
+            k.outputs = parseIdList(out_f, "out=");
+            k.workspace = parseIdList(ws_f, "ws=");
+            KernelId got = trace.addKernel(std::move(k));
+            if (got != static_cast<KernelId>(id))
+                fatal("trace line %zu: kernel ids must be dense",
+                      lineno);
+        } else {
+            fatal("trace line %zu: unknown tag '%s'", lineno,
+                  tag.c_str());
+        }
+    }
+    if (!have_header)
+        fatal("trace: missing 'trace <name> <batch>' header");
+    trace.validate();
+    return trace;
+}
+
+void
+saveTraceFile(const std::string& path, const KernelTrace& trace)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeTrace(f, trace);
+}
+
+KernelTrace
+loadTraceFile(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    return readTrace(f);
+}
+
+}  // namespace g10

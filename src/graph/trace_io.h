@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text serialization of kernel traces.
+ *
+ * The paper's artifact ships profiled DNN traces as files and replays
+ * them; this gives the same workflow: models built once (or profiled
+ * elsewhere) can be saved, inspected, diffed, and re-simulated without
+ * rebuilding, and users can hand-write custom workloads.
+ *
+ * Format (line oriented, '#' comments):
+ *   trace <model_name> <batch_size>
+ *   tensor <id> <kind> <bytes> <name>
+ *   kernel <id> <op_kind> <duration_ns> in=<a,b,...> out=<c,...> \
+ *          ws=<d,...> <name>
+ */
+
+#ifndef G10_GRAPH_TRACE_IO_H
+#define G10_GRAPH_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/trace.h"
+
+namespace g10 {
+
+/** Serialize @p trace to @p os. */
+void writeTrace(std::ostream& os, const KernelTrace& trace);
+
+/**
+ * Parse a trace from @p is. fatal() on malformed input (user error).
+ * The result is validated before returning.
+ */
+KernelTrace readTrace(std::istream& is);
+
+/** Convenience file wrappers (fatal() when the file cannot be used). */
+void saveTraceFile(const std::string& path, const KernelTrace& trace);
+KernelTrace loadTraceFile(const std::string& path);
+
+}  // namespace g10
+
+#endif  // G10_GRAPH_TRACE_IO_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * BERT-Base (Devlin et al., 2018) trace builder: 12 encoder layers,
+ * hidden 768, 12 heads, sequence length 256, with a 2-class CoLA-style
+ * classification head.
+ *
+ * Sequence length note: the HuggingFace CoLA fine-tune the paper profiles
+ * pads to a fixed length; we use 256 so the memory-over-capacity ratio at
+ * the paper's batch sizes lands in the same multi-hundred-percent regime
+ * as Table 1/Fig. 11 (documented in EXPERIMENTS.md).
+ */
+
+#include "models/layers.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+
+KernelTrace
+buildBertBase(int batch, const CostModel& cm)
+{
+    constexpr int kSeqLen = 256;
+    constexpr int kHidden = 768;
+    constexpr int kHeads = 12;
+    constexpr int kLayers = 12;
+    constexpr int kVocab = 30522;
+
+    TraceBuilder b("BERT_Base", batch, cm);
+    SeqBuilder s(b, batch, kSeqLen, kHidden, kHeads);
+
+    TensorId x = s.embeddings(kVocab, "emb");
+    for (int i = 0; i < kLayers; ++i)
+        x = s.encoderLayer(x, "layer" + std::to_string(i));
+
+    TensorId logits = s.classifierHead(x, 2, "cls");
+    b.loss(logits);
+    return b.finish();
+}
+
+}  // namespace g10

@@ -1,0 +1,53 @@
+#include "cost_model.h"
+
+#include <algorithm>
+
+namespace g10 {
+
+double
+CostModel::flopEfficiency(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Gemm: return 0.62;
+      case OpKind::Conv2d: return 0.55;
+      case OpKind::ConvBackward: return 0.50;
+      case OpKind::Attention: return 0.45;
+      default: return 0.25;  // non-GEMM kernels rarely near peak
+    }
+}
+
+double
+CostModel::memEfficiency(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Elementwise:
+      case OpKind::Activation: return 0.82;
+      case OpKind::BatchNorm:
+      case OpKind::LayerNorm: return 0.70;
+      case OpKind::Softmax: return 0.65;
+      case OpKind::Pool: return 0.70;
+      case OpKind::Reduce: return 0.60;
+      case OpKind::Optimizer: return 0.80;
+      case OpKind::Embedding: return 0.50;
+      case OpKind::DataLoad: return 0.85;
+      default: return 0.60;
+    }
+}
+
+TimeNs
+CostModel::kernelTime(OpKind kind, double flops, double bytes) const
+{
+    double flop_time_ns = 0.0;
+    if (flops > 0.0)
+        flop_time_ns = flops / (peakFlops_ * flopEfficiency(kind)) * 1e9;
+    double mem_time_ns = 0.0;
+    if (bytes > 0.0)
+        mem_time_ns = bytes / (hbmGBps_ * memEfficiency(kind));
+
+    // Even trivial kernels occupy the GPU for a couple of microseconds.
+    constexpr double kFloorNs = 2000.0;
+    double ns = std::max({flop_time_ns, mem_time_ns, kFloorNs});
+    return static_cast<TimeNs>(ns);
+}
+
+}  // namespace g10

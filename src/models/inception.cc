@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Inception v3 (Szegedy et al., CVPR'16) trace builder, following the
+ * torchvision layout on 299x299 inputs, including the factorized 1x7/7x1
+ * convolutions, the branch/concat dataflow joins the paper's §3 calls out,
+ * and the auxiliary classifier head used during training.
+ */
+
+#include <string>
+#include <vector>
+
+#include "models/layers.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+
+namespace {
+
+FMap
+inceptionA(CnnBuilder& c, const FMap& in, int pool_features,
+           const std::string& name)
+{
+    FMap b1 = c.convBnRelu(in, 64, 1, 1, 0, name + "_1x1");
+
+    FMap b5 = c.convBnRelu(in, 48, 1, 1, 0, name + "_5x5a");
+    b5 = c.convBnRelu(b5, 64, 5, 1, 2, name + "_5x5b");
+
+    FMap b3 = c.convBnRelu(in, 64, 1, 1, 0, name + "_3x3a");
+    b3 = c.convBnRelu(b3, 96, 3, 1, 1, name + "_3x3b");
+    b3 = c.convBnRelu(b3, 96, 3, 1, 1, name + "_3x3c");
+
+    FMap bp = c.avgPool(in, 3, 1, 1, name + "_pool");
+    bp = c.convBnRelu(bp, pool_features, 1, 1, 0, name + "_pool_proj");
+
+    return c.concat({b1, b5, b3, bp}, name + "_concat");
+}
+
+FMap
+inceptionB(CnnBuilder& c, const FMap& in, const std::string& name)
+{
+    FMap b3 = c.convBnRelu(in, 384, 3, 2, 0, name + "_3x3");
+
+    FMap bd = c.convBnRelu(in, 64, 1, 1, 0, name + "_dbl_a");
+    bd = c.convBnRelu(bd, 96, 3, 1, 1, name + "_dbl_b");
+    bd = c.convBnRelu(bd, 96, 3, 2, 0, name + "_dbl_c");
+
+    FMap bp = c.maxPool(in, 3, 2, 0, name + "_pool");
+    return c.concat({b3, bd, bp}, name + "_concat");
+}
+
+/** Factorized 7x7 tower: 1x1 then alternating 1x7 / 7x1 convolutions. */
+FMap
+sevenTower(CnnBuilder& c, const FMap& in, int mid, int out, int pairs,
+           const std::string& name)
+{
+    FMap x = c.convBnRelu(in, mid, 1, 1, 0, name + "_reduce");
+    for (int i = 0; i < pairs; ++i) {
+        bool last = (i == pairs - 1);
+        int c17 = last ? out : mid;
+        x = c.convRect(x, mid, 1, 7, 1, 0, 3,
+                       name + "_1x7_" + std::to_string(i) + "_conv");
+        x = c.batchNorm(x, name + "_1x7_" + std::to_string(i) + "_bn");
+        x = c.relu(x, name + "_1x7_" + std::to_string(i) + "_relu");
+        x = c.convRect(x, c17, 7, 1, 1, 3, 0,
+                       name + "_7x1_" + std::to_string(i) + "_conv");
+        x = c.batchNorm(x, name + "_7x1_" + std::to_string(i) + "_bn");
+        x = c.relu(x, name + "_7x1_" + std::to_string(i) + "_relu");
+    }
+    return x;
+}
+
+FMap
+inceptionC(CnnBuilder& c, const FMap& in, int c7, const std::string& name)
+{
+    FMap b1 = c.convBnRelu(in, 192, 1, 1, 0, name + "_1x1");
+    FMap b7 = sevenTower(c, in, c7, 192, 1, name + "_t7");
+    FMap b7d = sevenTower(c, in, c7, 192, 2, name + "_t7dbl");
+    FMap bp = c.avgPool(in, 3, 1, 1, name + "_pool");
+    bp = c.convBnRelu(bp, 192, 1, 1, 0, name + "_pool_proj");
+    return c.concat({b1, b7, b7d, bp}, name + "_concat");
+}
+
+FMap
+inceptionD(CnnBuilder& c, const FMap& in, const std::string& name)
+{
+    FMap b3 = c.convBnRelu(in, 192, 1, 1, 0, name + "_3x3a");
+    b3 = c.convBnRelu(b3, 320, 3, 2, 0, name + "_3x3b");
+
+    FMap b7 = sevenTower(c, in, 192, 192, 1, name + "_t7");
+    b7 = c.convBnRelu(b7, 192, 3, 2, 0, name + "_t7_down");
+
+    FMap bp = c.maxPool(in, 3, 2, 0, name + "_pool");
+    return c.concat({b3, b7, bp}, name + "_concat");
+}
+
+FMap
+inceptionE(CnnBuilder& c, const FMap& in, const std::string& name)
+{
+    FMap b1 = c.convBnRelu(in, 320, 1, 1, 0, name + "_1x1");
+
+    FMap b3 = c.convBnRelu(in, 384, 1, 1, 0, name + "_3x3");
+    FMap b3a = c.convRect(b3, 384, 1, 3, 1, 0, 1, name + "_3x3_1x3");
+    b3a = c.batchNorm(b3a, name + "_3x3_1x3_bn");
+    b3a = c.relu(b3a, name + "_3x3_1x3_relu");
+    FMap b3b = c.convRect(b3, 384, 3, 1, 1, 1, 0, name + "_3x3_3x1");
+    b3b = c.batchNorm(b3b, name + "_3x3_3x1_bn");
+    b3b = c.relu(b3b, name + "_3x3_3x1_relu");
+    FMap b3cat = c.concat({b3a, b3b}, name + "_3x3_concat");
+
+    FMap bd = c.convBnRelu(in, 448, 1, 1, 0, name + "_dbl_a");
+    bd = c.convBnRelu(bd, 384, 3, 1, 1, name + "_dbl_b");
+    FMap bda = c.convRect(bd, 384, 1, 3, 1, 0, 1, name + "_dbl_1x3");
+    bda = c.batchNorm(bda, name + "_dbl_1x3_bn");
+    bda = c.relu(bda, name + "_dbl_1x3_relu");
+    FMap bdb = c.convRect(bd, 384, 3, 1, 1, 1, 0, name + "_dbl_3x1");
+    bdb = c.batchNorm(bdb, name + "_dbl_3x1_bn");
+    bdb = c.relu(bdb, name + "_dbl_3x1_relu");
+    FMap bdcat = c.concat({bda, bdb}, name + "_dbl_concat");
+
+    FMap bp = c.avgPool(in, 3, 1, 1, name + "_pool");
+    bp = c.convBnRelu(bp, 192, 1, 1, 0, name + "_pool_proj");
+
+    return c.concat({b1, b3cat, bdcat, bp}, name + "_concat");
+}
+
+}  // namespace
+
+KernelTrace
+buildInceptionv3(int batch, const CostModel& cm, Bytes ws_cap)
+{
+    TraceBuilder b("Inceptionv3", batch, cm);
+    CnnBuilder c(b, batch, ws_cap);
+
+    FMap x = c.input(3, 299, 299, "image");
+    x = c.convBnRelu(x, 32, 3, 2, 0, "stem_a");    // 149
+    x = c.convBnRelu(x, 32, 3, 1, 0, "stem_b");    // 147
+    x = c.convBnRelu(x, 64, 3, 1, 1, "stem_c");    // 147
+    x = c.maxPool(x, 3, 2, 0, "stem_pool1");       // 73
+    x = c.convBnRelu(x, 80, 1, 1, 0, "stem_d");    // 73
+    x = c.convBnRelu(x, 192, 3, 1, 0, "stem_e");   // 71
+    x = c.maxPool(x, 3, 2, 0, "stem_pool2");       // 35
+
+    x = inceptionA(c, x, 32, "mixed5b");   // 256
+    x = inceptionA(c, x, 64, "mixed5c");   // 288
+    x = inceptionA(c, x, 64, "mixed5d");   // 288
+    x = inceptionB(c, x, "mixed6a");       // 768, 17x17
+    x = inceptionC(c, x, 128, "mixed6b");
+    x = inceptionC(c, x, 160, "mixed6c");
+    x = inceptionC(c, x, 160, "mixed6d");
+    x = inceptionC(c, x, 192, "mixed6e");
+
+    // Auxiliary classifier (training mode), off mixed6e.
+    FMap aux = c.avgPool(x, 5, 3, 0, "aux_pool");
+    aux = c.convBnRelu(aux, 128, 1, 1, 0, "aux_proj");
+    aux = c.convBnRelu(aux, 768, 5, 1, 0, "aux_conv");
+    FMap aux_logits = c.fc(aux, 1000, "aux_fc");
+    b.loss(aux_logits.t);
+
+    x = inceptionD(c, x, "mixed7a");       // 1280, 8x8
+    x = inceptionE(c, x, "mixed7b");       // 2048
+    x = inceptionE(c, x, "mixed7c");       // 2048
+
+    x = c.globalAvgPool(x, "gap");
+    FMap logits = c.fc(x, 1000, "fc");
+    b.loss(logits.t);
+    return b.finish();
+}
+
+}  // namespace g10

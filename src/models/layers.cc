@@ -1,0 +1,556 @@
+#include "layers.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+namespace {
+
+int
+convOut(int in, int k, int stride, int pad)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+Bytes
+CnnBuilder::actBytes(int c, int h, int w) const
+{
+    return static_cast<Bytes>(n_) * c * h * w * TraceBuilder::kElem;
+}
+
+FMap
+CnnBuilder::input(int c, int h, int w, const std::string& name)
+{
+    TensorId t = b_.input(name, actBytes(c, h, w));
+    return FMap{t, c, h, w};
+}
+
+FMap
+CnnBuilder::conv(const FMap& in, int out_c, int k, int stride, int pad,
+                 const std::string& name, int groups)
+{
+    int oh = convOut(in.h, k, stride, pad);
+    int ow = convOut(in.w, k, stride, pad);
+    if (oh <= 0 || ow <= 0)
+        panic("conv '%s' output collapsed (%dx%d)", name.c_str(), oh, ow);
+
+    Bytes wbytes = static_cast<Bytes>(out_c) * (in.c / groups) * k * k *
+                   TraceBuilder::kElem;
+    TensorId w = b_.weight(name + "_w", wbytes);
+
+    double flops = 2.0 * n_ * out_c * oh * ow *
+                   (static_cast<double>(in.c) / groups) * k * k;
+    Bytes workspace = 0;
+    if (k > 1) {
+        // im2col-style scratch, bounded like cuDNN workspace limits.
+        Bytes im2col = static_cast<Bytes>(n_) * (in.c / groups) * k * k *
+                       oh * ow * TraceBuilder::kElem;
+        workspace = std::min(im2col, wsCap_);
+    }
+
+    OpSpec spec;
+    spec.kind = OpKind::Conv2d;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.weights = {w};
+    spec.outBytes = actBytes(out_c, oh, ow);
+    spec.flops = flops;
+    spec.workspaceBytes = workspace;
+    spec.bwdWorkspaceBytes = workspace;
+    TensorId out = b_.op(spec);
+    return FMap{out, out_c, oh, ow};
+}
+
+FMap
+CnnBuilder::convRect(const FMap& in, int out_c, int kh, int kw, int stride,
+                     int pad_h, int pad_w, const std::string& name)
+{
+    int oh = convOut(in.h, kh, stride, pad_h);
+    int ow = convOut(in.w, kw, stride, pad_w);
+    if (oh <= 0 || ow <= 0)
+        panic("convRect '%s' output collapsed (%dx%d)",
+              name.c_str(), oh, ow);
+
+    Bytes wbytes = static_cast<Bytes>(out_c) * in.c * kh * kw *
+                   TraceBuilder::kElem;
+    TensorId w = b_.weight(name + "_w", wbytes);
+
+    double flops = 2.0 * n_ * out_c * oh * ow *
+                   static_cast<double>(in.c) * kh * kw;
+    Bytes im2col = static_cast<Bytes>(n_) * in.c * kh * kw * oh * ow *
+                   TraceBuilder::kElem;
+    Bytes workspace = std::min(im2col, wsCap_);
+
+    OpSpec spec;
+    spec.kind = OpKind::Conv2d;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.weights = {w};
+    spec.outBytes = actBytes(out_c, oh, ow);
+    spec.flops = flops;
+    spec.workspaceBytes = workspace;
+    spec.bwdWorkspaceBytes = workspace;
+    TensorId out = b_.op(spec);
+    return FMap{out, out_c, oh, ow};
+}
+
+FMap
+CnnBuilder::batchNorm(const FMap& in, const std::string& name)
+{
+    // Scale+shift packed into one small parameter tensor.
+    TensorId w = b_.weight(name + "_scale",
+                           static_cast<Bytes>(2) * in.c *
+                               TraceBuilder::kElem);
+    OpSpec spec;
+    spec.kind = OpKind::BatchNorm;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.weights = {w};
+    spec.outBytes = actBytes(in.c, in.h, in.w);
+    spec.flops = 10.0 * n_ * in.c * in.h * in.w;
+    spec.extraSavedBytes =
+        static_cast<Bytes>(2) * in.c * TraceBuilder::kElem;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, in.h, in.w};
+}
+
+FMap
+CnnBuilder::relu(const FMap& in, const std::string& name)
+{
+    OpSpec spec;
+    spec.kind = OpKind::Activation;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.outBytes = actBytes(in.c, in.h, in.w);
+    spec.flops = 1.0 * n_ * in.c * in.h * in.w;
+    spec.bwdFlopsFactor = 1.0;
+    spec.inputSavedForBwd = {false};
+    spec.outputUsedInBwd = true;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, in.h, in.w};
+}
+
+FMap
+CnnBuilder::sigmoid(const FMap& in, const std::string& name)
+{
+    OpSpec spec;
+    spec.kind = OpKind::Activation;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.outBytes = actBytes(in.c, in.h, in.w);
+    spec.flops = 4.0 * n_ * in.c * in.h * in.w;
+    spec.bwdFlopsFactor = 1.0;
+    spec.inputSavedForBwd = {false};
+    spec.outputUsedInBwd = true;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, in.h, in.w};
+}
+
+FMap
+CnnBuilder::maxPool(const FMap& in, int k, int stride, int pad,
+                    const std::string& name)
+{
+    int oh = convOut(in.h, k, stride, pad);
+    int ow = convOut(in.w, k, stride, pad);
+    OpSpec spec;
+    spec.kind = OpKind::Pool;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.outBytes = actBytes(in.c, oh, ow);
+    spec.flops = 1.0 * n_ * in.c * oh * ow * k * k;
+    spec.bwdFlopsFactor = 1.0;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, oh, ow};
+}
+
+FMap
+CnnBuilder::avgPool(const FMap& in, int k, int stride, int pad,
+                    const std::string& name)
+{
+    int oh = convOut(in.h, k, stride, pad);
+    int ow = convOut(in.w, k, stride, pad);
+    OpSpec spec;
+    spec.kind = OpKind::Pool;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.inputSavedForBwd = {false};
+    spec.outBytes = actBytes(in.c, oh, ow);
+    spec.flops = 1.0 * n_ * in.c * oh * ow * k * k;
+    spec.bwdFlopsFactor = 1.0;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, oh, ow};
+}
+
+FMap
+CnnBuilder::globalAvgPool(const FMap& in, const std::string& name)
+{
+    OpSpec spec;
+    spec.kind = OpKind::Reduce;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.outBytes = actBytes(in.c, 1, 1);
+    spec.flops = 1.0 * n_ * in.c * in.h * in.w;
+    spec.bwdFlopsFactor = 1.0;
+    TensorId out = b_.op(spec);
+    return FMap{out, in.c, 1, 1};
+}
+
+FMap
+CnnBuilder::add(const FMap& a, const FMap& b, const std::string& name)
+{
+    if (a.c != b.c || a.h != b.h || a.w != b.w)
+        panic("add '%s': shape mismatch (%d,%d,%d) vs (%d,%d,%d)",
+              name.c_str(), a.c, a.h, a.w, b.c, b.h, b.w);
+    OpSpec spec;
+    spec.kind = OpKind::Elementwise;
+    spec.name = name;
+    spec.inputs = {a.t, b.t};
+    spec.outBytes = actBytes(a.c, a.h, a.w);
+    spec.flops = 1.0 * n_ * a.c * a.h * a.w;
+    spec.gradPassthrough = true;
+    TensorId out = b_.op(spec);
+    return FMap{out, a.c, a.h, a.w};
+}
+
+FMap
+CnnBuilder::concat(const std::vector<FMap>& parts, const std::string& name)
+{
+    if (parts.empty())
+        panic("concat '%s' with no inputs", name.c_str());
+    int c = 0;
+    for (const auto& p : parts) {
+        if (p.h != parts[0].h || p.w != parts[0].w)
+            panic("concat '%s': spatial mismatch", name.c_str());
+        c += p.c;
+    }
+    OpSpec spec;
+    spec.kind = OpKind::Elementwise;
+    spec.name = name;
+    for (const auto& p : parts)
+        spec.inputs.push_back(p.t);
+    spec.inputSavedForBwd.assign(parts.size(), false);
+    spec.outBytes = actBytes(c, parts[0].h, parts[0].w);
+    spec.flops = 0.0;
+    spec.bwdFlopsFactor = 0.0;
+    TensorId out = b_.op(spec);
+    return FMap{out, c, parts[0].h, parts[0].w};
+}
+
+FMap
+CnnBuilder::channelScale(const FMap& x, const FMap& g,
+                         const std::string& name)
+{
+    if (x.c != g.c)
+        panic("channelScale '%s': channel mismatch", name.c_str());
+    OpSpec spec;
+    spec.kind = OpKind::Elementwise;
+    spec.name = name;
+    spec.inputs = {x.t, g.t};
+    spec.outBytes = actBytes(x.c, x.h, x.w);
+    spec.flops = 1.0 * n_ * x.c * x.h * x.w;
+    TensorId out = b_.op(spec);
+    return FMap{out, x.c, x.h, x.w};
+}
+
+FMap
+CnnBuilder::fc(const FMap& in, int out_dim, const std::string& name)
+{
+    int in_dim = in.c * in.h * in.w;
+    TensorId w = b_.weight(
+        name + "_w",
+        static_cast<Bytes>(in_dim) * out_dim * TraceBuilder::kElem);
+    OpSpec spec;
+    spec.kind = OpKind::Gemm;
+    spec.name = name;
+    spec.inputs = {in.t};
+    spec.weights = {w};
+    spec.outBytes = actBytes(out_dim, 1, 1);
+    spec.flops = 2.0 * n_ * in_dim * out_dim;
+    TensorId out = b_.op(spec);
+    return FMap{out, out_dim, 1, 1};
+}
+
+FMap
+CnnBuilder::convBnRelu(const FMap& in, int out_c, int k, int stride,
+                       int pad, const std::string& name, int groups)
+{
+    FMap x = conv(in, out_c, k, stride, pad, name + "_conv", groups);
+    x = batchNorm(x, name + "_bn");
+    return relu(x, name + "_relu");
+}
+
+// ---------------------------------------------------------------------
+// SeqBuilder
+// ---------------------------------------------------------------------
+
+Bytes
+SeqBuilder::seqBytes(int dim) const
+{
+    return static_cast<Bytes>(n_) * s_ * dim * TraceBuilder::kElem;
+}
+
+TensorId
+SeqBuilder::linear(TensorId x, int in_dim, int out_dim,
+                   const std::string& name)
+{
+    TensorId w = b_.weight(
+        name + "_w",
+        static_cast<Bytes>(in_dim) * out_dim * TraceBuilder::kElem);
+    TensorId bias = b_.weight(
+        name + "_b", static_cast<Bytes>(out_dim) * TraceBuilder::kElem);
+    OpSpec spec;
+    spec.kind = OpKind::Gemm;
+    spec.name = name;
+    spec.inputs = {x};
+    spec.weights = {w, bias};
+    spec.outBytes = seqBytes(out_dim);
+    spec.flops = 2.0 * n_ * s_ * static_cast<double>(in_dim) * out_dim;
+    return b_.op(spec);
+}
+
+TensorId
+SeqBuilder::dropout(TensorId x, Bytes bytes, const std::string& name)
+{
+    if (!useDropout_)
+        return x;
+    OpSpec spec;
+    spec.kind = OpKind::Elementwise;
+    spec.name = name;
+    spec.inputs = {x};
+    spec.inputSavedForBwd = {false};
+    spec.outBytes = bytes;
+    spec.flops = static_cast<double>(bytes / TraceBuilder::kElem);
+    spec.bwdFlopsFactor = 1.0;
+    // The dropout mask (1 byte per element) is saved for backward.
+    spec.extraSavedBytes = bytes / TraceBuilder::kElem;
+    return b_.op(spec);
+}
+
+TensorId
+SeqBuilder::transpose(TensorId x, Bytes bytes, const std::string& name)
+{
+    OpSpec spec;
+    spec.kind = OpKind::Elementwise;
+    spec.name = name;
+    spec.inputs = {x};
+    spec.inputSavedForBwd = {false};
+    spec.outBytes = bytes;
+    spec.flops = 0.0;
+    spec.bwdFlopsFactor = 0.0;
+    return b_.op(spec);
+}
+
+TensorId
+SeqBuilder::layerNorm(TensorId x, int dim, const std::string& name)
+{
+    TensorId w = b_.weight(name + "_scale",
+                           static_cast<Bytes>(2) * dim *
+                               TraceBuilder::kElem);
+    OpSpec spec;
+    spec.kind = OpKind::LayerNorm;
+    spec.name = name;
+    spec.inputs = {x};
+    spec.weights = {w};
+    spec.outBytes = seqBytes(dim);
+    spec.flops = 8.0 * n_ * s_ * dim;
+    // Saved per-token mean/rstd for the backward kernel.
+    spec.extraSavedBytes =
+        static_cast<Bytes>(2) * n_ * s_ * TraceBuilder::kElem;
+    return b_.op(spec);
+}
+
+TensorId
+SeqBuilder::embeddings(int vocab, const std::string& name)
+{
+    // Token ids are a small int tensor.
+    TensorId ids = b_.input(name + "_ids",
+                            static_cast<Bytes>(n_) * s_ * 4);
+    TensorId tok_w = b_.weight(
+        name + "_tok_emb",
+        static_cast<Bytes>(vocab) * d_ * TraceBuilder::kElem);
+    TensorId pos_w = b_.weight(
+        name + "_pos_emb",
+        static_cast<Bytes>(s_) * d_ * TraceBuilder::kElem);
+
+    OpSpec lookup;
+    lookup.kind = OpKind::Embedding;
+    lookup.name = name + "_lookup";
+    lookup.inputs = {ids};
+    lookup.weights = {tok_w, pos_w};
+    lookup.outBytes = seqBytes(d_);
+    lookup.flops = 2.0 * n_ * s_ * d_;
+    lookup.bwdFlopsFactor = 1.0;
+    TensorId x = b_.op(lookup);
+
+    return layerNorm(x, d_, name + "_ln");
+}
+
+TensorId
+SeqBuilder::patchEmbeddings(int image_hw, int patch, int channels,
+                            const std::string& name)
+{
+    int grid = image_hw / patch;
+    // Keep seq length consistent with what the caller configured
+    // (grid*grid + 1 for the class token is typical).
+    if (grid * grid > s_)
+        panic("patchEmbeddings: %d patches exceed seq len %d",
+              grid * grid, s_);
+
+    TensorId img = b_.input(
+        name + "_image",
+        static_cast<Bytes>(n_) * channels * image_hw * image_hw *
+            TraceBuilder::kElem);
+    TensorId w = b_.weight(
+        name + "_proj_w",
+        static_cast<Bytes>(d_) * channels * patch * patch *
+            TraceBuilder::kElem);
+    TensorId pos_w = b_.weight(
+        name + "_pos_emb",
+        static_cast<Bytes>(s_) * d_ * TraceBuilder::kElem);
+
+    OpSpec proj;
+    proj.kind = OpKind::Conv2d;
+    proj.name = name + "_proj";
+    proj.inputs = {img};
+    proj.weights = {w, pos_w};
+    proj.outBytes = seqBytes(d_);
+    proj.flops = 2.0 * n_ * grid * grid *
+                 static_cast<double>(channels) * patch * patch * d_;
+    TensorId x = b_.op(proj);
+
+    return layerNorm(x, d_, name + "_ln");
+}
+
+TensorId
+SeqBuilder::encoderLayer(TensorId x, const std::string& name)
+{
+    const double dh = static_cast<double>(d_) / h_;
+    const Bytes score_bytes =
+        static_cast<Bytes>(n_) * h_ * s_ * s_ * TraceBuilder::kElem;
+
+    TensorId ln1 = layerNorm(x, d_, name + "_ln1");
+
+    // Separate Q/K/V projections, as HuggingFace launches them.
+    TensorId q = linear(ln1, d_, d_, name + "_q");
+    TensorId k = linear(ln1, d_, d_, name + "_k");
+    TensorId v = linear(ln1, d_, d_, name + "_v");
+
+    // Head-major relayout of Q/K/V before the batched GEMMs.
+    OpSpec perm;
+    perm.kind = OpKind::Elementwise;
+    perm.name = name + "_permute_qkv";
+    perm.inputs = {q, k, v};
+    perm.inputSavedForBwd = {false, false, false};
+    perm.outBytes = seqBytes(3 * d_);
+    perm.flops = 0.0;
+    perm.bwdFlopsFactor = 0.0;
+    TensorId qkv = b_.op(perm);
+
+    // Attention scores: Q*K^T per head.
+    OpSpec scores;
+    scores.kind = OpKind::Attention;
+    scores.name = name + "_scores";
+    scores.inputs = {qkv};
+    scores.outBytes = score_bytes;
+    scores.flops = 2.0 * n_ * h_ * s_ * s_ * dh;
+    TensorId sc = b_.op(scores);
+
+    OpSpec sm;
+    sm.kind = OpKind::Softmax;
+    sm.name = name + "_softmax";
+    sm.inputs = {sc};
+    sm.inputSavedForBwd = {false};
+    sm.outputUsedInBwd = true;
+    sm.outBytes = score_bytes;
+    sm.flops = 5.0 * n_ * h_ * s_ * s_;
+    sm.bwdFlopsFactor = 1.0;
+    TensorId probs = b_.op(sm);
+
+    TensorId probs_d = dropout(probs, score_bytes, name + "_attn_drop");
+
+    // Context: probs * V.
+    OpSpec ctx;
+    ctx.kind = OpKind::Attention;
+    ctx.name = name + "_context";
+    ctx.inputs = {probs_d, qkv};
+    ctx.outBytes = seqBytes(d_);
+    ctx.flops = 2.0 * n_ * h_ * s_ * s_ * dh;
+    TensorId context = b_.op(ctx);
+
+    TensorId ctx_t = transpose(context, seqBytes(d_),
+                               name + "_merge_heads");
+    TensorId attn_out = linear(ctx_t, d_, d_, name + "_attn_proj");
+    TensorId attn_d = dropout(attn_out, seqBytes(d_),
+                              name + "_proj_drop");
+
+    // Residual 1 (gradient passes through).
+    OpSpec res1;
+    res1.kind = OpKind::Elementwise;
+    res1.name = name + "_res1";
+    res1.inputs = {x, attn_d};
+    res1.outBytes = seqBytes(d_);
+    res1.flops = 1.0 * n_ * s_ * d_;
+    res1.gradPassthrough = true;
+    TensorId r1 = b_.op(res1);
+
+    // MLP block.
+    TensorId ln2 = layerNorm(r1, d_, name + "_ln2");
+    TensorId fc1 = linear(ln2, d_, 4 * d_, name + "_fc1");
+
+    OpSpec gelu;
+    gelu.kind = OpKind::Activation;
+    gelu.name = name + "_gelu";
+    gelu.inputs = {fc1};
+    gelu.inputSavedForBwd = {false};
+    gelu.outputUsedInBwd = true;
+    gelu.outBytes = seqBytes(4 * d_);
+    gelu.flops = 8.0 * n_ * s_ * 4.0 * d_;
+    gelu.bwdFlopsFactor = 1.0;
+    TensorId g = b_.op(gelu);
+
+    TensorId fc2 = linear(g, 4 * d_, d_, name + "_fc2");
+    TensorId mlp_d = dropout(fc2, seqBytes(d_), name + "_mlp_drop");
+
+    OpSpec res2;
+    res2.kind = OpKind::Elementwise;
+    res2.name = name + "_res2";
+    res2.inputs = {r1, mlp_d};
+    res2.outBytes = seqBytes(d_);
+    res2.flops = 1.0 * n_ * s_ * d_;
+    res2.gradPassthrough = true;
+    return b_.op(res2);
+}
+
+TensorId
+SeqBuilder::classifierHead(TensorId x, int classes, const std::string& name)
+{
+    TensorId ln = layerNorm(x, d_, name + "_ln");
+
+    // Pool the [CLS]/first token then classify.
+    OpSpec pool;
+    pool.kind = OpKind::Reduce;
+    pool.name = name + "_pool";
+    pool.inputs = {ln};
+    pool.outBytes = static_cast<Bytes>(n_) * d_ * TraceBuilder::kElem;
+    pool.flops = 1.0 * n_ * s_ * d_;
+    pool.bwdFlopsFactor = 1.0;
+    TensorId pooled = b_.op(pool);
+
+    TensorId w = b_.weight(
+        name + "_w",
+        static_cast<Bytes>(d_) * classes * TraceBuilder::kElem);
+    OpSpec cls;
+    cls.kind = OpKind::Gemm;
+    cls.name = name + "_logits";
+    cls.inputs = {pooled};
+    cls.weights = {w};
+    cls.outBytes = static_cast<Bytes>(n_) * classes * TraceBuilder::kElem;
+    cls.flops = 2.0 * n_ * static_cast<double>(d_) * classes;
+    return b_.op(cls);
+}
+
+}  // namespace g10

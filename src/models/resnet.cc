@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ResNet-152 (He et al., CVPR'16) trace builder: the torchvision layout
+ * with bottleneck blocks [3, 8, 36, 3] on 224x224 inputs.
+ */
+
+#include <string>
+
+#include "models/layers.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+
+namespace {
+
+/**
+ * One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand, with a
+ * projection shortcut when the shape changes.
+ */
+FMap
+bottleneck(CnnBuilder& c, const FMap& in, int planes, int stride,
+           bool project, const std::string& name)
+{
+    FMap x = c.convBnRelu(in, planes, 1, 1, 0, name + "_a");
+    x = c.convBnRelu(x, planes, 3, stride, 1, name + "_b");
+    x = c.conv(x, planes * 4, 1, 1, 0, name + "_c_conv");
+    x = c.batchNorm(x, name + "_c_bn");
+
+    FMap shortcut = in;
+    if (project) {
+        shortcut = c.conv(in, planes * 4, 1, stride, 0,
+                          name + "_down_conv");
+        shortcut = c.batchNorm(shortcut, name + "_down_bn");
+    }
+    FMap sum = c.add(x, shortcut, name + "_add");
+    return c.relu(sum, name + "_relu");
+}
+
+}  // namespace
+
+KernelTrace
+buildResNet152(int batch, const CostModel& cm, Bytes ws_cap)
+{
+    TraceBuilder b("ResNet152", batch, cm);
+    CnnBuilder c(b, batch, ws_cap);
+
+    FMap x = c.input(3, 224, 224, "image");
+    x = c.convBnRelu(x, 64, 7, 2, 3, "stem");
+    x = c.maxPool(x, 3, 2, 1, "stem_pool");
+
+    struct Stage { int blocks; int planes; int stride; };
+    const Stage stages[] = {
+        {3, 64, 1}, {8, 128, 2}, {36, 256, 2}, {3, 512, 2},
+    };
+
+    for (int si = 0; si < 4; ++si) {
+        const Stage& st = stages[si];
+        for (int bi = 0; bi < st.blocks; ++bi) {
+            bool first = (bi == 0);
+            int stride = first ? st.stride : 1;
+            std::string name = "layer" + std::to_string(si + 1) + "_" +
+                               std::to_string(bi);
+            x = bottleneck(c, x, st.planes, stride, first, name);
+        }
+    }
+
+    x = c.globalAvgPool(x, "gap");
+    FMap logits = c.fc(x, 1000, "fc");
+    b.loss(logits.t);
+    return b.finish();
+}
+
+}  // namespace g10

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SENet-154 (Hu et al., CVPR'18) trace builder: grouped-bottleneck
+ * ResNeXt-style blocks [3, 8, 36, 3] with squeeze-and-excitation gates.
+ * The SE branches contribute the swarm of tiny (<4 KB .. few-hundred-KB)
+ * tensors visible in the paper's Fig. 4 size distribution.
+ */
+
+#include <string>
+
+#include "models/layers.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+
+namespace {
+
+/** Squeeze-and-excitation gate: GAP -> FC/16 -> ReLU -> FC -> sigmoid. */
+FMap
+seGate(CnnBuilder& c, const FMap& in, const std::string& name)
+{
+    FMap s = c.globalAvgPool(in, name + "_squeeze");
+    s = c.fc(s, in.c / 16, name + "_fc1");
+    s = c.relu(s, name + "_relu");
+    s = c.fc(s, in.c, name + "_fc2");
+    return c.sigmoid(s, name + "_gate");
+}
+
+FMap
+seBottleneck(CnnBuilder& c, const FMap& in, int planes, int stride,
+             bool project, const std::string& name)
+{
+    // SENet-154 uses double-width grouped 3x3 convolutions (groups=64).
+    int width = planes * 2;
+    FMap x = c.convBnRelu(in, width, 1, 1, 0, name + "_a");
+    x = c.convBnRelu(x, width, 3, stride, 1, name + "_b", /*groups=*/64);
+    x = c.conv(x, planes * 4, 1, 1, 0, name + "_c_conv");
+    x = c.batchNorm(x, name + "_c_bn");
+
+    FMap gate = seGate(c, x, name + "_se");
+    x = c.channelScale(x, gate, name + "_se_scale");
+
+    FMap shortcut = in;
+    if (project) {
+        shortcut = c.conv(in, planes * 4, 3, stride, 1,
+                          name + "_down_conv");
+        shortcut = c.batchNorm(shortcut, name + "_down_bn");
+    }
+    FMap sum = c.add(x, shortcut, name + "_add");
+    return c.relu(sum, name + "_relu");
+}
+
+}  // namespace
+
+KernelTrace
+buildSENet154(int batch, const CostModel& cm, Bytes ws_cap)
+{
+    TraceBuilder b("SENet154", batch, cm);
+    CnnBuilder c(b, batch, ws_cap);
+
+    FMap x = c.input(3, 224, 224, "image");
+    // SENet-154 stem: three 3x3 convolutions.
+    x = c.convBnRelu(x, 64, 3, 2, 1, "stem_a");
+    x = c.convBnRelu(x, 64, 3, 1, 1, "stem_b");
+    x = c.convBnRelu(x, 128, 3, 1, 1, "stem_c");
+    x = c.maxPool(x, 3, 2, 1, "stem_pool");
+
+    struct Stage { int blocks; int planes; int stride; };
+    const Stage stages[] = {
+        {3, 64, 1}, {8, 128, 2}, {36, 256, 2}, {3, 512, 2},
+    };
+
+    for (int si = 0; si < 4; ++si) {
+        const Stage& st = stages[si];
+        for (int bi = 0; bi < st.blocks; ++bi) {
+            bool first = (bi == 0);
+            int stride = first ? st.stride : 1;
+            std::string name = "stage" + std::to_string(si + 1) + "_" +
+                               std::to_string(bi);
+            x = seBottleneck(c, x, st.planes, stride, first, name);
+        }
+    }
+
+    x = c.globalAvgPool(x, "gap");
+    FMap logits = c.fc(x, 1000, "fc");
+    b.loss(logits.t);
+    return b.finish();
+}
+
+}  // namespace g10

@@ -1,0 +1,316 @@
+#include "trace_builder.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+TraceBuilder::TraceBuilder(std::string model_name, int batch_size,
+                           const CostModel& cost_model)
+    : costModel_(cost_model)
+{
+    trace_.setModelName(std::move(model_name));
+    trace_.setBatchSize(batch_size);
+}
+
+Bytes
+TraceBuilder::bytesOf(const std::vector<TensorId>& ids) const
+{
+    Bytes total = 0;
+    for (TensorId t : ids)
+        total += trace_.tensor(t).bytes;
+    return total;
+}
+
+TensorId
+TraceBuilder::input(const std::string& name, Bytes bytes)
+{
+    TensorId t = trace_.addTensor(name, bytes, TensorKind::Activation);
+    Kernel k;
+    k.name = "load_" + name;
+    k.kind = OpKind::DataLoad;
+    k.outputs = {t};
+    k.memBytes = static_cast<double>(bytes);
+    k.durationNs = costModel_.kernelTime(OpKind::DataLoad, 0.0, k.memBytes);
+    trace_.addKernel(std::move(k));
+    networkInputs_.push_back(t);
+    return t;
+}
+
+TensorId
+TraceBuilder::weight(const std::string& name, Bytes bytes)
+{
+    TensorId t = trace_.addTensor(name, bytes, TensorKind::Weight);
+    weights_.push_back(t);
+    return t;
+}
+
+TensorId
+TraceBuilder::op(const OpSpec& spec)
+{
+    if (finished_)
+        panic("TraceBuilder::op() after finish()");
+    if (spec.outBytes == 0)
+        panic("op '%s' has zero output size", spec.name.c_str());
+
+    TensorId out = trace_.addTensor(spec.name + "_out", spec.outBytes,
+                                    TensorKind::Activation);
+    TensorId extra = kInvalidTensor;
+    if (spec.extraSavedBytes > 0)
+        extra = trace_.addTensor(spec.name + "_saved",
+                                 spec.extraSavedBytes,
+                                 TensorKind::Activation);
+
+    Kernel k;
+    k.name = spec.name;
+    k.kind = spec.kind;
+    k.inputs = spec.inputs;
+    k.inputs.insert(k.inputs.end(), spec.weights.begin(),
+                    spec.weights.end());
+    k.outputs = {out};
+    if (extra != kInvalidTensor)
+        k.outputs.push_back(extra);
+    if (spec.workspaceBytes > 0) {
+        TensorId ws = trace_.addTensor(spec.name + "_ws",
+                                       spec.workspaceBytes,
+                                       TensorKind::Workspace);
+        k.workspace = {ws};
+    }
+    k.flops = spec.flops;
+    k.memBytes = static_cast<double>(
+        bytesOf(spec.inputs) + bytesOf(spec.weights) + spec.outBytes +
+        spec.extraSavedBytes);
+    k.durationNs = costModel_.kernelTime(spec.kind, k.flops, k.memBytes);
+    trace_.addKernel(std::move(k));
+
+    if (spec.differentiable) {
+        TapeEntry e;
+        e.kind = spec.kind;
+        e.name = spec.name;
+        e.inputs = spec.inputs;
+        e.weights = spec.weights;
+        e.output = out;
+        e.extraSaved = extra;
+        e.fwdFlops = spec.flops;
+        e.bwdFlopsFactor = spec.bwdFlopsFactor;
+        e.bwdWorkspaceBytes = spec.bwdWorkspaceBytes;
+        e.inputNeedsGrad = spec.inputNeedsGrad;
+        e.inputSavedForBwd = spec.inputSavedForBwd;
+        e.outputUsedInBwd = spec.outputUsedInBwd;
+        e.gradPassthrough = spec.gradPassthrough;
+        tape_.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+TraceBuilder::loss(TensorId logits)
+{
+    const Bytes logits_bytes = trace_.tensor(logits).bytes;
+
+    // Forward loss reduction (e.g. cross entropy) down to a scalar-ish
+    // per-batch loss tensor.
+    TensorId loss_t = trace_.addTensor(
+        trace_.tensor(logits).name + "_loss",
+        static_cast<Bytes>(trace_.batchSize()) * kElem,
+        TensorKind::Activation);
+    Kernel fwd;
+    fwd.name = "loss_fwd";
+    fwd.kind = OpKind::Reduce;
+    fwd.inputs = {logits};
+    fwd.outputs = {loss_t};
+    fwd.memBytes = static_cast<double>(logits_bytes);
+    fwd.flops = static_cast<double>(logits_bytes / kElem) * 4.0;
+    fwd.durationNs = costModel_.kernelTime(fwd.kind, fwd.flops,
+                                           fwd.memBytes);
+    trace_.addKernel(std::move(fwd));
+
+    // Seed the backward chain: d(logits) from the loss.
+    TensorId dlogits = trace_.addTensor(
+        "d_" + trace_.tensor(logits).name, logits_bytes,
+        TensorKind::ActivationGrad);
+    Kernel bwd;
+    bwd.name = "loss_bwd";
+    bwd.kind = OpKind::Softmax;
+    bwd.inputs = {logits, loss_t};
+    bwd.outputs = {dlogits};
+    bwd.memBytes = static_cast<double>(2 * logits_bytes);
+    bwd.flops = static_cast<double>(logits_bytes / kElem) * 6.0;
+    bwd.durationNs = costModel_.kernelTime(bwd.kind, bwd.flops,
+                                           bwd.memBytes);
+    trace_.addKernel(std::move(bwd));
+
+    accumulateGrad(logits, dlogits);
+    lossSeeded_ = true;
+}
+
+void
+TraceBuilder::accumulateGrad(TensorId t, TensorId partial)
+{
+    auto it = gradOf_.find(t);
+    if (it == gradOf_.end()) {
+        gradOf_.emplace(t, partial);
+        return;
+    }
+    // Dataflow join (cf. paper Fig. 6): sum the partial gradients.
+    Bytes bytes = trace_.tensor(partial).bytes;
+    TensorId sum = trace_.addTensor(
+        trace_.tensor(partial).name + "_acc", bytes,
+        TensorKind::ActivationGrad);
+    Kernel k;
+    k.name = "grad_accum_" + trace_.tensor(t).name;
+    k.kind = OpKind::Elementwise;
+    k.inputs = {it->second, partial};
+    k.outputs = {sum};
+    k.memBytes = static_cast<double>(3 * bytes);
+    k.flops = static_cast<double>(bytes / kElem);
+    k.durationNs = costModel_.kernelTime(k.kind, k.flops, k.memBytes);
+    trace_.addKernel(std::move(k));
+    it->second = sum;
+}
+
+KernelTrace
+TraceBuilder::finish()
+{
+    if (finished_)
+        panic("TraceBuilder::finish() called twice");
+    if (!lossSeeded_)
+        panic("finish() without loss(); backward has no seed");
+    finished_ = true;
+
+    // ---- Backward pass: walk the tape in reverse. ----
+    for (auto it = tape_.rbegin(); it != tape_.rend(); ++it) {
+        const TapeEntry& e = *it;
+        auto gout_it = gradOf_.find(e.output);
+        if (gout_it == gradOf_.end()) {
+            // Output never influenced the loss; nothing to do.
+            debug("no gradient flows to op '%s'", e.name.c_str());
+            continue;
+        }
+        TensorId g_out = gout_it->second;
+
+        auto needs_grad = [&](std::size_t i) {
+            bool wants = e.inputNeedsGrad.empty() || e.inputNeedsGrad[i];
+            if (!wants)
+                return false;
+            TensorId x = e.inputs[i];
+            for (TensorId ni : networkInputs_)
+                if (ni == x)
+                    return false;  // raw inputs receive no gradient
+            return true;
+        };
+
+        if (e.gradPassthrough) {
+            // Routing op: the output gradient itself flows to every
+            // grad-needing input; no kernel runs.
+            for (std::size_t i = 0; i < e.inputs.size(); ++i)
+                if (needs_grad(i))
+                    accumulateGrad(e.inputs[i], g_out);
+            continue;
+        }
+
+        Kernel k;
+        k.name = e.name + "_bwd";
+        k.kind = (e.kind == OpKind::Conv2d) ? OpKind::ConvBackward : e.kind;
+        for (std::size_t i = 0; i < e.inputs.size(); ++i) {
+            bool saved = e.inputSavedForBwd.empty() ||
+                         e.inputSavedForBwd[i];
+            if (saved)
+                k.inputs.push_back(e.inputs[i]);
+        }
+        k.inputs.insert(k.inputs.end(), e.weights.begin(), e.weights.end());
+        if (e.extraSaved != kInvalidTensor)
+            k.inputs.push_back(e.extraSaved);
+        if (e.outputUsedInBwd)
+            k.inputs.push_back(e.output);
+        k.inputs.push_back(g_out);
+
+        // Partial input gradients.
+        std::vector<std::pair<TensorId, TensorId>> partials;
+        for (std::size_t i = 0; i < e.inputs.size(); ++i) {
+            if (!needs_grad(i))
+                continue;
+            TensorId x = e.inputs[i];
+            TensorId dx = trace_.addTensor(
+                "d_" + trace_.tensor(x).name,
+                trace_.tensor(x).bytes, TensorKind::ActivationGrad);
+            k.outputs.push_back(dx);
+            partials.emplace_back(x, dx);
+        }
+
+        // Weight gradients (accumulated in place on shared weights).
+        std::vector<std::pair<TensorId, TensorId>> wpartials;
+        for (TensorId w : e.weights) {
+            TensorId dw = trace_.addTensor(
+                "d_" + trace_.tensor(w).name,
+                trace_.tensor(w).bytes, TensorKind::WeightGrad);
+            k.outputs.push_back(dw);
+            wpartials.emplace_back(w, dw);
+        }
+
+        if (e.bwdWorkspaceBytes > 0) {
+            TensorId ws = trace_.addTensor(e.name + "_bwd_ws",
+                                           e.bwdWorkspaceBytes,
+                                           TensorKind::Workspace);
+            k.workspace = {ws};
+        }
+
+        k.flops = e.fwdFlops * e.bwdFlopsFactor;
+        Bytes io_bytes = bytesOf(k.inputs) + bytesOf(k.outputs);
+        k.memBytes = static_cast<double>(io_bytes);
+        k.durationNs = costModel_.kernelTime(k.kind, k.flops, k.memBytes);
+        trace_.addKernel(std::move(k));
+
+        for (auto& [x, dx] : partials)
+            accumulateGrad(x, dx);
+        for (auto& [w, dw] : wpartials) {
+            auto wit = weightGradOf_.find(w);
+            if (wit == weightGradOf_.end()) {
+                weightGradOf_.emplace(w, dw);
+            } else {
+                // Shared weight (e.g. tied embeddings): sum partial dWs.
+                Bytes bytes = trace_.tensor(dw).bytes;
+                TensorId sum = trace_.addTensor(
+                    trace_.tensor(dw).name + "_acc", bytes,
+                    TensorKind::WeightGrad);
+                Kernel acc;
+                acc.name = "wgrad_accum_" + trace_.tensor(w).name;
+                acc.kind = OpKind::Elementwise;
+                acc.inputs = {wit->second, dw};
+                acc.outputs = {sum};
+                acc.memBytes = static_cast<double>(3 * bytes);
+                acc.flops = static_cast<double>(bytes / kElem);
+                acc.durationNs = costModel_.kernelTime(
+                    acc.kind, acc.flops, acc.memBytes);
+                trace_.addKernel(std::move(acc));
+                wit->second = sum;
+            }
+        }
+    }
+
+    // ---- Optimizer: SGD update per parameter tensor. ----
+    for (TensorId w : weights_) {
+        auto wit = weightGradOf_.find(w);
+        if (wit == weightGradOf_.end()) {
+            debug("weight '%s' received no gradient",
+                  trace_.tensor(w).name.c_str());
+            continue;
+        }
+        Bytes bytes = trace_.tensor(w).bytes;
+        Kernel k;
+        k.name = "sgd_" + trace_.tensor(w).name;
+        k.kind = OpKind::Optimizer;
+        k.inputs = {w, wit->second};
+        k.outputs = {w};
+        k.memBytes = static_cast<double>(3 * bytes);
+        k.flops = static_cast<double>(bytes / kElem) * 2.0;
+        k.durationNs = costModel_.kernelTime(k.kind, k.flops, k.memBytes);
+        trace_.addKernel(std::move(k));
+    }
+
+    trace_.validate();
+    return std::move(trace_);
+}
+
+}  // namespace g10

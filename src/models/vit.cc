@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ViT-Base/16 (Dosovitskiy et al., ICLR'21) trace builder: 224x224
+ * ImageNet input patchified at 16x16 (196 patches + class token),
+ * 12 encoder layers, hidden 768, 12 heads, 1000-way head.
+ */
+
+#include "models/layers.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+
+KernelTrace
+buildViT(int batch, const CostModel& cm)
+{
+    constexpr int kImage = 224;
+    constexpr int kPatch = 16;
+    constexpr int kSeqLen = (kImage / kPatch) * (kImage / kPatch) + 1;
+    constexpr int kHidden = 768;
+    constexpr int kHeads = 12;
+    constexpr int kLayers = 12;
+
+    TraceBuilder b("ViT", batch, cm);
+    SeqBuilder s(b, batch, kSeqLen, kHidden, kHeads,
+                 /*use_dropout=*/false);
+
+    TensorId x = s.patchEmbeddings(kImage, kPatch, 3, "patch");
+    for (int i = 0; i < kLayers; ++i)
+        x = s.encoderLayer(x, "layer" + std::to_string(i));
+
+    TensorId logits = s.classifierHead(x, 1000, "head");
+    b.loss(logits);
+    return b.finish();
+}
+
+}  // namespace g10

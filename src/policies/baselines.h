@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The paper's comparison designs (§7.1):
+ *
+ *  - IdealPolicy:      infinite GPU memory; the normalization baseline.
+ *  - BaseUvmPolicy:    stock UVM -- on-demand page-fault migrations only,
+ *                      LRU eviction to host memory, overflow to SSD.
+ *  - DeepUmPolicy:     DeepUM+ -- UVM plus a correlation prefetcher that
+ *                      fetches the tensors of the next W kernels (the
+ *                      kernel execution order *is* the learned
+ *                      correlation in steady state), LRU eviction to
+ *                      host, overflow to SSD.
+ *  - FlashNeuronPolicy: direct GPU-SSD tensor offloading with linear
+ *                      tensor selection over forward-pass activations,
+ *                      no host staging, no demand paging (hard-fails
+ *                      when a kernel's working set cannot fit).
+ */
+
+#ifndef G10_POLICIES_BASELINES_H
+#define G10_POLICIES_BASELINES_H
+
+#include <memory>
+
+#include "core/sched/schedule_types.h"
+#include "core/vitality/vitality.h"
+#include "sim/runtime/policy.h"
+#include "sim/runtime/sim_runtime.h"
+
+namespace g10 {
+
+/** GPU with unbounded on-board memory. */
+class IdealPolicy : public Policy
+{
+  public:
+    const char* name() const override { return "Ideal"; }
+    bool infiniteMemory() const override { return true; }
+    MemLoc capacityEvictDest(SimRuntime&, TensorId) override
+    {
+        return MemLoc::Host;  // never called
+    }
+};
+
+/** Stock UVM: page faults only, LRU to host, overflow to SSD. */
+class BaseUvmPolicy : public Policy
+{
+  public:
+    const char* name() const override { return "Base UVM"; }
+    MemLoc capacityEvictDest(SimRuntime& rt, TensorId t) override;
+    bool faultDrivenEviction() const override { return true; }
+};
+
+/** DeepUM+ (Jung et al., ASPLOS'23, extended with SSD backing). */
+class DeepUmPolicy : public Policy
+{
+  public:
+    /** @param lookahead number of future kernels to prefetch for. */
+    explicit DeepUmPolicy(int lookahead = 8) : lookahead_(lookahead) {}
+
+    const char* name() const override { return "DeepUM+"; }
+    void beforeKernel(SimRuntime& rt, KernelId k) override;
+    MemLoc capacityEvictDest(SimRuntime& rt, TensorId t) override;
+
+  private:
+    int lookahead_;
+};
+
+/**
+ * FlashNeuron (Bae et al., FAST'21): compile-time linear selection of
+ * forward activations to offload to the SSD, prefetched for the backward
+ * pass; no UVM, no host staging.
+ */
+class FlashNeuronPolicy : public Policy
+{
+  public:
+    /**
+     * Build the offload plan for @p trace on @p config.
+     * The trace must outlive the policy.
+     */
+    FlashNeuronPolicy(const KernelTrace& trace,
+                      const SystemConfig& config);
+
+    const char* name() const override { return "FlashNeuron"; }
+    void beforeKernel(SimRuntime& rt, KernelId k) override;
+    MemLoc capacityEvictDest(SimRuntime&, TensorId) override
+    {
+        return MemLoc::Ssd;  // direct GPU-SSD design
+    }
+    bool demandPagingAllowed() const override { return false; }
+
+    /** Number of tensors selected for offload (for tests/reports). */
+    std::size_t selectedCount() const { return selected_; }
+
+    /** Planned peak GPU memory after offloading. */
+    Bytes plannedPeakBytes() const { return plannedPeak_; }
+
+  private:
+    std::unique_ptr<VitalityAnalysis> vitality_;
+    MigrationPlan plan_;
+    std::size_t selected_ = 0;
+    Bytes plannedPeak_ = 0;
+};
+
+}  // namespace g10
+
+#endif  // G10_POLICIES_BASELINES_H

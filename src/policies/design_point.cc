@@ -1,0 +1,72 @@
+#include "design_point.h"
+
+#include "common/logging.h"
+#include "policies/baselines.h"
+#include "policies/g10_policy.h"
+
+namespace g10 {
+
+const char*
+designPointName(DesignPoint d)
+{
+    switch (d) {
+      case DesignPoint::Ideal: return "Ideal";
+      case DesignPoint::BaseUvm: return "Base UVM";
+      case DesignPoint::DeepUmPlus: return "DeepUM+";
+      case DesignPoint::FlashNeuron: return "FlashNeuron";
+      case DesignPoint::G10Gds: return "G10-GDS";
+      case DesignPoint::G10Host: return "G10-Host";
+      case DesignPoint::G10: return "G10";
+    }
+    return "?";
+}
+
+std::vector<DesignPoint>
+allDesignPoints()
+{
+    return {DesignPoint::BaseUvm,     DesignPoint::FlashNeuron,
+            DesignPoint::DeepUmPlus,  DesignPoint::G10Gds,
+            DesignPoint::G10Host,     DesignPoint::G10};
+}
+
+std::vector<DesignPoint>
+sweepDesignPoints()
+{
+    return {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
+            DesignPoint::DeepUmPlus, DesignPoint::G10};
+}
+
+DesignInstance
+makeDesign(DesignPoint design, const KernelTrace& trace,
+           const SystemConfig& config)
+{
+    DesignInstance out;
+    switch (design) {
+      case DesignPoint::Ideal:
+        out.policy = std::make_unique<IdealPolicy>();
+        return out;
+      case DesignPoint::BaseUvm:
+        out.policy = std::make_unique<BaseUvmPolicy>();
+        return out;
+      case DesignPoint::DeepUmPlus:
+        out.policy = std::make_unique<DeepUmPolicy>();
+        return out;
+      case DesignPoint::FlashNeuron:
+        out.policy =
+            std::make_unique<FlashNeuronPolicy>(trace, config);
+        return out;
+      case DesignPoint::G10Gds:
+        out.policy = makeG10Gds(trace, config);
+        return out;
+      case DesignPoint::G10Host:
+        out.policy = makeG10Host(trace, config);
+        return out;
+      case DesignPoint::G10:
+        out.policy = makeG10(trace, config);
+        out.uvmExtension = true;  // §4.5 unified page table
+        return out;
+    }
+    panic("unreachable design point");
+}
+
+}  // namespace g10

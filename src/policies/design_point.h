@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The named design points of the paper's evaluation and a factory that
+ * instantiates each one for a given trace/platform.
+ */
+
+#ifndef G10_POLICIES_DESIGN_POINT_H
+#define G10_POLICIES_DESIGN_POINT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/system_config.h"
+#include "graph/trace.h"
+#include "sim/runtime/policy.h"
+
+namespace g10 {
+
+/** Every design point evaluated in §7. */
+enum class DesignPoint
+{
+    Ideal,
+    BaseUvm,
+    DeepUmPlus,
+    FlashNeuron,
+    G10Gds,
+    G10Host,
+    G10,
+};
+
+/** Display name matching the paper's legends. */
+const char* designPointName(DesignPoint d);
+
+/** The designs of Fig. 11, left-to-right. */
+std::vector<DesignPoint> allDesignPoints();
+
+/** The non-ablation designs used in the sweep figures (15-18). */
+std::vector<DesignPoint> sweepDesignPoints();
+
+/** A policy plus the runtime flags it requires. */
+struct DesignInstance
+{
+    std::unique_ptr<Policy> policy;
+    bool uvmExtension = false;
+};
+
+/**
+ * Instantiate @p design for @p trace on @p config (runs the G10 or
+ * FlashNeuron compile passes when the design needs a plan).
+ */
+DesignInstance makeDesign(DesignPoint design, const KernelTrace& trace,
+                          const SystemConfig& config);
+
+}  // namespace g10
+
+#endif  // G10_POLICIES_DESIGN_POINT_H

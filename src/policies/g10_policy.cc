@@ -1,0 +1,56 @@
+#include "g10_policy.h"
+
+namespace g10 {
+
+void
+G10Policy::beforeKernel(SimRuntime& rt, KernelId k)
+{
+    auto [begin, end] = plan_.plan.instrsBefore(k);
+    for (const MigrationInstr* it = begin; it != end; ++it) {
+        if (it->kind == InstrKind::PreEvict)
+            rt.issueEvict(it->tensor, it->dest, TransferCause::PreEvict);
+        else
+            rt.issuePrefetch(it->tensor);
+    }
+}
+
+MemLoc
+G10Policy::capacityEvictDest(SimRuntime& rt, TensorId t)
+{
+    (void)t;
+    // Unplanned pressure is rare under a good plan; spill to host when
+    // it has room (fast path back), otherwise to the SSD.
+    return rt.hostFreeBytes() > 0 ? MemLoc::Host : MemLoc::Ssd;
+}
+
+std::unique_ptr<G10Policy>
+makeG10(const KernelTrace& trace, const SystemConfig& config)
+{
+    G10CompilerOptions opt;
+    opt.eviction.allowSsd = true;
+    opt.eviction.allowHost = true;
+    return std::make_unique<G10Policy>(
+        "G10", compileG10Plan(trace, config, opt));
+}
+
+std::unique_ptr<G10Policy>
+makeG10Gds(const KernelTrace& trace, const SystemConfig& config)
+{
+    G10CompilerOptions opt;
+    opt.eviction.allowSsd = true;
+    opt.eviction.allowHost = false;
+    return std::make_unique<G10Policy>(
+        "G10-GDS", compileG10Plan(trace, config, opt));
+}
+
+std::unique_ptr<G10Policy>
+makeG10Host(const KernelTrace& trace, const SystemConfig& config)
+{
+    G10CompilerOptions opt;
+    opt.eviction.allowSsd = true;
+    opt.eviction.allowHost = true;
+    return std::make_unique<G10Policy>(
+        "G10-Host", compileG10Plan(trace, config, opt));
+}
+
+}  // namespace g10

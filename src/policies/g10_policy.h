@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The G10 design points: the full system and the two ablations the
+ * paper's Fig. 11 studies.
+ *
+ *  - G10-GDS:  smart migrations between GPU and SSD only (GPUDirect-
+ *              Storage-style), no host staging, no UVM extension.
+ *  - G10-Host: smart migrations across GPU/host/SSD, but still paying
+ *              the host software path per migration op.
+ *  - G10:      G10-Host plus the unified page table extension (§4.5),
+ *              which removes most of the software overhead.
+ *
+ * All three replay the compile-time migration plan produced by
+ * compileG10Plan(); the variants differ in which destinations the
+ * scheduler may use and whether the runtime charges the driver path.
+ */
+
+#ifndef G10_POLICIES_G10_POLICY_H
+#define G10_POLICIES_G10_POLICY_H
+
+#include <memory>
+
+#include "core/g10_compiler.h"
+#include "sim/runtime/policy.h"
+#include "sim/runtime/sim_runtime.h"
+
+namespace g10 {
+
+/** Plan-replaying policy used by all G10 variants. */
+class G10Policy : public Policy
+{
+  public:
+    /**
+     * @param display_name "G10", "G10-GDS" or "G10-Host"
+     * @param plan         compiled migration plan (owned)
+     */
+    G10Policy(std::string display_name, CompiledPlan plan)
+        : name_(std::move(display_name)), plan_(std::move(plan))
+    {}
+
+    const char* name() const override { return name_.c_str(); }
+
+    void beforeKernel(SimRuntime& rt, KernelId k) override;
+
+    MemLoc capacityEvictDest(SimRuntime& rt, TensorId t) override;
+
+    const CompiledPlan& compiled() const { return plan_; }
+
+  private:
+    std::string name_;
+    CompiledPlan plan_;
+};
+
+/** Compile + wrap the full G10 design. */
+std::unique_ptr<G10Policy> makeG10(const KernelTrace& trace,
+                                   const SystemConfig& config);
+
+/** G10 with GPU<->SSD migrations only. */
+std::unique_ptr<G10Policy> makeG10Gds(const KernelTrace& trace,
+                                      const SystemConfig& config);
+
+/** G10 with host staging but without the UVM extension. */
+std::unique_ptr<G10Policy> makeG10Host(const KernelTrace& trace,
+                                       const SystemConfig& config);
+
+}  // namespace g10
+
+#endif  // G10_POLICIES_G10_POLICY_H

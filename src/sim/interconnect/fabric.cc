@@ -1,0 +1,203 @@
+#include "fabric.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+Fabric::Fabric(const SystemConfig& config, SsdDevice* ssd,
+               bool uvm_extension)
+    : config_(config), ssd_(ssd), uvmExtension_(uvm_extension)
+{
+    if (ssd_ == nullptr)
+        fatal("Fabric requires an SSD device model");
+}
+
+TimeNs
+Fabric::hostSoftwareCost(TransferCause cause) const
+{
+    switch (cause) {
+      case TransferCause::PageFault:
+        // Fault handling always takes the host round trip (Table 2).
+        return config_.gpuFaultLatencyNs;
+      case TransferCause::FaultEvict:
+        return config_.gpuFaultLatencyNs;
+      case TransferCause::Prefetch:
+      case TransferCause::PreEvict:
+      case TransferCause::CapacityEvict:
+        // With the unified page table the handler touches only PTEs;
+        // without it each migration op crosses the driver/syscall path.
+        return uvmExtension_ ? 2 * USEC : config_.hostSwOverheadNs;
+    }
+    return 0;
+}
+
+Fabric::Transfer
+Fabric::toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
+              TransferCause cause)
+{
+    if (src == MemLoc::Gpu)
+        panic("toGpu: source is GPU");
+    if (bytes == 0)
+        return Transfer{earliest, earliest};
+
+    ++traffic_.migrationOps;
+
+    const bool fault = (cause == TransferCause::PageFault);
+    const bool driver_path = !fault && !uvmExtension_;
+    TimeNs ready = earliest;  // when batches may start moving
+    if (!fault && uvmExtension_) {
+        // The unified page table: one PTE interaction per migration op;
+        // the hardware arbiter batches the rest.
+        TimeNs sw = hostSoftwareCost(cause);
+        ready = std::max(earliest, hostSwFree_) + sw;
+        hostSwFree_ = ready;
+    }
+
+    Transfer out;
+    out.start = 0;
+    out.complete = ready;
+    Bytes remaining = bytes;
+    Bytes batch_limit;
+    if (fault)
+        batch_limit = std::max<Bytes>(config_.faultBatchBytes,
+                                      config_.pageBytes);
+    else if (driver_path)
+        batch_limit = std::max<Bytes>(config_.nonUvmCopyBytes,
+                                      config_.pageBytes);
+    else
+        batch_limit = std::max<Bytes>(config_.transferSetBytes,
+                                      config_.pageBytes);
+    TimeNs fault_cursor = earliest;
+    while (remaining > 0) {
+        Bytes batch = std::min(remaining, batch_limit);
+        TimeNs batch_ready = ready;
+        if (driver_path) {
+            // No unified page table: the driver sets up (PTEs,
+            // syscall, DMA descriptor) every copy chunk. Setup of
+            // chunk i+1 pipelines with the DMA of chunk i but
+            // serializes on the host software timeline.
+            TimeNs sw_done = std::max(earliest, hostSwFree_) +
+                             config_.hostSwOverheadNs;
+            hostSwFree_ = sw_done;
+            batch_ready = std::max(batch_ready, sw_done);
+        }
+        if (fault) {
+            // On-demand paging discovers faults serially: the next
+            // fault is raised only after the previous batch landed and
+            // the warp touched the next missing page, so handler and
+            // DMA do NOT pipeline (this is what makes Base UVM pay
+            // 4-5x over ideal in the paper).
+            ++traffic_.faultBatches;
+            TimeNs sw_done = std::max(fault_cursor, hostSwFree_) +
+                             config_.gpuFaultLatencyNs;
+            hostSwFree_ = sw_done;
+            batch_ready = sw_done;
+        }
+        TimeNs link_time = transferTimeNs(batch, config_.pcieGBps);
+        TimeNs start;
+        TimeNs done;
+        if (src == MemLoc::Ssd) {
+            TimeNs dev_busy = ssd_->serviceRead(batch);
+            start = std::max({batch_ready, pcieInFree_, ssdFree_});
+            ssdFree_ = start + dev_busy;
+            pcieInFree_ = start + link_time;
+            pcieInBusy_ += link_time;
+            done = std::max(ssdFree_, pcieInFree_);
+            traffic_.ssdToGpu += batch;
+        } else {
+            start = std::max(batch_ready, pcieInFree_);
+            pcieInFree_ = start + link_time;
+            pcieInBusy_ += link_time;
+            done = pcieInFree_;
+            traffic_.hostToGpu += batch;
+        }
+        if (out.start == 0)
+            out.start = start;
+        out.complete = std::max(out.complete, done);
+        fault_cursor = done;
+        remaining -= batch;
+    }
+    return out;
+}
+
+Fabric::Transfer
+Fabric::fromGpu(Bytes bytes, MemLoc dst, TimeNs earliest,
+                TransferCause cause, std::uint64_t ssd_logical_page)
+{
+    if (dst == MemLoc::Gpu)
+        panic("fromGpu: destination is GPU");
+    if (bytes == 0)
+        return Transfer{earliest, earliest};
+
+    ++traffic_.migrationOps;
+
+    const bool fault_path = (cause == TransferCause::FaultEvict);
+    const bool driver_path = !fault_path && !uvmExtension_;
+    Transfer out;
+    TimeNs cursor = earliest;
+    if (!fault_path && uvmExtension_) {
+        TimeNs sw = hostSoftwareCost(cause);
+        cursor = std::max(earliest, hostSwFree_) + sw;
+        hostSwFree_ = cursor;
+    }
+    Bytes remaining = bytes;
+    Bytes offset = 0;
+    out.start = 0;
+    Bytes batch_limit;
+    if (fault_path)
+        batch_limit = std::max<Bytes>(config_.faultBatchBytes,
+                                      config_.pageBytes);
+    else if (driver_path)
+        batch_limit = std::max<Bytes>(config_.nonUvmCopyBytes,
+                                      config_.pageBytes);
+    else
+        batch_limit = std::max<Bytes>(config_.transferSetBytes,
+                                      config_.pageBytes);
+    while (remaining > 0) {
+        Bytes batch = std::min(remaining, batch_limit);
+        if (driver_path) {
+            TimeNs sw_done = std::max(earliest, hostSwFree_) +
+                             config_.hostSwOverheadNs;
+            hostSwFree_ = sw_done;
+            cursor = std::max(cursor, sw_done);
+        }
+        if (fault_path) {
+            // Stock UVM evicts inside the fault handler: each LRU
+            // writeback batch is a serialized host round trip.
+            TimeNs sw_done = std::max(cursor, hostSwFree_) +
+                             config_.gpuFaultLatencyNs;
+            hostSwFree_ = sw_done;
+            cursor = sw_done;
+        }
+        TimeNs link_time = transferTimeNs(batch, config_.pcieGBps);
+        TimeNs start;
+        if (dst == MemLoc::Ssd) {
+            std::uint64_t page =
+                ssd_logical_page +
+                offset / ssd_->geometry().flashPageBytes;
+            TimeNs dev_busy = ssd_->serviceWrite(page, batch);
+            start = std::max({cursor, pcieOutFree_, ssdFree_});
+            ssdFree_ = start + dev_busy;
+            pcieOutFree_ = start + link_time;
+            pcieOutBusy_ += link_time;
+            cursor = std::max(ssdFree_, pcieOutFree_);
+            traffic_.gpuToSsd += batch;
+        } else {
+            start = std::max(cursor, pcieOutFree_);
+            pcieOutFree_ = start + link_time;
+            pcieOutBusy_ += link_time;
+            cursor = pcieOutFree_;
+            traffic_.gpuToHost += batch;
+        }
+        if (out.start == 0)
+            out.start = start;
+        remaining -= batch;
+        offset += batch;
+    }
+    out.complete = cursor;
+    return out;
+}
+
+}  // namespace g10

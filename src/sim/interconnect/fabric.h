@@ -1,0 +1,128 @@
+/**
+ * @file
+ * PCIe fabric + DMA engine timing model (paper Fig. 10's migration
+ * machinery: metadata queues feed a migration arbiter that batches page
+ * migrations into transfer sets served by DMA / direct-storage-access).
+ *
+ * Resources are per-direction virtual timelines:
+ *   - pcieIn / pcieOut: each transfer crossing the link in a direction
+ *     advances that direction's timeline by bytes/link_bw, so aggregate
+ *     link capacity is conserved even when host- and SSD-path flows
+ *     interleave.
+ *   - the SSD device itself (via SsdDevice service times).
+ *   - a host software timeline that serializes page-fault handling
+ *     (45 us per fault batch) and, without G10's UVM extension, the
+ *     per-migration driver overhead.
+ *
+ * A transfer's completion is the max across the resources it uses;
+ * transfers are internally split into transfer-set batches so a large
+ * migration does not monopolize a resource timeline.
+ */
+
+#ifndef G10_SIM_INTERCONNECT_FABRIC_H
+#define G10_SIM_INTERCONNECT_FABRIC_H
+
+#include "common/system_config.h"
+#include "common/types.h"
+#include "core/sched/schedule_types.h"
+#include "sim/ssd/ssd_device.h"
+
+namespace g10 {
+
+/** Why a transfer was requested; orders service and selects overheads. */
+enum class TransferCause : std::uint8_t
+{
+    PageFault,   ///< demand miss; pays the GPU fault-handling latency
+    Prefetch,    ///< planned/heuristic fetch ahead of use
+    PreEvict,    ///< planned eviction
+    CapacityEvict,  ///< allocator pressure eviction (driver-managed)
+    FaultEvict,  ///< eviction inside the fault handler critical path
+                 ///< (stock UVM's LRU writeback before resume)
+};
+
+/** Traffic accounting per (device pair, direction). */
+struct TrafficStats
+{
+    Bytes ssdToGpu = 0;
+    Bytes gpuToSsd = 0;
+    Bytes hostToGpu = 0;
+    Bytes gpuToHost = 0;
+    std::uint64_t faultBatches = 0;
+    std::uint64_t migrationOps = 0;
+
+    Bytes totalToGpu() const { return ssdToGpu + hostToGpu; }
+    Bytes totalFromGpu() const { return gpuToSsd + gpuToHost; }
+};
+
+/** The shared GPU<->{Host,SSD} transfer fabric. */
+class Fabric
+{
+  public:
+    /**
+     * @param config        platform description
+     * @param ssd           SSD device model (not owned)
+     * @param uvm_extension true = G10's unified page table (§4.5):
+     *                      migration ops avoid the host software path
+     */
+    Fabric(const SystemConfig& config, SsdDevice* ssd,
+           bool uvm_extension);
+
+    /** Completed-transfer timing. */
+    struct Transfer
+    {
+        TimeNs start = 0;
+        TimeNs complete = 0;
+    };
+
+    /**
+     * Move @p bytes of tensor data into GPU memory.
+     *
+     * @param bytes    transfer size
+     * @param src      Host or Ssd
+     * @param earliest issue time (request cannot start earlier)
+     * @param cause    PageFault pays fault handling; others may pay the
+     *                 non-UVM software overhead
+     */
+    Transfer toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
+                   TransferCause cause);
+
+    /** Move @p bytes out of GPU memory to @p dst. */
+    Transfer fromGpu(Bytes bytes, MemLoc dst, TimeNs earliest,
+                     TransferCause cause, std::uint64_t ssd_logical_page);
+
+    const TrafficStats& traffic() const { return traffic_; }
+
+    /** Earliest time a new inbound transfer could start. */
+    TimeNs inboundFreeAt() const { return pcieInFree_; }
+
+    /** Earliest time a new outbound transfer could start. */
+    TimeNs outboundFreeAt() const { return pcieOutFree_; }
+
+    /** Total time the inbound link direction has been busy. */
+    TimeNs inboundBusyNs() const { return pcieInBusy_; }
+
+    /** Total time the outbound link direction has been busy. */
+    TimeNs outboundBusyNs() const { return pcieOutBusy_; }
+
+  private:
+    /** Host software serialization cost for one migration op. */
+    TimeNs hostSoftwareCost(TransferCause cause) const;
+
+    SystemConfig config_;
+    SsdDevice* ssd_;
+    bool uvmExtension_;
+
+    TimeNs pcieInFree_ = 0;
+    TimeNs pcieOutFree_ = 0;
+    TimeNs ssdFree_ = 0;
+    TimeNs hostSwFree_ = 0;
+
+    TimeNs pcieInBusy_ = 0;
+    TimeNs pcieOutBusy_ = 0;
+
+    TrafficStats traffic_;
+};
+
+}  // namespace g10
+
+#endif  // G10_SIM_INTERCONNECT_FABRIC_H

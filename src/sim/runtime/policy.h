@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The memory-management policy interface the runtime simulator drives,
+ * plus the run configuration and result statistics shared by every
+ * design point (Ideal / Base UVM / DeepUM+ / FlashNeuron / G10*).
+ */
+
+#ifndef G10_SIM_RUNTIME_POLICY_H
+#define G10_SIM_RUNTIME_POLICY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/system_config.h"
+#include "common/types.h"
+#include "core/sched/schedule_types.h"
+#include "sim/interconnect/fabric.h"
+#include "sim/ssd/ssd_device.h"
+
+namespace g10 {
+
+class SimRuntime;
+
+/** Per-run configuration beyond the platform description. */
+struct RunConfig
+{
+    SystemConfig sys;
+
+    /** Training iterations to replay; the last one is measured. */
+    int iterations = 2;
+
+    /**
+     * G10's unified-page-table extension (§4.5). When false, planned
+     * migrations pay the host driver/syscall overhead per op.
+     */
+    bool uvmExtension = true;
+
+    /**
+     * Kernel-duration perturbation magnitude for the §7.6 robustness
+     * study, e.g. 0.2 = uniform +-20% noise. The *plan* is always built
+     * from unperturbed durations; only the replay is noisy.
+     */
+    double timingErrorPct = 0.0;
+
+    /** RNG seed for the perturbation (shared across designs). */
+    std::uint64_t seed = 42;
+
+    /** Fraction of GPU memory weights may fill at placement time. */
+    double weightWatermark = 0.85;
+};
+
+/** Per-kernel replay timing (measured iteration). */
+struct KernelStat
+{
+    TimeNs idealNs = 0;   ///< duration + launch overhead
+    TimeNs actualNs = 0;  ///< contribution to the measured iteration
+    TimeNs stallNs = 0;   ///< actual - ideal (>= 0)
+};
+
+/** End-to-end results of one simulated run. */
+struct ExecStats
+{
+    std::string policyName;
+    std::string modelName;
+    int batchSize = 0;
+
+    bool failed = false;          ///< FlashNeuron-style hard OOM
+    std::string failReason;
+
+    TimeNs idealIterationNs = 0;  ///< infinite-memory iteration time
+    TimeNs measuredIterationNs = 0;
+
+    /** ideal / measured (1.0 = ideal performance). */
+    double normalizedPerf() const
+    {
+        if (failed || measuredIterationNs <= 0)
+            return 0.0;
+        return static_cast<double>(idealIterationNs) /
+               static_cast<double>(measuredIterationNs);
+    }
+
+    /** Throughput in samples/second for the measured iteration. */
+    double throughput() const
+    {
+        if (failed || measuredIterationNs <= 0)
+            return 0.0;
+        return static_cast<double>(batchSize) /
+               (static_cast<double>(measuredIterationNs) / SEC);
+    }
+
+    TimeNs totalStallNs = 0;
+    std::uint64_t pageFaultBatches = 0;  ///< measured iteration
+
+    /** Migration traffic during the measured iteration. */
+    TrafficStats traffic;
+
+    /** Cumulative SSD wear over all iterations. */
+    SsdStats ssd;
+
+    std::vector<KernelStat> kernels;  ///< measured iteration
+};
+
+/**
+ * A GPU memory-management design point. The runtime calls the hooks as
+ * the kernel stream replays; policies react by issuing prefetches and
+ * evictions through the SimRuntime services.
+ */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Display name ("Base UVM", "G10", ...). */
+    virtual const char* name() const = 0;
+
+    /** Called once before the first iteration. */
+    virtual void onSimulationStart(SimRuntime&) {}
+
+    /** Called at the instrumentation point just before kernel @p k. */
+    virtual void beforeKernel(SimRuntime&, KernelId) {}
+
+    /** Called right after kernel @p k completes. */
+    virtual void afterKernel(SimRuntime&, KernelId) {}
+
+    /**
+     * Preferred destination for capacity evictions when the allocator
+     * must push tensors out (LRU victims chosen by the runtime).
+     */
+    virtual MemLoc capacityEvictDest(SimRuntime&, TensorId) = 0;
+
+    /**
+     * False for designs without demand paging (FlashNeuron): an
+     * allocation that cannot be satisfied fails the run instead of
+     * faulting.
+     */
+    virtual bool demandPagingAllowed() const { return true; }
+
+    /** Ideal baseline: capacity checks disabled entirely. */
+    virtual bool infiniteMemory() const { return false; }
+
+    /**
+     * True when capacity evictions run inside the page-fault handler
+     * critical path (stock UVM's LRU writeback-before-resume) instead
+     * of as driver-managed background DMA.
+     */
+    virtual bool faultDrivenEviction() const { return false; }
+};
+
+}  // namespace g10
+
+#endif  // G10_SIM_RUNTIME_POLICY_H

@@ -1,0 +1,490 @@
+#include "sim_runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+SimRuntime::SimRuntime(const KernelTrace& trace, Policy& policy,
+                       RunConfig config)
+    : trace_(&trace), policy_(&policy), config_(config),
+      ssd_(config.sys), fabric_(config.sys, &ssd_, config.uvmExtension),
+      rng_(config.seed)
+{
+    if (policy.infiniteMemory()) {
+        // The ideal baseline never evicts: give it room for everything.
+        config_.sys.gpuMemBytes =
+            trace.totalTensorBytes() * 2 + 16 * GiB;
+    }
+    stats_.policyName = policy.name();
+    stats_.modelName = trace.modelName();
+    stats_.batchSize = trace.batchSize();
+}
+
+Bytes
+SimRuntime::footprintOf(Bytes bytes) const
+{
+    const Bytes page = config_.sys.pageBytes;
+    // Sub-chunk tensors are compacted at page granularity (§4.5).
+    Bytes rounded = (bytes + page - 1) / page * page;
+    return rounded;
+}
+
+void
+SimRuntime::prepare()
+{
+    const std::size_t nk = trace_->numKernels();
+    const std::size_t nt = trace_->numTensors();
+
+    uses_ = trace_->buildUseLists();
+    tensors_.assign(nt, TensorRt{});
+    bornAt_.assign(nk, {});
+    diesAfter_.assign(nk, {});
+    perturbedDur_.assign(nk, 0);
+
+    for (std::size_t ti = 0; ti < nt; ++ti) {
+        const Tensor& t = trace_->tensor(static_cast<TensorId>(ti));
+        tensors_[ti].footprint = footprintOf(t.bytes);
+        if (uses_[ti].empty())
+            continue;
+        if (!t.isGlobal()) {
+            bornAt_[static_cast<std::size_t>(uses_[ti].front())]
+                .push_back(t.id);
+            diesAfter_[static_cast<std::size_t>(uses_[ti].back())]
+                .push_back(t.id);
+        }
+    }
+
+    TimeNs ideal = 0;
+    for (std::size_t k = 0; k < nk; ++k) {
+        TimeNs dur = trace_->kernel(static_cast<KernelId>(k)).durationNs;
+        if (config_.timingErrorPct > 0.0) {
+            double noise = rng_.uniform(-config_.timingErrorPct,
+                                        config_.timingErrorPct);
+            dur = std::max<TimeNs>(
+                1000, static_cast<TimeNs>(
+                          static_cast<double>(dur) * (1.0 + noise)));
+        }
+        perturbedDur_[k] = dur;
+        ideal += trace_->kernel(static_cast<KernelId>(k)).durationNs +
+                 config_.sys.kernelLaunchOverheadNs;
+    }
+    stats_.idealIterationNs = ideal;
+}
+
+void
+SimRuntime::placeWeights()
+{
+    const Bytes watermark = static_cast<Bytes>(
+        static_cast<double>(config_.sys.gpuMemBytes) *
+        config_.weightWatermark);
+    for (const Tensor& t : trace_->tensors()) {
+        if (!t.isGlobal())
+            continue;
+        TensorRt& tr = tensors_[static_cast<std::size_t>(t.id)];
+        tr.allocated = true;
+        if (gpuUsedBytes_ + tr.footprint <= watermark) {
+            tr.residentBytes = tr.footprint;
+            gpuUsedBytes_ += tr.footprint;
+            touch(t.id);
+        } else {
+            // Cold weights start on the SSD (checkpoint-resident).
+            tr.ssdLogical = ssd_.allocLogical(tr.footprint);
+            tr.awaySsdBytes = tr.footprint;
+        }
+    }
+}
+
+void
+SimRuntime::touch(TensorId t)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    if (tr.lruSeq != 0)
+        lru_.erase({tr.lruSeq, t});
+    tr.lruSeq = ++lruCounter_;
+    lru_.insert({tr.lruSeq, t});
+}
+
+void
+SimRuntime::pinUntil(TensorId t, std::int64_t global_kernel)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    tr.pinnedUntil = std::max(tr.pinnedUntil, global_kernel);
+}
+
+bool
+SimRuntime::residentOrInFlight(TensorId t) const
+{
+    const TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    return tr.allocated && tr.residentBytes >= tr.footprint;
+}
+
+void
+SimRuntime::drainPendingFrees(TimeNs at)
+{
+    while (!pendingFrees_.empty() && pendingFrees_.front().at <= at) {
+        std::pop_heap(pendingFrees_.begin(), pendingFrees_.end(),
+                      std::greater<>());
+        gpuUsedBytes_ -= pendingFrees_.back().bytes;
+        pendingFrees_.pop_back();
+    }
+}
+
+TimeNs
+SimRuntime::makeSpace(Bytes needed, TimeNs at, bool soft)
+{
+    drainPendingFrees(at);
+    if (needed > config_.sys.gpuMemBytes) {
+        if (soft)
+            return -1;
+        stats_.failed = true;
+        stats_.failReason = "allocation larger than GPU memory";
+        return at;
+    }
+
+    TimeNs when = at;
+    while (gpuFreeBytes() < needed) {
+        // Prefer waiting for evictions already in flight.
+        if (!pendingFrees_.empty()) {
+            std::pop_heap(pendingFrees_.begin(), pendingFrees_.end(),
+                          std::greater<>());
+            PendingFree pf = pendingFrees_.back();
+            pendingFrees_.pop_back();
+            gpuUsedBytes_ -= pf.bytes;
+            when = std::max(when, pf.at);
+            continue;
+        }
+
+        // Pick the least-recently-used victim. Three passes of
+        // increasing desperation: (0) unpinned and settled, (1) soft
+        // policy pins (advisory prefetch windows lose to real
+        // allocation pressure, as in real UVM), (2) tensors whose
+        // inbound DMA is still in flight (evictable once it lands).
+        // Only the executing kernel's working set is untouchable.
+        TensorId victim = kInvalidTensor;
+        // Opportunistic (prefetch-driven) requests only take settled,
+        // unpinned victims; evicting another prefetch's window would
+        // thrash. Hard allocation pressure may escalate.
+        const int max_pass = soft ? 1 : 3;
+        for (int pass = 0; pass < max_pass && victim == kInvalidTensor;
+             ++pass) {
+            for (const auto& [seq, tid] : lru_) {
+                const TensorRt& tr =
+                    tensors_[static_cast<std::size_t>(tid)];
+                if (tr.pinnedUntil == globalIndex_)
+                    continue;  // hard pin: current working set
+                if (pass < 1 && tr.pinnedUntil > globalIndex_)
+                    continue;
+                if (pass < 2 && tr.arrival > streamTime_)
+                    continue;
+                if (tr.residentBytes == 0)
+                    continue;
+                victim = tid;
+                break;
+            }
+        }
+        if (victim == kInvalidTensor) {
+            if (soft)
+                return -1;
+            stats_.failed = true;
+            stats_.failReason =
+                "working set exceeds GPU memory (no evictable victim)";
+            return when;
+        }
+        if (!policy_->demandPagingAllowed()) {
+            if (soft)
+                return -1;
+            stats_.failed = true;
+            stats_.failReason =
+                "out of GPU memory without demand paging";
+            return when;
+        }
+
+        MemLoc dest = policy_->capacityEvictDest(*this, victim);
+        const TensorRt& vt =
+            tensors_[static_cast<std::size_t>(victim)];
+        TimeNs earliest =
+            (vt.arrival > streamTime_) ? vt.arrival : streamTime_;
+        TransferCause cause = policy_->faultDrivenEviction()
+            ? TransferCause::FaultEvict
+            : TransferCause::CapacityEvict;
+        Bytes evicted = issueEvict(victim, dest, cause, earliest);
+        if (evicted == 0)
+            panic("capacity eviction made no progress (tensor %d)",
+                  victim);
+    }
+    return when;
+}
+
+Bytes
+SimRuntime::issueEvict(TensorId t, MemLoc dest, TransferCause cause,
+                       TimeNs earliest)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    if (!tr.allocated || tr.residentBytes == 0)
+        return 0;
+    if (tr.pinnedUntil == globalIndex_)
+        return 0;  // hard-pinned by the executing kernel
+    TimeNs start = std::max(streamTime_, earliest);
+    if (tr.arrival > start) {
+        if (cause == TransferCause::PreEvict)
+            return 0;  // planned eviction of in-flight data: skip
+        start = tr.arrival;  // allocator pressure: evict once it lands
+    }
+
+    Bytes amount = tr.residentBytes;
+    if (dest == MemLoc::Host && hostFreeBytes() < amount)
+        dest = MemLoc::Ssd;  // host staging full; overflow to flash
+
+    std::uint64_t logical = UINT64_MAX;
+    if (dest == MemLoc::Ssd) {
+        if (tr.ssdLogical == UINT64_MAX)
+            tr.ssdLogical = ssd_.allocLogical(tr.footprint);
+        logical = tr.ssdLogical;
+    }
+
+    Fabric::Transfer xfer =
+        fabric_.fromGpu(amount, dest, start, cause, logical);
+
+    tr.residentBytes -= amount;
+    if (dest == MemLoc::Host) {
+        tr.awayHostBytes += amount;
+        hostUsedBytes_ += amount;
+    } else {
+        tr.awaySsdBytes += amount;
+    }
+    // GPU space frees only when the copy-out completes.
+    pendingFrees_.push_back(PendingFree{xfer.complete, amount});
+    std::push_heap(pendingFrees_.begin(), pendingFrees_.end(),
+                   std::greater<>());
+    if (tr.residentBytes == 0) {
+        tr.arrival = -1;
+        if (tr.lruSeq != 0) {
+            lru_.erase({tr.lruSeq, t});
+            tr.lruSeq = 0;
+        }
+    }
+    return amount;
+}
+
+TimeNs
+SimRuntime::fetchMissing(TensorId t, TimeNs at, TransferCause cause)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    Bytes missing = tr.footprint - tr.residentBytes;
+    if (missing == 0)
+        return std::max(at, tr.arrival);
+
+    const bool soft = (cause == TransferCause::Prefetch);
+    TimeNs space_at = makeSpace(missing, at, soft);
+    if (soft && space_at < 0)
+        return at;  // no room right now; skip the opportunistic fetch
+    if (stats_.failed)
+        return space_at;
+
+    TimeNs done = space_at;
+    // Pull from host first (fast path), then from the SSD.
+    if (tr.awayHostBytes > 0) {
+        Bytes amt = std::min(missing, tr.awayHostBytes);
+        auto xfer = fabric_.toGpu(amt, MemLoc::Host, space_at, cause);
+        tr.awayHostBytes -= amt;
+        hostUsedBytes_ -= amt;
+        tr.residentBytes += amt;
+        gpuUsedBytes_ += amt;
+        missing -= amt;
+        done = std::max(done, xfer.complete);
+    }
+    if (missing > 0 && tr.awaySsdBytes > 0) {
+        Bytes amt = std::min(missing, tr.awaySsdBytes);
+        auto xfer = fabric_.toGpu(amt, MemLoc::Ssd, space_at, cause);
+        tr.awaySsdBytes -= amt;
+        tr.residentBytes += amt;
+        gpuUsedBytes_ += amt;
+        missing -= amt;
+        done = std::max(done, xfer.complete);
+    }
+    if (missing > 0)
+        panic("tensor %d: %llu bytes are neither resident nor staged",
+              t, static_cast<unsigned long long>(missing));
+
+    tr.arrival = std::max(tr.arrival, done);
+    touch(t);
+    return done;
+}
+
+TimeNs
+SimRuntime::issuePrefetch(TensorId t)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    if (!tr.allocated)
+        return streamTime_;  // not yet born; nothing to fetch
+    if (tr.residentBytes >= tr.footprint)
+        return std::max(streamTime_, tr.arrival);
+    return fetchMissing(t, streamTime_, TransferCause::Prefetch);
+}
+
+void
+SimRuntime::freeTensor(TensorId t)
+{
+    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+    gpuUsedBytes_ -= tr.residentBytes;
+    hostUsedBytes_ -= tr.awayHostBytes;
+    tr.residentBytes = 0;
+    tr.awayHostBytes = 0;
+    tr.awaySsdBytes = 0;
+    tr.arrival = -1;
+    tr.allocated = false;
+    if (tr.lruSeq != 0) {
+        lru_.erase({tr.lruSeq, t});
+        tr.lruSeq = 0;
+    }
+}
+
+void
+SimRuntime::runKernel(KernelId k)
+{
+    const Kernel& kern = trace_->kernel(k);
+    const TimeNs overhead = config_.sys.kernelLaunchOverheadNs;
+    const TimeNs iter_begin_time = streamTime_;
+
+    // The working set of the executing kernel is unevictable.
+    auto all = kern.allTensors();
+    for (TensorId t : all)
+        pinUntil(t, globalIndex_);
+
+    currentKernel_ = k;
+    policy_->beforeKernel(*this, k);
+    if (stats_.failed)
+        return;
+
+    TimeNs t0 = streamTime_ + overhead;
+    TimeNs alloc_ready = t0;
+    TimeNs data_ready = t0;
+    TimeNs fault_done = t0;
+
+    // 1. Materialize tensors born at this kernel (outputs, workspace).
+    auto materialize = [&](TensorId t) {
+        TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+        if (tr.allocated)
+            return;
+        TimeNs avail = makeSpace(tr.footprint, t0);
+        if (stats_.failed)
+            return;
+        alloc_ready = std::max(alloc_ready, avail);
+        tr.allocated = true;
+        tr.residentBytes = tr.footprint;
+        gpuUsedBytes_ += tr.footprint;
+        touch(t);
+    };
+    for (TensorId t : bornAt_[static_cast<std::size_t>(k)]) {
+        materialize(t);
+        if (stats_.failed)
+            return;
+    }
+
+    // 2. Demand-fetch whatever else the kernel touches.
+    for (TensorId t : all) {
+        TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
+        if (!tr.allocated)
+            panic("kernel %d uses unmaterialized tensor %d", k, t);
+        if (tr.residentBytes < tr.footprint) {
+            // Demand miss: the faulting accesses block the kernel, so
+            // compute cannot make progress until the pages land
+            // (on-demand paging serializes, unlike planned prefetches).
+            TimeNs done = fetchMissing(t, t0, TransferCause::PageFault);
+            if (stats_.failed)
+                return;
+            fault_done = std::max(fault_done, done);
+        } else if (tr.arrival > t0) {
+            // A planned prefetch is still in flight; the kernel's
+            // completion waits for it but compute overlaps the DMA.
+            data_ready = std::max(data_ready, tr.arrival);
+        }
+        touch(t);
+    }
+
+    TimeNs launch = std::max({t0, alloc_ready, fault_done});
+    TimeNs dur = perturbedDur_[static_cast<std::size_t>(k)];
+    TimeNs end = std::max(launch + dur, data_ready);
+    streamTime_ = end;
+
+    if (measuring_ && end - iter_begin_time - overhead - dur > 5 * MSEC) {
+        debug("k=%d %s stall=%lldus alloc=%lldus fault=%lldus data=%lldus",
+              k, kern.name.c_str(),
+              (long long)((end - iter_begin_time - overhead - dur)/1000),
+              (long long)(std::max<TimeNs>(0, alloc_ready - t0)/1000),
+              (long long)(std::max<TimeNs>(0, fault_done - t0)/1000),
+              (long long)(std::max<TimeNs>(0, data_ready - t0)/1000));
+    }
+    if (measuring_) {
+        KernelStat ks;
+        ks.idealNs = kern.durationNs + overhead;
+        ks.actualNs = end - iter_begin_time;
+        ks.stallNs = std::max<TimeNs>(0, ks.actualNs - ks.idealNs);
+        stats_.kernels.push_back(ks);
+        stats_.totalStallNs += ks.stallNs;
+    }
+
+    // 3. Free tensors that die here.
+    for (TensorId t : diesAfter_[static_cast<std::size_t>(k)])
+        freeTensor(t);
+
+    policy_->afterKernel(*this, k);
+}
+
+ExecStats
+SimRuntime::run()
+{
+    prepare();
+    placeWeights();
+    policy_->onSimulationStart(*this);
+
+    const auto nk = static_cast<KernelId>(trace_->numKernels());
+    for (int iter = 0; iter < config_.iterations && !stats_.failed;
+         ++iter) {
+        if (iter == config_.iterations - 1) {
+            measuring_ = true;
+            measureStart_ = streamTime_;
+            trafficAtMeasureStart_ = fabric_.traffic();
+            faultsAtMeasureStart_ = fabric_.traffic().faultBatches;
+            stats_.kernels.clear();
+            stats_.kernels.reserve(trace_->numKernels());
+            stats_.totalStallNs = 0;
+        }
+        for (KernelId k = 0; k < nk && !stats_.failed; ++k) {
+            runKernel(k);
+            ++globalIndex_;
+        }
+    }
+
+    if (!stats_.failed) {
+        stats_.measuredIterationNs = streamTime_ - measureStart_;
+        const TrafficStats& tot = fabric_.traffic();
+        stats_.traffic.ssdToGpu =
+            tot.ssdToGpu - trafficAtMeasureStart_.ssdToGpu;
+        stats_.traffic.gpuToSsd =
+            tot.gpuToSsd - trafficAtMeasureStart_.gpuToSsd;
+        stats_.traffic.hostToGpu =
+            tot.hostToGpu - trafficAtMeasureStart_.hostToGpu;
+        stats_.traffic.gpuToHost =
+            tot.gpuToHost - trafficAtMeasureStart_.gpuToHost;
+        stats_.traffic.migrationOps =
+            tot.migrationOps - trafficAtMeasureStart_.migrationOps;
+        stats_.traffic.faultBatches =
+            tot.faultBatches - trafficAtMeasureStart_.faultBatches;
+        stats_.pageFaultBatches = stats_.traffic.faultBatches;
+        stats_.ssd = ssd_.stats();
+    }
+    return stats_;
+}
+
+ExecStats
+simulate(const KernelTrace& trace, Policy& policy,
+         const RunConfig& config)
+{
+    SimRuntime rt(trace, policy, config);
+    return rt.run();
+}
+
+}  // namespace g10

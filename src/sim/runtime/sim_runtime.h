@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The end-to-end execution simulator (paper §5).
+ *
+ * Replays a kernel trace under a memory-management policy on the modeled
+ * platform: GPU memory is a finite pool at chunk granularity, misses are
+ * serviced through the UVM fault path (45 us handler + DMA), planned
+ * migrations flow through the PCIe/SSD fabric, and kernel completion
+ * waits on data arrival (compute overlaps in-flight transfers, so a
+ * kernel's stall is exactly the data wait the paper's Fig. 12/13
+ * breakdowns measure).
+ *
+ * The replay is sequential in kernel-stream order; every transfer is an
+ * explicit reservation on the fabric's resource timelines, making runs
+ * deterministic and O(kernels + migrations).
+ */
+
+#ifndef G10_SIM_RUNTIME_SIM_RUNTIME_H
+#define G10_SIM_RUNTIME_SIM_RUNTIME_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/system_config.h"
+#include "common/types.h"
+#include "graph/trace.h"
+#include "sim/interconnect/fabric.h"
+#include "sim/runtime/policy.h"
+#include "sim/ssd/ssd_device.h"
+
+namespace g10 {
+
+/** Runtime residency record for one tensor. */
+struct TensorRt
+{
+    Bytes footprint = 0;      ///< page-rounded allocation size
+    Bytes residentBytes = 0;  ///< bytes currently in GPU memory
+    Bytes awayHostBytes = 0;  ///< bytes staged in host DRAM
+    Bytes awaySsdBytes = 0;   ///< bytes staged on the SSD
+    TimeNs arrival = -1;      ///< in-flight fetch completion (-1 = none)
+    bool allocated = false;   ///< materialized at least once
+    std::uint64_t ssdLogical = UINT64_MAX;  ///< FTL logical page base
+    std::uint64_t lruSeq = 0; ///< last-use sequence for LRU
+    std::int64_t pinnedUntil = -1;  ///< global kernel idx pin horizon
+};
+
+/** Drives one simulation; see simulate() for the one-call entry point. */
+class SimRuntime
+{
+  public:
+    SimRuntime(const KernelTrace& trace, Policy& policy, RunConfig config);
+
+    /** Run all iterations and return the measured statistics. */
+    ExecStats run();
+
+    // ---- Services for policies -------------------------------------
+
+    const KernelTrace& trace() const { return *trace_; }
+    const RunConfig& config() const { return config_; }
+
+    /** Global kernel index (iteration * numKernels + k). */
+    std::int64_t globalKernelIndex() const { return globalIndex_; }
+
+    /** Current GPU stream time. */
+    TimeNs now() const { return streamTime_; }
+
+    /** Kernel ids using each tensor, ascending (shared index). */
+    const std::vector<std::vector<KernelId>>& useLists() const
+    {
+        return uses_;
+    }
+
+    /** Residency record (read-only for policies). */
+    const TensorRt& tensorState(TensorId t) const
+    {
+        return tensors_[static_cast<std::size_t>(t)];
+    }
+
+    /** True when every byte of @p t is in GPU memory or in flight. */
+    bool residentOrInFlight(TensorId t) const;
+
+    /**
+     * Fetch the non-resident bytes of @p t into GPU memory ahead of
+     * use. No-op if fully resident or already in flight. Space is made
+     * by LRU capacity eviction if needed.
+     *
+     * @return completion time of the fetch (now() if nothing to do)
+     */
+    TimeNs issuePrefetch(TensorId t);
+
+    /**
+     * Evict the resident bytes of @p t to @p dest (planned pre-evict or
+     * policy-driven early eviction). Hard-pinned tensors are skipped.
+     *
+     * @param earliest eviction may not start before this time (used by
+     *        the allocator to evict data whose inbound DMA is still in
+     *        flight); -1 = now
+     * @return bytes actually scheduled for eviction
+     */
+    Bytes issueEvict(TensorId t, MemLoc dest, TransferCause cause,
+                     TimeNs earliest = -1);
+
+    /** Pin @p t against capacity eviction until global kernel index. */
+    void pinUntil(TensorId t, std::int64_t global_kernel);
+
+    /** GPU bytes not currently allocated. */
+    Bytes gpuFreeBytes() const
+    {
+        return config_.sys.gpuMemBytes - gpuUsedBytes_;
+    }
+
+    /** Host staging bytes still free. */
+    Bytes hostFreeBytes() const
+    {
+        return config_.sys.hostMemBytes - hostUsedBytes_;
+    }
+
+    /** Number of kernels in one iteration. */
+    std::size_t numKernels() const { return trace_->numKernels(); }
+
+  private:
+    struct PendingFree
+    {
+        TimeNs at;
+        Bytes bytes;
+        bool operator>(const PendingFree& o) const { return at > o.at; }
+    };
+
+    /** Round @p bytes to its GPU footprint (page compaction for tiny
+     *  tensors, §4.5). */
+    Bytes footprintOf(Bytes bytes) const;
+
+    void prepare();
+    void placeWeights();
+    void runKernel(KernelId k);
+
+    /**
+     * Ensure @p needed bytes are free, evicting LRU victims via the
+     * policy if necessary. Returns the time at which the space is
+     * actually available (>= @p at).
+     *
+     * @param soft when true a space failure returns -1 instead of
+     *        failing the run (used for opportunistic prefetches)
+     */
+    TimeNs makeSpace(Bytes needed, TimeNs at, bool soft = false);
+
+    /** Apply pending frees with completion <= @p at. */
+    void drainPendingFrees(TimeNs at);
+
+    /** Fetch missing bytes of @p t (demand fault or prefetch). */
+    TimeNs fetchMissing(TensorId t, TimeNs at, TransferCause cause);
+
+    /** Release the GPU copy of a dead tensor immediately. */
+    void freeTensor(TensorId t);
+
+    /** Record use for LRU bookkeeping. */
+    void touch(TensorId t);
+
+    const KernelTrace* trace_;
+    Policy* policy_;
+    RunConfig config_;
+
+    SsdDevice ssd_;
+    Fabric fabric_;
+    Rng rng_;
+
+    std::vector<TensorRt> tensors_;
+    std::vector<std::vector<KernelId>> uses_;
+    std::vector<std::vector<TensorId>> bornAt_;
+    std::vector<std::vector<TensorId>> diesAfter_;
+    std::vector<TimeNs> perturbedDur_;
+
+    Bytes gpuUsedBytes_ = 0;
+    Bytes hostUsedBytes_ = 0;
+
+    TimeNs streamTime_ = 0;
+    std::int64_t globalIndex_ = 0;
+    KernelId currentKernel_ = 0;
+
+    // LRU index: (lruSeq, tensor) ordered ascending.
+    std::set<std::pair<std::uint64_t, TensorId>> lru_;
+    std::uint64_t lruCounter_ = 0;
+
+    // Outstanding eviction space returns.
+    std::vector<PendingFree> pendingFrees_;  // min-heap by `at`
+
+    // Stats under construction.
+    ExecStats stats_;
+    bool measuring_ = false;
+    TimeNs measureStart_ = 0;
+    TrafficStats trafficAtMeasureStart_;
+    std::uint64_t faultsAtMeasureStart_ = 0;
+};
+
+/** One-call convenience wrapper. */
+ExecStats simulate(const KernelTrace& trace, Policy& policy,
+                   const RunConfig& config);
+
+}  // namespace g10
+
+#endif  // G10_SIM_RUNTIME_SIM_RUNTIME_H

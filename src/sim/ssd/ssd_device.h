@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Flash SSD timing + endurance model (paper §5, SSDSim-style).
+ *
+ * Models a Z-NAND-class device as a log-structured FTL: host writes land
+ * in an append-only flash log at flash-page granularity; rewriting a
+ * logical page invalidates its old physical page; when free blocks run
+ * low, greedy garbage collection relocates the valid pages of the
+ * emptiest block and erases it, charging both time (device busy) and
+ * endurance (NAND writes, erases). This is what makes the §7.7 lifetime /
+ * write-amplification analysis measurable instead of assumed.
+ */
+
+#ifndef G10_SIM_SSD_SSD_DEVICE_H
+#define G10_SIM_SSD_SSD_DEVICE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/system_config.h"
+#include "common/types.h"
+
+namespace g10 {
+
+/** Endurance/traffic counters exposed for §7.7. */
+struct SsdStats
+{
+    Bytes hostReadBytes = 0;    ///< bytes the host read from the device
+    Bytes hostWriteBytes = 0;   ///< bytes the host wrote to the device
+    Bytes nandWriteBytes = 0;   ///< physical NAND program traffic
+    std::uint64_t gcRuns = 0;
+    std::uint64_t blockErases = 0;
+    std::uint64_t relocatedPages = 0;
+
+    /** Write amplification factor (NAND writes / host writes). */
+    double waf() const
+    {
+        if (hostWriteBytes == 0)
+            return 1.0;
+        return static_cast<double>(nandWriteBytes) /
+               static_cast<double>(hostWriteBytes);
+    }
+};
+
+/**
+ * One simulated SSD. Time is managed by the caller: service calls return
+ * the device-busy duration for a request and advance internal wear state.
+ */
+class SsdDevice
+{
+  public:
+    /** Geometry knobs (defaults sized for the Table 2 device). */
+    struct Geometry
+    {
+        Bytes flashPageBytes = 64 * KiB;   ///< mapping granularity
+        std::uint32_t pagesPerBlock = 256;
+        double overProvision = 0.07;       ///< spare capacity fraction
+        double gcFreeThreshold = 0.05;     ///< GC when free < 5% of blocks
+        TimeNs eraseLatencyNs = 2 * MSEC;
+    };
+
+    explicit SsdDevice(const SystemConfig& config)
+        : SsdDevice(config, Geometry())
+    {}
+
+    SsdDevice(const SystemConfig& config, Geometry geometry);
+
+    /**
+     * Write @p bytes at logical address space of tensor @p tensor chunk
+     * region starting at @p logical_page. Returns device busy time
+     * (program latency + streaming + any GC this write triggered).
+     */
+    TimeNs serviceWrite(std::uint64_t logical_page, Bytes bytes);
+
+    /** Read @p bytes; returns busy time. */
+    TimeNs serviceRead(Bytes bytes);
+
+    /** Allocate a run of logical pages for @p bytes; returns first page. */
+    std::uint64_t allocLogical(Bytes bytes);
+
+    const SsdStats& stats() const { return stats_; }
+    const Geometry& geometry() const { return geom_; }
+
+    /** Free physical pages remaining (for tests). */
+    std::uint64_t freePages() const { return freePages_; }
+
+    /** Total physical pages. */
+    std::uint64_t totalPages() const { return totalPages_; }
+
+    /**
+     * Device lifetime estimate in years under continuous operation at
+     * the observed read/write mix (§7.7's DWPD arithmetic).
+     *
+     * @param dwpd        rated drive-writes-per-day endurance
+     * @param rated_years endurance rating period
+     * @param elapsed_ns  simulated wall time generating stats()
+     */
+    double lifetimeYears(double dwpd, double rated_years,
+                         TimeNs elapsed_ns) const;
+
+  private:
+    void maybeGarbageCollect(TimeNs* busy);
+
+    SystemConfig config_;
+    Geometry geom_;
+
+    std::uint64_t totalPages_ = 0;
+    std::uint64_t freePages_ = 0;
+    std::uint64_t nextLogical_ = 0;
+
+    // logical page -> block index currently holding it (valid data).
+    std::unordered_map<std::uint64_t, std::uint32_t> logicalToBlock_;
+    // per-block count of valid pages.
+    std::vector<std::uint32_t> blockValid_;
+    // per-block count of programmed pages since the last erase.
+    std::vector<std::uint32_t> blockFill_;
+    std::uint32_t openBlock_ = 0;
+
+    SsdStats stats_;
+};
+
+}  // namespace g10
+
+#endif  // G10_SIM_SSD_SSD_DEVICE_H

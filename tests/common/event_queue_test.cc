@@ -1,0 +1,97 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+
+namespace g10 {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(1, [&] {
+            ++fired;
+            eq.scheduleAfter(1, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 3);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(500);
+    EXPECT_EQ(eq.now(), 500);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executedCount(), 2u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,175 @@
+/** @file Unit tests for the piecewise-constant StepFunction. */
+
+#include <gtest/gtest.h>
+
+#include "common/step_function.h"
+
+namespace g10 {
+namespace {
+
+TEST(StepFunction, EmptyIsZeroEverywhere)
+{
+    StepFunction f;
+    EXPECT_DOUBLE_EQ(f.valueAt(-100), 0.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(1 << 30), 0.0);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 0.0);
+    EXPECT_EQ(f.breakpointCount(), 0u);
+}
+
+TEST(StepFunction, SingleRangeAdd)
+{
+    StepFunction f;
+    f.add(10, 20, 5.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(9), 0.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(10), 5.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(19), 5.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(20), 0.0);  // half-open interval
+    EXPECT_DOUBLE_EQ(f.maxValue(), 5.0);
+}
+
+TEST(StepFunction, OverlappingAddsAccumulate)
+{
+    StepFunction f;
+    f.add(0, 100, 1.0);
+    f.add(50, 150, 2.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(25), 1.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(75), 3.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(125), 2.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(0, 150), 3.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(0, 50), 1.0);
+    EXPECT_DOUBLE_EQ(f.minOver(60, 140), 2.0);
+}
+
+TEST(StepFunction, NegativeAddCancels)
+{
+    StepFunction f;
+    f.add(0, 100, 4.0);
+    f.add(20, 40, -4.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(30), 0.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(10), 4.0);
+    EXPECT_DOUBLE_EQ(f.valueAt(50), 4.0);
+}
+
+TEST(StepFunction, EmptyOrInvertedIntervalIsNoop)
+{
+    StepFunction f;
+    f.add(10, 10, 3.0);
+    f.add(20, 5, 3.0);
+    EXPECT_EQ(f.breakpointCount(), 0u);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 0.0);
+}
+
+TEST(StepFunction, MaxOverRespectsBounds)
+{
+    StepFunction f;
+    f.add(100, 200, 10.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(0, 101), 10.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(199, 300), 10.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(200, 300), 0.0);
+    EXPECT_DOUBLE_EQ(f.maxOver(50, 50), 0.0);  // empty interval
+}
+
+TEST(StepFunction, IntegralAboveBasic)
+{
+    StepFunction f;
+    f.add(0, 10, 8.0);
+    // Area above threshold 5 over [0,10): (8-5)*10 = 30.
+    EXPECT_DOUBLE_EQ(f.integralAbove(0, 10, 5.0, 1e18), 30.0);
+    // Per-instant cap of 2 clips it: 2*10 = 20.
+    EXPECT_DOUBLE_EQ(f.integralAbove(0, 10, 5.0, 2.0), 20.0);
+    // Nothing above 8.
+    EXPECT_DOUBLE_EQ(f.integralAbove(0, 10, 8.0, 1e18), 0.0);
+}
+
+TEST(StepFunction, IntegralAboveMultiSegment)
+{
+    StepFunction f;
+    f.add(0, 10, 4.0);
+    f.add(10, 20, 10.0);
+    f.add(20, 30, 6.0);
+    // threshold 5: only [10,20) contributes (10-5)*10 = 50 and
+    // [20,30) contributes (6-5)*10 = 10.
+    EXPECT_DOUBLE_EQ(f.integralAbove(0, 30, 5.0, 1e18), 60.0);
+    // Clipped window.
+    EXPECT_DOUBLE_EQ(f.integralAbove(15, 25, 5.0, 1e18), 30.0);
+}
+
+TEST(StepFunction, SegmentsCoverQueryWindow)
+{
+    StepFunction f;
+    f.add(10, 20, 1.0);
+    f.add(30, 40, 2.0);
+    auto segs = f.segments(0, 50);
+    ASSERT_FALSE(segs.empty());
+    EXPECT_EQ(segs.front().begin, 0);
+    EXPECT_EQ(segs.back().end, 50);
+    // Segments must tile the window contiguously.
+    for (std::size_t i = 1; i < segs.size(); ++i)
+        EXPECT_EQ(segs[i - 1].end, segs[i].begin);
+    // Value inside [30,40) is 2.
+    bool found = false;
+    for (const auto& s : segs)
+        if (s.begin >= 30 && s.end <= 40) {
+            EXPECT_DOUBLE_EQ(s.value, 2.0);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(StepFunction, EarliestFitFindsEarliestSlot)
+{
+    StepFunction f;
+    // Capacity 10; usage: 8 in [0,100), 3 in [100,200), 8 in [200,300).
+    f.add(0, 100, 8.0);
+    f.add(100, 200, 3.0);
+    f.add(200, 300, 8.0);
+    // Want to add 5 ending at t=200 (t_latest=200 ... but [200,300)
+    // has 8 already: checking fit at t_end=200 only looks left).
+    TimeNs t = f.earliestFit(0, 180, 200, 5.0, 10.0);
+    // Fits in [100,200) where usage 3+5=8<=10, but not in [0,100).
+    EXPECT_EQ(t, 100);
+}
+
+TEST(StepFunction, EarliestFitReturnsLatestWhenNothingFits)
+{
+    StepFunction f;
+    f.add(0, 1000, 9.0);
+    TimeNs t = f.earliestFit(0, 500, 600, 5.0, 10.0);
+    EXPECT_EQ(t, 500);  // even the latest position overflows
+}
+
+TEST(StepFunction, EarliestFitReachesLowerBound)
+{
+    StepFunction f;  // empty: fits everywhere
+    TimeNs t = f.earliestFit(25, 400, 500, 1.0, 10.0);
+    EXPECT_EQ(t, 25);
+}
+
+TEST(StepFunction, CompactRemovesRedundantBreakpoints)
+{
+    StepFunction f;
+    f.add(0, 100, 5.0);
+    f.add(0, 100, -5.0);
+    EXPECT_GT(f.breakpointCount(), 0u);
+    f.compact();
+    EXPECT_EQ(f.breakpointCount(), 0u);
+}
+
+TEST(StepFunction, ManyRangeAddsStayConsistent)
+{
+    StepFunction f;
+    double expect_at_500 = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        TimeNs lo = i * 7;
+        TimeNs hi = lo + 400;
+        f.add(lo, hi, 1.0);
+        if (lo <= 500 && 500 < hi)
+            expect_at_500 += 1.0;
+    }
+    EXPECT_DOUBLE_EQ(f.valueAt(500), expect_at_500);
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,115 @@
+/** @file Tests for plan lowering/anchoring and the Fig. 9 instrumenter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/g10_compiler.h"
+#include "core/sched/plan_builder.h"
+#include "tests/test_util.h"
+
+namespace g10 {
+namespace {
+
+class PlanBuilderTest : public ::testing::Test
+{
+  protected:
+    KernelTrace trace_ =
+        test::makeFwdBwdTrace(16, 16 * MiB, 4 * MSEC, 32 * MiB);
+    SystemConfig sys_ = test::tinySystem();
+    CompiledPlan plan_ = compileG10Plan(trace_, sys_);
+};
+
+TEST_F(PlanBuilderTest, EveryMigrationYieldsEvictAndPrefetch)
+{
+    std::size_t evicts = 0;
+    std::size_t prefetches = 0;
+    for (const auto& in : plan_.plan.instrs) {
+        if (in.kind == InstrKind::PreEvict)
+            ++evicts;
+        else
+            ++prefetches;
+    }
+    EXPECT_EQ(evicts, plan_.schedule.migrations.size());
+    EXPECT_EQ(prefetches, plan_.schedule.migrations.size());
+}
+
+TEST_F(PlanBuilderTest, EvictionAnchoredRightAfterLastUse)
+{
+    for (const auto& in : plan_.plan.instrs) {
+        if (in.kind != InstrKind::PreEvict)
+            continue;
+        const auto& m = plan_.schedule.migrations[in.migrationIndex];
+        const auto& p = plan_.vitality->periods()[m.periodIndex];
+        KernelId expect = static_cast<KernelId>(
+            (static_cast<std::size_t>(p.lastUse) + 1) %
+            trace_.numKernels());
+        EXPECT_EQ(in.issueBefore, expect);
+    }
+}
+
+TEST_F(PlanBuilderTest, InstrsCarryTensorSizes)
+{
+    for (const auto& in : plan_.plan.instrs)
+        EXPECT_EQ(in.bytes, trace_.tensor(in.tensor).bytes);
+}
+
+TEST_F(PlanBuilderTest, BucketsPartitionAllInstrs)
+{
+    std::size_t covered = 0;
+    for (std::size_t k = 0; k < trace_.numKernels(); ++k) {
+        auto [b, e] = plan_.plan.instrsBefore(static_cast<KernelId>(k));
+        covered += static_cast<std::size_t>(e - b);
+    }
+    EXPECT_EQ(covered, plan_.plan.instrs.size());
+}
+
+TEST_F(PlanBuilderTest, InstrumentedListingMatchesFig9Shape)
+{
+    std::ostringstream os;
+    printInstrumentedProgram(os, *plan_.vitality, plan_.plan, 0,
+                             static_cast<KernelId>(trace_.numKernels()));
+    std::string text = os.str();
+    // Kernel launches and g10_* calls are present.
+    EXPECT_NE(text.find("// Kernel 0"), std::string::npos);
+    EXPECT_NE(text.find("g10_pre_evict("), std::string::npos);
+    EXPECT_NE(text.find("g10_prefetch("), std::string::npos);
+    // Destinations are printed symbolically.
+    EXPECT_TRUE(text.find(", SSD);") != std::string::npos ||
+                text.find(", Host);") != std::string::npos);
+}
+
+TEST_F(PlanBuilderTest, ListingRangeClamps)
+{
+    std::ostringstream os;
+    printInstrumentedProgram(os, *plan_.vitality, plan_.plan, -5,
+                             10000);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(PlanBuilder, WrapPrefetchAnchorsIntoNextIterationPrefix)
+{
+    // A weight used across the whole iteration gets a wrap period; its
+    // prefetch must anchor at a small kernel index (early next
+    // iteration), not past the end.
+    KernelTrace t =
+        test::makeFwdBwdTrace(24, 12 * MiB, 3 * MSEC, 48 * MiB);
+    SystemConfig sys = test::tinySystem();
+    sys.gpuMemBytes = 48 * MiB;  // force the weight out too
+    CompiledPlan plan = compileG10Plan(t, sys);
+    for (const auto& in : plan.plan.instrs) {
+        EXPECT_GE(in.issueBefore, 0);
+        EXPECT_LT(static_cast<std::size_t>(in.issueBefore),
+                  t.numKernels());
+    }
+}
+
+TEST(MemLocNames, AreStable)
+{
+    EXPECT_STREQ(memLocName(MemLoc::Gpu), "GPU");
+    EXPECT_STREQ(memLocName(MemLoc::Host), "Host");
+    EXPECT_STREQ(memLocName(MemLoc::Ssd), "SSD");
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,286 @@
+/** @file Tests for the smart eviction (Alg. 1) and prefetch (§4.4)
+ *  schedulers plus the bandwidth model they plan against. */
+
+#include <gtest/gtest.h>
+
+#include "core/g10_compiler.h"
+#include "core/sched/bandwidth_model.h"
+#include "core/sched/eviction_scheduler.h"
+#include "core/sched/prefetch_scheduler.h"
+#include "models/model_zoo.h"
+#include "tests/test_util.h"
+
+namespace g10 {
+namespace {
+
+SystemConfig
+sys()
+{
+    return test::tinySystem();
+}
+
+TEST(BandwidthModel, UncontendedDurations)
+{
+    BandwidthModel bw(sys());
+    // Host path = PCIe speed; SSD path = SSD speed + latency.
+    Bytes b = 157540000;  // 10 ms at 15.754 GB/s
+    EXPECT_NEAR(static_cast<double>(
+                    bw.evictDuration(b, MemLoc::Host)),
+                10.0 * MSEC, 0.01 * MSEC);
+    TimeNs ssd = bw.evictDuration(b, MemLoc::Ssd);
+    EXPECT_GT(ssd, bw.evictDuration(b, MemLoc::Host));
+    EXPECT_NEAR(static_cast<double>(ssd),
+                static_cast<double>(b) / 3.0 + 16.0 * USEC,
+                0.01 * MSEC);
+}
+
+TEST(BandwidthModel, ContentionDelaysCompletion)
+{
+    BandwidthModel bw(sys());
+    Bytes b = 500 * MiB;
+    FlowSchedule first = bw.planEvict(0, b, MemLoc::Host);
+    bw.reserveEvict(first, b, MemLoc::Host);
+    FlowSchedule second = bw.planEvict(0, b, MemLoc::Host);
+    // Sharing the link roughly doubles the drain time.
+    EXPECT_GT(second.duration(), first.duration() * 3 / 2);
+}
+
+TEST(BandwidthModel, SsdSaturationDetected)
+{
+    BandwidthModel bw(sys());
+    EXPECT_FALSE(bw.ssdEvictSaturated(0, 64 * MiB));
+    // Saturate the SSD write path with a big flow.
+    FlowSchedule f = bw.planEvict(0, 2 * GiB, MemLoc::Ssd);
+    bw.reserveEvict(f, 2 * GiB, MemLoc::Ssd);
+    EXPECT_TRUE(bw.ssdEvictSaturated(0, 256 * MiB));
+    // Host path is unaffected by ssd-side saturation beyond the link
+    // share, and releasing restores read-side headroom checks.
+    EXPECT_FALSE(bw.ssdPrefetchSaturated(0, 64 * MiB));
+}
+
+TEST(BandwidthModel, ReserveReleasePrefetchRoundTrips)
+{
+    BandwidthModel bw(sys());
+    Bytes b = 512 * MiB;
+    FlowSchedule f = bw.planPrefetch(0, b, MemLoc::Ssd);
+    bw.reservePrefetch(f, b, MemLoc::Ssd);
+    EXPECT_TRUE(bw.ssdPrefetchSaturated(0, 256 * MiB));
+    bw.releasePrefetch(f, b, MemLoc::Ssd);
+    EXPECT_FALSE(bw.ssdPrefetchSaturated(0, 64 * MiB));
+}
+
+TEST(BandwidthModel, LatestPrefetchStartMeetsDeadline)
+{
+    BandwidthModel bw(sys());
+    Bytes b = 256 * MiB;
+    TimeNs deadline = 1 * SEC;
+    TimeNs start = bw.latestPrefetchStart(deadline, b, MemLoc::Host);
+    FlowSchedule f = bw.planPrefetch(start, b, MemLoc::Host);
+    EXPECT_LE(f.complete, deadline);
+    EXPECT_GT(start, 0);
+}
+
+// ---- Eviction scheduler (Algorithm 1) ----
+
+class EvictionSchedulerTest : public ::testing::Test
+{
+  protected:
+    // 16 fwd/bwd stages of 16 MiB on a 64 MiB GPU: heavy oversubscribe.
+    KernelTrace trace_ =
+        test::makeFwdBwdTrace(16, 16 * MiB, 4 * MSEC);
+    SystemConfig sys_ = sys();
+    VitalityAnalysis vit_{trace_, sys_.kernelLaunchOverheadNs};
+};
+
+TEST_F(EvictionSchedulerTest, ReducesPeakBelowCapacity)
+{
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    EXPECT_GT(out.initialPeakBytes, sys_.gpuMemBytes);
+    EXPECT_LE(out.finalPeakBytes,
+              out.initialPeakBytes);
+    // Algorithm 1 stops when no beneficial candidate remains; allow a
+    // one-tensor residual above capacity (the runtime absorbs it).
+    EXPECT_LE(out.finalPeakBytes, sys_.gpuMemBytes + 16 * MiB);
+    EXPECT_FALSE(out.migrations.empty());
+}
+
+TEST_F(EvictionSchedulerTest, MigrationsAreWellFormed)
+{
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    for (const auto& m : out.migrations) {
+        const InactivePeriod& p = vit_.periods()[m.periodIndex];
+        EXPECT_EQ(m.tensor, p.tensor);
+        EXPECT_EQ(m.evictStart, p.startNs);
+        EXPECT_GT(m.evictComplete, m.evictStart);
+        EXPECT_GE(m.prefetchStart, m.evictComplete);
+        EXPECT_GT(m.prefetchComplete, m.prefetchStart);
+        EXPECT_TRUE(m.dest == MemLoc::Ssd || m.dest == MemLoc::Host);
+    }
+}
+
+TEST_F(EvictionSchedulerTest, NoTensorPeriodCommittedTwice)
+{
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    std::vector<std::size_t> seen;
+    for (const auto& m : out.migrations)
+        seen.push_back(m.periodIndex);
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST_F(EvictionSchedulerTest, PrefersLargeLongPeriods)
+{
+    // The earliest-produced activations have the longest periods; with
+    // equal sizes they are the best benefit/cost candidates and must be
+    // selected first.
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    ASSERT_FALSE(out.migrations.empty());
+    // The first committed eviction (earliest evictStart) should belong
+    // to one of the first few activations.
+    EXPECT_LE(out.migrations.front().evictStart,
+              vit_.kernelEnd(4));
+}
+
+TEST_F(EvictionSchedulerTest, GdsModeNeverUsesHost)
+{
+    EvictionSchedulerParams p;
+    p.allowHost = false;
+    EvictionScheduler sched(vit_, sys_, p);
+    EvictionSchedule out = sched.run();
+    EXPECT_EQ(out.bytesToHost, 0u);
+    for (const auto& m : out.migrations)
+        EXPECT_EQ(m.dest, MemLoc::Ssd);
+}
+
+TEST_F(EvictionSchedulerTest, HostOnlyModeNeverUsesSsd)
+{
+    EvictionSchedulerParams p;
+    p.allowSsd = false;
+    EvictionScheduler sched(vit_, sys_, p);
+    EvictionSchedule out = sched.run();
+    EXPECT_EQ(out.bytesToSsd, 0u);
+}
+
+TEST_F(EvictionSchedulerTest, SmallTensorsAreIgnored)
+{
+    EvictionSchedulerParams p;
+    p.minTensorBytes = 100 * MiB;  // bigger than every tensor
+    EvictionScheduler sched(vit_, sys_, p);
+    EvictionSchedule out = sched.run();
+    EXPECT_TRUE(out.migrations.empty());
+}
+
+TEST(EvictionScheduler, NoWorkWhenModelFits)
+{
+    KernelTrace t = test::makeFwdBwdTrace(3, 1 * MiB, 1 * MSEC);
+    SystemConfig s = sys();
+    VitalityAnalysis vit(t, s.kernelLaunchOverheadNs);
+    EvictionScheduler sched(vit, s);
+    EvictionSchedule out = sched.run();
+    EXPECT_TRUE(out.migrations.empty());
+    EXPECT_LE(out.finalPeakBytes, s.gpuMemBytes);
+}
+
+TEST(EvictionSchedulerDeath, NoDestinationsIsFatal)
+{
+    KernelTrace t = test::makeFwdBwdTrace(3, 1 * MiB, 1 * MSEC);
+    SystemConfig s = sys();
+    VitalityAnalysis vit(t, s.kernelLaunchOverheadNs);
+    EvictionSchedulerParams p;
+    p.allowHost = false;
+    p.allowSsd = false;
+    EXPECT_EXIT(EvictionScheduler(vit, s, p),
+                ::testing::ExitedWithCode(1), "destination");
+}
+
+// ---- Prefetch scheduler ----
+
+TEST_F(EvictionSchedulerTest, EagerPrefetchNeverMovesLater)
+{
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    std::vector<TimeNs> latest;
+    for (const auto& m : out.migrations)
+        latest.push_back(m.prefetchLatest);
+    PrefetchStats st =
+        schedulePrefetches(out, sched.bandwidth(), sys_);
+    for (std::size_t i = 0; i < out.migrations.size(); ++i) {
+        EXPECT_LE(out.migrations[i].prefetchStart, latest[i]);
+        EXPECT_GE(out.migrations[i].prefetchStart,
+                  out.migrations[i].evictComplete);
+    }
+    (void)st;
+}
+
+TEST_F(EvictionSchedulerTest, EagerPrefetchNeverRaisesThePeak)
+{
+    EvictionScheduler sched(vit_, sys_);
+    EvictionSchedule out = sched.run();
+    Bytes peak_after_eviction = out.finalPeakBytes;
+    PrefetchSchedulerParams pp;
+    pp.capacityFraction = 0.95;
+    schedulePrefetches(out, sched.bandwidth(), sys_, pp);
+    // Eager prefetching fills *spare* capacity; it must never create a
+    // new global maximum above what the eviction pass left.
+    EXPECT_LE(out.finalPeakBytes, peak_after_eviction + 1 * MiB);
+}
+
+// ---- Full pipeline ----
+
+TEST(G10Compiler, EndToEndProducesAnchoredPlan)
+{
+    KernelTrace t = test::makeFwdBwdTrace(16, 16 * MiB, 4 * MSEC);
+    SystemConfig s = sys();
+    CompiledPlan plan = compileG10Plan(t, s);
+    EXPECT_FALSE(plan.plan.empty());
+    // Every instruction anchors to a real kernel.
+    for (const auto& in : plan.plan.instrs) {
+        EXPECT_GE(in.issueBefore, 0);
+        EXPECT_LT(static_cast<std::size_t>(in.issueBefore),
+                  t.numKernels());
+    }
+    // Instructions sorted by anchor.
+    for (std::size_t i = 1; i < plan.plan.instrs.size(); ++i)
+        EXPECT_LE(plan.plan.instrs[i - 1].issueBefore,
+                  plan.plan.instrs[i].issueBefore);
+    // Bucket index is consistent.
+    for (std::size_t k = 0; k < t.numKernels(); ++k) {
+        auto [b, e] =
+            plan.plan.instrsBefore(static_cast<KernelId>(k));
+        for (const MigrationInstr* it = b; it != e; ++it)
+            EXPECT_EQ(it->issueBefore, static_cast<KernelId>(k));
+    }
+}
+
+TEST(G10Compiler, PrefetchAnchoredNoLaterThanNextUse)
+{
+    KernelTrace t = test::makeFwdBwdTrace(16, 16 * MiB, 4 * MSEC);
+    SystemConfig s = sys();
+    CompiledPlan plan = compileG10Plan(t, s);
+    for (const auto& in : plan.plan.instrs) {
+        if (in.kind != InstrKind::Prefetch)
+            continue;
+        const auto& m = plan.schedule.migrations[in.migrationIndex];
+        const auto& p = plan.vitality->periods()[m.periodIndex];
+        if (!p.wrapsIteration)
+            EXPECT_LE(in.issueBefore, p.nextUse);
+    }
+}
+
+TEST(G10Compiler, RealModelPlanFitsOrShrinksPeak)
+{
+    KernelTrace t = buildModelScaled(ModelKind::BertBase, 256, 16);
+    SystemConfig s = SystemConfig().scaledDown(16);
+    CompiledPlan plan = compileG10Plan(t, s);
+    EXPECT_GT(plan.schedule.initialPeakBytes, s.gpuMemBytes);
+    EXPECT_LT(plan.schedule.finalPeakBytes,
+              plan.schedule.initialPeakBytes);
+    EXPECT_GT(plan.schedule.migrations.size(), 10u);
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,98 @@
+/** @file Round-trip tests for the plain-text trace format. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/trace_io.h"
+#include "models/model_zoo.h"
+#include "tests/test_util.h"
+
+namespace g10 {
+namespace {
+
+TEST(TraceIo, RoundTripsSyntheticTrace)
+{
+    KernelTrace t =
+        test::makeFwdBwdTrace(8, 3 * MiB, 2 * MSEC, 5 * MiB);
+    std::stringstream buf;
+    writeTrace(buf, t);
+    KernelTrace back = readTrace(buf);
+
+    EXPECT_EQ(back.modelName(), t.modelName());
+    EXPECT_EQ(back.batchSize(), t.batchSize());
+    ASSERT_EQ(back.numTensors(), t.numTensors());
+    ASSERT_EQ(back.numKernels(), t.numKernels());
+    for (std::size_t i = 0; i < t.numTensors(); ++i) {
+        const auto& a = t.tensors()[i];
+        const auto& b = back.tensors()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.bytes, b.bytes);
+        EXPECT_EQ(a.kind, b.kind);
+    }
+    for (std::size_t i = 0; i < t.numKernels(); ++i) {
+        const auto& a = t.kernels()[i];
+        const auto& b = back.kernels()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.durationNs, b.durationNs);
+        EXPECT_EQ(a.inputs, b.inputs);
+        EXPECT_EQ(a.outputs, b.outputs);
+        EXPECT_EQ(a.workspace, b.workspace);
+        EXPECT_EQ(a.kind, b.kind);
+    }
+}
+
+TEST(TraceIo, RoundTripsRealModel)
+{
+    KernelTrace t = buildModelScaled(ModelKind::BertBase, 64, 16);
+    std::stringstream buf;
+    writeTrace(buf, t);
+    KernelTrace back = readTrace(buf);
+    EXPECT_EQ(back.numKernels(), t.numKernels());
+    EXPECT_EQ(back.totalComputeNs(), t.totalComputeNs());
+    EXPECT_EQ(back.totalTensorBytes(), t.totalTensorBytes());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream buf;
+    buf << "# a comment\n\n"
+        << "trace tiny 1\n"
+        << "tensor 0 A 1024 x\n"
+        << "# another\n"
+        << "kernel 0 Gemm 1000 in=- out=0 ws=- k0\n";
+    KernelTrace t = readTrace(buf);
+    EXPECT_EQ(t.numKernels(), 1u);
+    EXPECT_EQ(t.tensor(0).bytes, 1024u);
+}
+
+TEST(TraceIoDeath, MissingHeaderIsFatal)
+{
+    std::stringstream buf;
+    buf << "tensor 0 A 1024 x\n";
+    EXPECT_EXIT(readTrace(buf), ::testing::ExitedWithCode(1), "header");
+}
+
+TEST(TraceIoDeath, BadKindIsFatal)
+{
+    std::stringstream buf;
+    buf << "trace t 1\ntensor 0 Q 1024 x\n";
+    EXPECT_EXIT(readTrace(buf), ::testing::ExitedWithCode(1),
+                "unknown tensor kind");
+}
+
+TEST(TraceIoDeath, NonDenseIdsAreFatal)
+{
+    std::stringstream buf;
+    buf << "trace t 1\ntensor 5 A 1024 x\n";
+    EXPECT_EXIT(readTrace(buf), ::testing::ExitedWithCode(1), "dense");
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadTraceFile("/nonexistent/path.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+}  // namespace
+}  // namespace g10

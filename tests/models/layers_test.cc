@@ -1,0 +1,197 @@
+/** @file Shape/flops/workspace math of the layer emitters. */
+
+#include <gtest/gtest.h>
+
+#include "models/layers.h"
+#include "common/system_config.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+namespace {
+
+struct Net
+{
+    TraceBuilder b{"net", 4, CostModel()};
+    CnnBuilder cnn{b, 4, /*ws_cap=*/64 * MiB};
+};
+
+TEST(CnnBuilder, ConvShapeMath)
+{
+    Net n;
+    FMap x = n.cnn.input(3, 224, 224);
+    FMap y = n.cnn.conv(x, 64, 7, 2, 3, "c1");
+    EXPECT_EQ(y.c, 64);
+    EXPECT_EQ(y.h, 112);
+    EXPECT_EQ(y.w, 112);
+    // Output bytes = batch * C * H * W * 4.
+    EXPECT_EQ(n.b.trace().tensor(y.t).bytes,
+              static_cast<Bytes>(4) * 64 * 112 * 112 * 4);
+}
+
+TEST(CnnBuilder, StridedPoolHalves)
+{
+    Net n;
+    FMap x = n.cnn.input(64, 56, 56);
+    FMap y = n.cnn.maxPool(x, 3, 2, 1, "p");
+    EXPECT_EQ(y.h, 28);
+    EXPECT_EQ(y.w, 28);
+    EXPECT_EQ(y.c, 64);
+}
+
+TEST(CnnBuilder, ConvWorkspaceIsCapped)
+{
+    Net n;
+    FMap x = n.cnn.input(256, 128, 128);
+    n.cnn.conv(x, 256, 3, 1, 1, "big");
+    // im2col would be 4*256*9*128*128*4 = 604 MB; cap is 64 MB.
+    Bytes biggest_ws = 0;
+    for (const auto& t : n.b.trace().tensors())
+        if (t.kind == TensorKind::Workspace)
+            biggest_ws = std::max(biggest_ws, t.bytes);
+    EXPECT_EQ(biggest_ws, 64 * MiB);
+}
+
+TEST(CnnBuilder, OneByOneConvHasNoWorkspace)
+{
+    Net n;
+    FMap x = n.cnn.input(64, 56, 56);
+    n.cnn.conv(x, 128, 1, 1, 0, "proj");
+    for (const auto& t : n.b.trace().tensors())
+        EXPECT_NE(t.kind, TensorKind::Workspace);
+}
+
+TEST(CnnBuilder, GroupedConvReducesWeightAndFlops)
+{
+    Net a;
+    FMap xa = a.cnn.input(64, 28, 28);
+    a.cnn.conv(xa, 64, 3, 1, 1, "dense", /*groups=*/1);
+    Net g;
+    FMap xg = g.cnn.input(64, 28, 28);
+    g.cnn.conv(xg, 64, 3, 1, 1, "grouped", /*groups=*/8);
+
+    auto weight_bytes = [](const Net& n) {
+        for (const auto& t : n.b.trace().tensors())
+            if (t.kind == TensorKind::Weight)
+                return t.bytes;
+        return Bytes{0};
+    };
+    EXPECT_EQ(weight_bytes(a), 8 * weight_bytes(g));
+}
+
+TEST(CnnBuilder, ConcatSumsChannels)
+{
+    Net n;
+    FMap x = n.cnn.input(32, 35, 35);
+    FMap a = n.cnn.conv(x, 64, 1, 1, 0, "a");
+    FMap b = n.cnn.conv(x, 96, 1, 1, 0, "b");
+    FMap y = n.cnn.concat({a, b}, "cat");
+    EXPECT_EQ(y.c, 160);
+    EXPECT_EQ(y.h, 35);
+}
+
+TEST(CnnBuilderDeath, MismatchedAddPanics)
+{
+    Net n;
+    FMap x = n.cnn.input(16, 8, 8);
+    FMap y = n.cnn.conv(x, 16, 3, 2, 1, "down");
+    EXPECT_DEATH(n.cnn.add(x, y, "bad"), "shape mismatch");
+}
+
+TEST(CnnBuilderDeath, CollapsedConvPanics)
+{
+    Net n;
+    FMap x = n.cnn.input(8, 4, 4);
+    EXPECT_DEATH(n.cnn.conv(x, 8, 7, 1, 0, "toobig"), "collapsed");
+}
+
+TEST(SeqBuilder, EncoderKeepsTokenShape)
+{
+    TraceBuilder b("t", 2, CostModel());
+    SeqBuilder s(b, 2, 128, 768, 12);
+    TensorId x = s.embeddings(1000, "emb");
+    TensorId y = s.encoderLayer(x, "l0");
+    EXPECT_EQ(b.trace().tensor(y).bytes, s.seqBytes(768));
+    EXPECT_EQ(b.trace().tensor(x).bytes, s.seqBytes(768));
+}
+
+TEST(SeqBuilder, DropoutTogglesMaskTensors)
+{
+    auto count_masks = [](bool use_dropout) {
+        TraceBuilder b("t", 2, CostModel());
+        SeqBuilder s(b, 2, 64, 256, 4, use_dropout);
+        TensorId x = s.embeddings(500, "emb");
+        s.encoderLayer(x, "l0");
+        std::size_t masks = 0;
+        for (const auto& t : b.trace().tensors())
+            if (t.name.find("drop_saved") != std::string::npos)
+                ++masks;
+        return masks;
+    };
+    EXPECT_EQ(count_masks(false), 0u);
+    EXPECT_EQ(count_masks(true), 3u);  // attn, proj, mlp dropouts
+}
+
+TEST(SeqBuilder, AttentionScoresScaleQuadraticallyWithSeqLen)
+{
+    auto score_bytes = [](int seq) {
+        TraceBuilder b("t", 1, CostModel());
+        SeqBuilder s(b, 1, seq, 256, 4, false);
+        TensorId x = s.embeddings(100, "emb");
+        s.encoderLayer(x, "l0");
+        Bytes best = 0;
+        for (const auto& t : b.trace().tensors())
+            if (t.name.find("softmax_out") != std::string::npos)
+                best = std::max(best, t.bytes);
+        return best;
+    };
+    EXPECT_EQ(score_bytes(128), 4 * score_bytes(64));
+}
+
+TEST(CostModel, RooflineSelectsBottleneck)
+{
+    CostModel cm(10e12, 1000.0);
+    // Compute-bound: lots of flops, few bytes.
+    TimeNs t1 = cm.kernelTime(OpKind::Gemm, 1e12, 1e6);
+    // Memory-bound: few flops, many bytes.
+    TimeNs t2 = cm.kernelTime(OpKind::Elementwise, 1e6, 1e12);
+    EXPECT_GT(t1, 10 * MSEC);
+    EXPECT_GT(t2, 1 * SEC);
+    // Tiny kernels floor at ~2us.
+    EXPECT_GE(cm.kernelTime(OpKind::Elementwise, 1.0, 1.0), 2 * USEC);
+}
+
+TEST(CostModel, GemmBeatsElementwiseEfficiency)
+{
+    EXPECT_GT(CostModel::flopEfficiency(OpKind::Gemm),
+              CostModel::flopEfficiency(OpKind::Softmax));
+    EXPECT_GT(CostModel::memEfficiency(OpKind::Elementwise),
+              CostModel::memEfficiency(OpKind::Embedding));
+}
+
+TEST(SystemConfig, ScaledDownDividesCapacitiesOnly)
+{
+    SystemConfig s;
+    SystemConfig half = s.scaledDown(2);
+    EXPECT_EQ(half.gpuMemBytes, s.gpuMemBytes / 2);
+    EXPECT_EQ(half.hostMemBytes, s.hostMemBytes / 2);
+    EXPECT_EQ(half.ssdCapacityBytes, s.ssdCapacityBytes / 2);
+    EXPECT_DOUBLE_EQ(half.pcieGBps, s.pcieGBps);
+    EXPECT_EQ(half.gpuFaultLatencyNs, s.gpuFaultLatencyNs);
+    // Factor 1 and 0 are identity.
+    EXPECT_EQ(s.scaledDown(1).gpuMemBytes, s.gpuMemBytes);
+    EXPECT_EQ(s.scaledDown(0).gpuMemBytes, s.gpuMemBytes);
+}
+
+TEST(Units, TransferTimeMath)
+{
+    EXPECT_EQ(transferTimeNs(0, 10.0), 0);
+    EXPECT_EQ(transferTimeNs(1000, 0.0), 0);
+    // 10 GB at 10 GB/s = 1 s.
+    EXPECT_EQ(transferTimeNs(10ULL * 1000 * 1000 * 1000, 10.0),
+              1 * SEC);
+    // Non-empty transfers take at least 1 ns.
+    EXPECT_GE(transferTimeNs(1, 100.0), 1);
+}
+
+}  // namespace
+}  // namespace g10

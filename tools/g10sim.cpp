@@ -1,0 +1,196 @@
+/**
+ * @file
+ * g10sim -- config-driven single-experiment runner, the equivalent of
+ * the paper artifact's `gpg <config>` workflow.
+ *
+ * Usage:
+ *   g10sim <config-file>
+ *   g10sim --dump-trace <model> <batch> <scale> <out.trace>
+ *
+ * Config files are `key = value` lines ('#' comments). Keys:
+ *   model        BERT|ViT|Inceptionv3|ResNet152|SENet154
+ *   trace        path to a saved .trace file (overrides model/batch)
+ *   batch        paper-scale batch size       (default: model's Fig.11)
+ *   scale        1/N platform scale           (default 16)
+ *   design       ideal|baseuvm|deepum|flashneuron|g10gds|g10host|g10
+ *   iterations   replay count, last measured  (default 2)
+ *   timing_error fraction, e.g. 0.2 = +-20%   (default 0)
+ *   seed         RNG seed                     (default 42)
+ *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps   platform knobs
+ *   listing      N  -> print the first N kernels of the instrumented
+ *                      program (G10 designs only)
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "api/g10.h"
+#include "graph/trace_io.h"
+
+namespace {
+
+using namespace g10;
+
+std::map<std::string, std::string>
+parseConfig(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open config '%s'", path.c_str());
+    std::map<std::string, std::string> kv;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(f, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::stringstream ss(line);
+        std::string key, eq, value;
+        if (!(ss >> key))
+            continue;
+        if (!(ss >> eq >> value) || eq != "=")
+            fatal("%s:%zu: expected 'key = value'", path.c_str(),
+                  lineno);
+        kv[key] = value;
+    }
+    return kv;
+}
+
+DesignPoint
+designFromString(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "ideal") return DesignPoint::Ideal;
+    if (s == "baseuvm" || s == "uvm") return DesignPoint::BaseUvm;
+    if (s == "deepum" || s == "deepum+") return DesignPoint::DeepUmPlus;
+    if (s == "flashneuron") return DesignPoint::FlashNeuron;
+    if (s == "g10gds" || s == "g10-gds") return DesignPoint::G10Gds;
+    if (s == "g10host" || s == "g10-host") return DesignPoint::G10Host;
+    if (s == "g10") return DesignPoint::G10;
+    fatal("unknown design '%s'", s.c_str());
+}
+
+int
+dumpTrace(int argc, char** argv)
+{
+    if (argc != 6)
+        fatal("usage: g10sim --dump-trace <model> <batch> <scale> "
+              "<out.trace>");
+    ModelKind m = modelKindFromName(argv[2]);
+    int batch = std::atoi(argv[3]);
+    auto scale = static_cast<unsigned>(std::atoi(argv[4]));
+    KernelTrace trace = buildModelScaled(m, batch, scale);
+    saveTraceFile(argv[5], trace);
+    std::cout << "wrote " << trace.numKernels() << " kernels / "
+              << trace.numTensors() << " tensors to " << argv[5]
+              << "\n";
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace g10;
+
+    if (argc >= 2 && std::string(argv[1]) == "--dump-trace")
+        return dumpTrace(argc, argv);
+    if (argc != 2) {
+        std::cerr << "usage: g10sim <config-file> | g10sim "
+                     "--dump-trace <model> <batch> <scale> <out>\n";
+        return 1;
+    }
+
+    auto kv = parseConfig(argv[1]);
+    auto get = [&](const std::string& k, const std::string& def) {
+        auto it = kv.find(k);
+        return it == kv.end() ? def : it->second;
+    };
+
+    unsigned scale =
+        static_cast<unsigned>(std::stoul(get("scale", "16")));
+
+    KernelTrace trace;
+    if (kv.count("trace")) {
+        trace = loadTraceFile(kv["trace"]);
+    } else {
+        ModelKind m = modelKindFromName(get("model", "ResNet152"));
+        int batch = std::stoi(get(
+            "batch", std::to_string(paperBatchSize(m))));
+        trace = buildModelScaled(m, batch, scale);
+    }
+
+    SystemConfig sys = SystemConfig().scaledDown(scale);
+    if (kv.count("gpu_mem_gb"))
+        sys.gpuMemBytes = static_cast<Bytes>(
+            std::stod(kv["gpu_mem_gb"]) * 1e9);
+    if (kv.count("host_mem_gb"))
+        sys.hostMemBytes = static_cast<Bytes>(
+            std::stod(kv["host_mem_gb"]) * 1e9);
+    if (kv.count("ssd_gbps")) {
+        sys.ssdReadGBps = std::stod(kv["ssd_gbps"]);
+        sys.ssdWriteGBps = sys.ssdReadGBps * (3.0 / 3.2);
+    }
+    if (kv.count("pcie_gbps"))
+        sys.pcieGBps = std::stod(kv["pcie_gbps"]);
+
+    ExperimentConfig cfg;
+    cfg.sys = sys;
+    cfg.scaleDown = 1;
+    cfg.design = designFromString(get("design", "g10"));
+    cfg.iterations = std::stoi(get("iterations", "2"));
+    cfg.timingErrorPct = std::stod(get("timing_error", "0"));
+    cfg.seed = std::stoull(get("seed", "42"));
+
+    int listing = std::stoi(get("listing", "0"));
+    if (listing > 0 &&
+        (cfg.design == DesignPoint::G10 ||
+         cfg.design == DesignPoint::G10Host ||
+         cfg.design == DesignPoint::G10Gds)) {
+        CompiledPlan plan = compileG10Plan(trace, sys);
+        printInstrumentedProgram(std::cout, *plan.vitality, plan.plan,
+                                 0, listing);
+        std::cout << "\n";
+    }
+
+    ExecStats st = runExperimentOnTrace(trace, cfg);
+
+    Table out("g10sim result");
+    out.setHeader({"key", "value"});
+    out.addRowOf("model", st.modelName.c_str());
+    out.addRowOf("batch", st.batchSize);
+    out.addRowOf("design", st.policyName.c_str());
+    if (st.failed) {
+        out.addRowOf("status", "FAILED");
+        out.addRowOf("reason", st.failReason.c_str());
+        out.print(std::cout);
+        return 2;
+    }
+    out.addRowOf("status", "ok");
+    out.addRowOf("iteration_s",
+                 static_cast<double>(st.measuredIterationNs) / 1e9);
+    out.addRowOf("ideal_s",
+                 static_cast<double>(st.idealIterationNs) / 1e9);
+    out.addRowOf("normalized_perf", st.normalizedPerf());
+    out.addRowOf("throughput_sps", st.throughput());
+    out.addRowOf("stall_s",
+                 static_cast<double>(st.totalStallNs) / 1e9);
+    out.addRowOf("fault_batches",
+                 static_cast<unsigned long long>(st.pageFaultBatches));
+    out.addRowOf("gpu_ssd_GB",
+                 static_cast<double>(st.traffic.gpuToSsd +
+                                     st.traffic.ssdToGpu) / 1e9);
+    out.addRowOf("gpu_host_GB",
+                 static_cast<double>(st.traffic.gpuToHost +
+                                     st.traffic.hostToGpu) / 1e9);
+    out.addRowOf("ssd_waf", st.ssd.waf());
+    out.print(std::cout);
+    return 0;
+}
