@@ -35,8 +35,7 @@ main()
                          "DeepUM+", "G10"});
         for (double bw : ssd_gbps) {
             SystemConfig s = pcie4;
-            s.ssdReadGBps = bw;
-            s.ssdWriteGBps = bw * (3.0 / 3.2);
+            s.setSsdBandwidthGBps(bw);
             std::vector<std::string> row = {Table::formatCell(bw)};
             for (DesignPoint d :
                  {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,

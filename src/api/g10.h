@@ -4,8 +4,9 @@
  *
  * Pulls in the public API surface: platform configuration, the model
  * zoo, the compile-time pipeline (vitality analysis + migration
- * scheduling), the runtime simulator with all design points, and the
- * one-call experiment facade.
+ * scheduling), the runtime simulator with all design points, the
+ * one-call experiment facade, and the multi-tenant / parallel
+ * experiment engine.
  */
 
 #ifndef G10_API_G10_H
@@ -18,6 +19,9 @@
 #include "common/table.h"
 #include "common/types.h"
 #include "core/g10_compiler.h"
+#include "engine/experiment_engine.h"
+#include "engine/multi_tenant.h"
+#include "engine/workload_mix.h"
 #include "core/sched/plan_builder.h"
 #include "core/vitality/vitality.h"
 #include "graph/trace.h"

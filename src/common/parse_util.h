@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict string->number parsing for config/CLI surfaces: the whole
+ * token must parse (no silently ignored suffixes, no empty strings).
+ * Callers format their own diagnostics and fatal() with location info.
+ */
+
+#ifndef G10_COMMON_PARSE_UTIL_H
+#define G10_COMMON_PARSE_UTIL_H
+
+#include <string>
+
+namespace g10 {
+
+/** Parse all of @p s as an integer; false on any malformed input. */
+inline bool
+parseIntStrict(const std::string& s, long long* out)
+{
+    if (s.empty())
+        return false;
+    std::size_t pos = 0;
+    try {
+        *out = std::stoll(s, &pos);
+    } catch (...) {
+        return false;
+    }
+    return pos == s.size();
+}
+
+/** Parse all of @p s as a double; false on any malformed input. */
+inline bool
+parseDoubleStrict(const std::string& s, double* out)
+{
+    if (s.empty())
+        return false;
+    std::size_t pos = 0;
+    try {
+        *out = std::stod(s, &pos);
+    } catch (...) {
+        return false;
+    }
+    return pos == s.size();
+}
+
+}  // namespace g10
+
+#endif  // G10_COMMON_PARSE_UTIL_H

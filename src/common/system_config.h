@@ -84,6 +84,19 @@ struct SystemConfig
     TimeNs kernelLaunchOverheadNs = 5 * USEC;
 
     /**
+     * Set the SSD read bandwidth and derive the write bandwidth with
+     * the Z-NAND datasheet's read:write ratio preserved (3.2 : 3.0).
+     * Every sweep that scales "SSD bandwidth" (CLI knobs, Fig. 18)
+     * must go through this so the two stay consistent.
+     */
+    void
+    setSsdBandwidthGBps(double read_gbps)
+    {
+        ssdReadGBps = read_gbps;
+        ssdWriteGBps = read_gbps * (3.0 / 3.2);
+    }
+
+    /**
      * Return a copy with all capacities divided by @p factor.
      *
      * Bandwidths and latencies are left untouched; pairing this with a

@@ -1,5 +1,7 @@
 #include "design_point.h"
 
+#include <cctype>
+
 #include "common/logging.h"
 #include "policies/baselines.h"
 #include "policies/g10_policy.h"
@@ -19,6 +21,22 @@ designPointName(DesignPoint d)
       case DesignPoint::G10: return "G10";
     }
     return "?";
+}
+
+DesignPoint
+designPointFromName(const std::string& name)
+{
+    std::string s = name;
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "ideal") return DesignPoint::Ideal;
+    if (s == "baseuvm" || s == "uvm") return DesignPoint::BaseUvm;
+    if (s == "deepum" || s == "deepum+") return DesignPoint::DeepUmPlus;
+    if (s == "flashneuron") return DesignPoint::FlashNeuron;
+    if (s == "g10gds" || s == "g10-gds") return DesignPoint::G10Gds;
+    if (s == "g10host" || s == "g10-host") return DesignPoint::G10Host;
+    if (s == "g10") return DesignPoint::G10;
+    fatal("unknown design '%s'", name.c_str());
 }
 
 std::vector<DesignPoint>

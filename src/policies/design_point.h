@@ -32,6 +32,14 @@ enum class DesignPoint
 /** Display name matching the paper's legends. */
 const char* designPointName(DesignPoint d);
 
+/**
+ * Parse a design name (case-insensitive; accepts the CLI spellings
+ * "ideal", "baseuvm"/"uvm", "deepum"/"deepum+", "flashneuron",
+ * "g10gds"/"g10-gds", "g10host"/"g10-host", "g10"). fatal() on unknown
+ * names.
+ */
+DesignPoint designPointFromName(const std::string& name);
+
 /** The designs of Fig. 11, left-to-right. */
 std::vector<DesignPoint> allDesignPoints();
 

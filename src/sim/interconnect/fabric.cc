@@ -7,8 +7,9 @@
 namespace g10 {
 
 Fabric::Fabric(const SystemConfig& config, SsdDevice* ssd,
-               bool uvm_extension)
-    : config_(config), ssd_(ssd), uvmExtension_(uvm_extension)
+               bool uvm_extension, FabricChannels* shared)
+    : config_(config), ssd_(ssd), uvmExtension_(uvm_extension),
+      ch_(shared != nullptr ? shared : &own_)
 {
     if (ssd_ == nullptr)
         fatal("Fabric requires an SSD device model");
@@ -51,8 +52,8 @@ Fabric::toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
         // The unified page table: one PTE interaction per migration op;
         // the hardware arbiter batches the rest.
         TimeNs sw = hostSoftwareCost(cause);
-        ready = std::max(earliest, hostSwFree_) + sw;
-        hostSwFree_ = ready;
+        ready = std::max(earliest, ch_->hostSwFree) + sw;
+        ch_->hostSwFree = ready;
     }
 
     Transfer out;
@@ -78,9 +79,9 @@ Fabric::toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
             // syscall, DMA descriptor) every copy chunk. Setup of
             // chunk i+1 pipelines with the DMA of chunk i but
             // serializes on the host software timeline.
-            TimeNs sw_done = std::max(earliest, hostSwFree_) +
+            TimeNs sw_done = std::max(earliest, ch_->hostSwFree) +
                              config_.hostSwOverheadNs;
-            hostSwFree_ = sw_done;
+            ch_->hostSwFree = sw_done;
             batch_ready = std::max(batch_ready, sw_done);
         }
         if (fault) {
@@ -90,9 +91,9 @@ Fabric::toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
             // DMA do NOT pipeline (this is what makes Base UVM pay
             // 4-5x over ideal in the paper).
             ++traffic_.faultBatches;
-            TimeNs sw_done = std::max(fault_cursor, hostSwFree_) +
+            TimeNs sw_done = std::max(fault_cursor, ch_->hostSwFree) +
                              config_.gpuFaultLatencyNs;
-            hostSwFree_ = sw_done;
+            ch_->hostSwFree = sw_done;
             batch_ready = sw_done;
         }
         TimeNs link_time = transferTimeNs(batch, config_.pcieGBps);
@@ -100,17 +101,17 @@ Fabric::toGpu(Bytes bytes, MemLoc src, TimeNs earliest,
         TimeNs done;
         if (src == MemLoc::Ssd) {
             TimeNs dev_busy = ssd_->serviceRead(batch);
-            start = std::max({batch_ready, pcieInFree_, ssdFree_});
-            ssdFree_ = start + dev_busy;
-            pcieInFree_ = start + link_time;
-            pcieInBusy_ += link_time;
-            done = std::max(ssdFree_, pcieInFree_);
+            start = std::max({batch_ready, ch_->pcieInFree, ch_->ssdFree});
+            ch_->ssdFree = start + dev_busy;
+            ch_->pcieInFree = start + link_time;
+            ch_->pcieInBusy += link_time;
+            done = std::max(ch_->ssdFree, ch_->pcieInFree);
             traffic_.ssdToGpu += batch;
         } else {
-            start = std::max(batch_ready, pcieInFree_);
-            pcieInFree_ = start + link_time;
-            pcieInBusy_ += link_time;
-            done = pcieInFree_;
+            start = std::max(batch_ready, ch_->pcieInFree);
+            ch_->pcieInFree = start + link_time;
+            ch_->pcieInBusy += link_time;
+            done = ch_->pcieInFree;
             traffic_.hostToGpu += batch;
         }
         if (out.start == 0)
@@ -139,8 +140,8 @@ Fabric::fromGpu(Bytes bytes, MemLoc dst, TimeNs earliest,
     TimeNs cursor = earliest;
     if (!fault_path && uvmExtension_) {
         TimeNs sw = hostSoftwareCost(cause);
-        cursor = std::max(earliest, hostSwFree_) + sw;
-        hostSwFree_ = cursor;
+        cursor = std::max(earliest, ch_->hostSwFree) + sw;
+        ch_->hostSwFree = cursor;
     }
     Bytes remaining = bytes;
     Bytes offset = 0;
@@ -158,17 +159,17 @@ Fabric::fromGpu(Bytes bytes, MemLoc dst, TimeNs earliest,
     while (remaining > 0) {
         Bytes batch = std::min(remaining, batch_limit);
         if (driver_path) {
-            TimeNs sw_done = std::max(earliest, hostSwFree_) +
+            TimeNs sw_done = std::max(earliest, ch_->hostSwFree) +
                              config_.hostSwOverheadNs;
-            hostSwFree_ = sw_done;
+            ch_->hostSwFree = sw_done;
             cursor = std::max(cursor, sw_done);
         }
         if (fault_path) {
             // Stock UVM evicts inside the fault handler: each LRU
             // writeback batch is a serialized host round trip.
-            TimeNs sw_done = std::max(cursor, hostSwFree_) +
+            TimeNs sw_done = std::max(cursor, ch_->hostSwFree) +
                              config_.gpuFaultLatencyNs;
-            hostSwFree_ = sw_done;
+            ch_->hostSwFree = sw_done;
             cursor = sw_done;
         }
         TimeNs link_time = transferTimeNs(batch, config_.pcieGBps);
@@ -178,17 +179,17 @@ Fabric::fromGpu(Bytes bytes, MemLoc dst, TimeNs earliest,
                 ssd_logical_page +
                 offset / ssd_->geometry().flashPageBytes;
             TimeNs dev_busy = ssd_->serviceWrite(page, batch);
-            start = std::max({cursor, pcieOutFree_, ssdFree_});
-            ssdFree_ = start + dev_busy;
-            pcieOutFree_ = start + link_time;
-            pcieOutBusy_ += link_time;
-            cursor = std::max(ssdFree_, pcieOutFree_);
+            start = std::max({cursor, ch_->pcieOutFree, ch_->ssdFree});
+            ch_->ssdFree = start + dev_busy;
+            ch_->pcieOutFree = start + link_time;
+            ch_->pcieOutBusy += link_time;
+            cursor = std::max(ch_->ssdFree, ch_->pcieOutFree);
             traffic_.gpuToSsd += batch;
         } else {
-            start = std::max(cursor, pcieOutFree_);
-            pcieOutFree_ = start + link_time;
-            pcieOutBusy_ += link_time;
-            cursor = pcieOutFree_;
+            start = std::max(cursor, ch_->pcieOutFree);
+            ch_->pcieOutFree = start + link_time;
+            ch_->pcieOutBusy += link_time;
+            cursor = ch_->pcieOutFree;
             traffic_.gpuToHost += batch;
         }
         if (out.start == 0)

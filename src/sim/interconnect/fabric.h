@@ -54,6 +54,26 @@ struct TrafficStats
     Bytes totalFromGpu() const { return gpuToSsd + gpuToHost; }
 };
 
+/**
+ * The per-direction resource timelines a Fabric reserves against.
+ *
+ * Normally a Fabric owns its channels, but multiple Fabric instances may
+ * point at one shared FabricChannels: each keeps its own TrafficStats
+ * (per-tenant accounting) while their transfers contend for the same
+ * PCIe link, SSD device, and host software timeline. This is what lets
+ * the multi-tenant engine model N jobs sharing one GPU's interconnect.
+ */
+struct FabricChannels
+{
+    TimeNs pcieInFree = 0;
+    TimeNs pcieOutFree = 0;
+    TimeNs ssdFree = 0;
+    TimeNs hostSwFree = 0;
+
+    TimeNs pcieInBusy = 0;
+    TimeNs pcieOutBusy = 0;
+};
+
 /** The shared GPU<->{Host,SSD} transfer fabric. */
 class Fabric
 {
@@ -63,9 +83,15 @@ class Fabric
      * @param ssd           SSD device model (not owned)
      * @param uvm_extension true = G10's unified page table (§4.5):
      *                      migration ops avoid the host software path
+     * @param shared        resource timelines to contend on (not owned);
+     *                      nullptr = this fabric owns private channels
      */
     Fabric(const SystemConfig& config, SsdDevice* ssd,
-           bool uvm_extension);
+           bool uvm_extension, FabricChannels* shared = nullptr);
+
+    // ch_ may point at own_; copying would leave it dangling.
+    Fabric(const Fabric&) = delete;
+    Fabric& operator=(const Fabric&) = delete;
 
     /** Completed-transfer timing. */
     struct Transfer
@@ -92,17 +118,22 @@ class Fabric
 
     const TrafficStats& traffic() const { return traffic_; }
 
+    // NOTE: unlike traffic(), the four channel getters below read the
+    // (possibly shared) FabricChannels -- in multi-tenant mode they
+    // report link-wide values aggregated across all tenants, not this
+    // fabric view's contribution.
+
     /** Earliest time a new inbound transfer could start. */
-    TimeNs inboundFreeAt() const { return pcieInFree_; }
+    TimeNs inboundFreeAt() const { return ch_->pcieInFree; }
 
     /** Earliest time a new outbound transfer could start. */
-    TimeNs outboundFreeAt() const { return pcieOutFree_; }
+    TimeNs outboundFreeAt() const { return ch_->pcieOutFree; }
 
-    /** Total time the inbound link direction has been busy. */
-    TimeNs inboundBusyNs() const { return pcieInBusy_; }
+    /** Total time the inbound link direction has been busy (link-wide). */
+    TimeNs inboundBusyNs() const { return ch_->pcieInBusy; }
 
-    /** Total time the outbound link direction has been busy. */
-    TimeNs outboundBusyNs() const { return pcieOutBusy_; }
+    /** Total time the outbound link direction has been busy (link-wide). */
+    TimeNs outboundBusyNs() const { return ch_->pcieOutBusy; }
 
   private:
     /** Host software serialization cost for one migration op. */
@@ -112,13 +143,8 @@ class Fabric
     SsdDevice* ssd_;
     bool uvmExtension_;
 
-    TimeNs pcieInFree_ = 0;
-    TimeNs pcieOutFree_ = 0;
-    TimeNs ssdFree_ = 0;
-    TimeNs hostSwFree_ = 0;
-
-    TimeNs pcieInBusy_ = 0;
-    TimeNs pcieOutBusy_ = 0;
+    FabricChannels own_;
+    FabricChannels* ch_;  ///< own_ or an externally shared instance
 
     TrafficStats traffic_;
 };

@@ -48,6 +48,13 @@ struct RunConfig
 
     /** Fraction of GPU memory weights may fill at placement time. */
     double weightWatermark = 0.85;
+
+    /**
+     * Simulated time at which the job enters the system. The GPU stream
+     * clock starts here; used by the multi-tenant engine to model job
+     * arrival offsets. 0 = start of time (single-job runs).
+     */
+    TimeNs startNs = 0;
 };
 
 /** Per-kernel replay timing (measured iteration). */

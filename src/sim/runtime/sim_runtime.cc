@@ -8,15 +8,26 @@ namespace g10 {
 
 SimRuntime::SimRuntime(const KernelTrace& trace, Policy& policy,
                        RunConfig config)
+    : SimRuntime(trace, policy, config, SharedResources{})
+{
+}
+
+SimRuntime::SimRuntime(const KernelTrace& trace, Policy& policy,
+                       RunConfig config, const SharedResources& shared)
     : trace_(&trace), policy_(&policy), config_(config),
-      ssd_(config.sys), fabric_(config.sys, &ssd_, config.uvmExtension),
-      rng_(config.seed)
+      ownedSsd_(shared.ssd != nullptr
+                    ? nullptr
+                    : std::make_unique<SsdDevice>(config.sys)),
+      ssd_(shared.ssd != nullptr ? shared.ssd : ownedSsd_.get()),
+      fabric_(config.sys, ssd_, config.uvmExtension, shared.channels),
+      gpu_(shared.gpu), rng_(config.seed)
 {
     if (policy.infiniteMemory()) {
         // The ideal baseline never evicts: give it room for everything.
         config_.sys.gpuMemBytes =
             trace.totalTensorBytes() * 2 + 16 * GiB;
     }
+    streamTime_ = config_.startNs;
     stats_.policyName = policy.name();
     stats_.modelName = trace.modelName();
     stats_.batchSize = trace.batchSize();
@@ -90,7 +101,7 @@ SimRuntime::placeWeights()
             touch(t.id);
         } else {
             // Cold weights start on the SSD (checkpoint-resident).
-            tr.ssdLogical = ssd_.allocLogical(tr.footprint);
+            tr.ssdLogical = ssd_->allocLogical(tr.footprint);
             tr.awaySsdBytes = tr.footprint;
         }
     }
@@ -240,7 +251,7 @@ SimRuntime::issueEvict(TensorId t, MemLoc dest, TransferCause cause,
     std::uint64_t logical = UINT64_MAX;
     if (dest == MemLoc::Ssd) {
         if (tr.ssdLogical == UINT64_MAX)
-            tr.ssdLogical = ssd_.allocLogical(tr.footprint);
+            tr.ssdLogical = ssd_->allocLogical(tr.footprint);
         logical = tr.ssdLogical;
     }
 
@@ -406,6 +417,12 @@ SimRuntime::runKernel(KernelId k)
 
     TimeNs launch = std::max({t0, alloc_ready, fault_done});
     TimeNs dur = perturbedDur_[static_cast<std::size_t>(k)];
+    if (gpu_ != nullptr) {
+        // Time-shared GPU: the execution units are one more resource
+        // this kernel must acquire; co-tenant kernels serialize here
+        // while their DMA continues to overlap.
+        launch = gpu_->acquire(launch, dur);
+    }
     TimeNs end = std::max(launch + dur, data_ready);
     streamTime_ = end;
 
@@ -433,31 +450,55 @@ SimRuntime::runKernel(KernelId k)
     policy_->afterKernel(*this, k);
 }
 
-ExecStats
-SimRuntime::run()
+void
+SimRuntime::start()
 {
+    if (started_)
+        panic("SimRuntime::start() called twice");
+    started_ = true;
     prepare();
     placeWeights();
     policy_->onSimulationStart(*this);
+}
 
-    const auto nk = static_cast<KernelId>(trace_->numKernels());
-    for (int iter = 0; iter < config_.iterations && !stats_.failed;
-         ++iter) {
-        if (iter == config_.iterations - 1) {
-            measuring_ = true;
-            measureStart_ = streamTime_;
-            trafficAtMeasureStart_ = fabric_.traffic();
-            faultsAtMeasureStart_ = fabric_.traffic().faultBatches;
-            stats_.kernels.clear();
-            stats_.kernels.reserve(trace_->numKernels());
-            stats_.totalStallNs = 0;
-        }
-        for (KernelId k = 0; k < nk && !stats_.failed; ++k) {
-            runKernel(k);
-            ++globalIndex_;
-        }
+bool
+SimRuntime::finished() const
+{
+    // An empty trace has nothing to step (guards runKernel(0)).
+    return stats_.failed || iter_ >= config_.iterations ||
+           trace_->numKernels() == 0;
+}
+
+bool
+SimRuntime::stepKernel()
+{
+    if (!started_)
+        panic("SimRuntime::stepKernel() before start()");
+    if (finished())
+        return false;
+
+    if (nextKernel_ == 0 && iter_ == config_.iterations - 1) {
+        measuring_ = true;
+        measureStart_ = streamTime_;
+        trafficAtMeasureStart_ = fabric_.traffic();
+        faultsAtMeasureStart_ = fabric_.traffic().faultBatches;
+        stats_.kernels.clear();
+        stats_.kernels.reserve(trace_->numKernels());
+        stats_.totalStallNs = 0;
     }
 
+    runKernel(static_cast<KernelId>(nextKernel_));
+    ++globalIndex_;
+    if (++nextKernel_ >= trace_->numKernels()) {
+        nextKernel_ = 0;
+        ++iter_;
+    }
+    return true;
+}
+
+ExecStats
+SimRuntime::finalize()
+{
     if (!stats_.failed) {
         stats_.measuredIterationNs = streamTime_ - measureStart_;
         const TrafficStats& tot = fabric_.traffic();
@@ -474,9 +515,18 @@ SimRuntime::run()
         stats_.traffic.faultBatches =
             tot.faultBatches - trafficAtMeasureStart_.faultBatches;
         stats_.pageFaultBatches = stats_.traffic.faultBatches;
-        stats_.ssd = ssd_.stats();
+        stats_.ssd = ssd_->stats();
     }
     return stats_;
+}
+
+ExecStats
+SimRuntime::run()
+{
+    start();
+    while (stepKernel()) {
+    }
+    return finalize();
 }
 
 ExecStats

@@ -19,6 +19,7 @@
 #define G10_SIM_RUNTIME_SIM_RUNTIME_H
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -46,14 +47,74 @@ struct TensorRt
     std::int64_t pinnedUntil = -1;  ///< global kernel idx pin horizon
 };
 
+/**
+ * The GPU's execution-unit timeline when compute is time-shared between
+ * jobs. A kernel that is ready at `ready` launches at
+ * max(ready, freeAt) and occupies the device for its duration; planned
+ * DMA still overlaps compute exactly as in the single-job model, only
+ * the execution units themselves serialize across tenants.
+ */
+struct GpuComputeTimeline
+{
+    TimeNs freeAt = 0;   ///< earliest time the next kernel may launch
+    TimeNs busyNs = 0;   ///< total kernel-occupied time (utilization)
+
+    /** Reserve the device for one kernel; returns its launch time. */
+    TimeNs
+    acquire(TimeNs ready, TimeNs dur)
+    {
+        TimeNs start = ready > freeAt ? ready : freeAt;
+        freeAt = start + dur;
+        busyNs += dur;
+        return start;
+    }
+};
+
+/**
+ * Platform resources shared by co-located jobs. All pointers are
+ * borrowed; the multi-tenant engine owns the actual instances. `gpu`
+ * may be null to share only the storage/interconnect path.
+ */
+struct SharedResources
+{
+    SsdDevice* ssd = nullptr;            ///< one flash device, shared wear
+    FabricChannels* channels = nullptr;  ///< PCIe/SSD/host-SW timelines
+    GpuComputeTimeline* gpu = nullptr;   ///< time-shared execution units
+};
+
 /** Drives one simulation; see simulate() for the one-call entry point. */
 class SimRuntime
 {
   public:
     SimRuntime(const KernelTrace& trace, Policy& policy, RunConfig config);
 
+    /**
+     * Construct a runtime whose transfers and (optionally) compute
+     * contend with other runtimes through @p shared. Traffic accounting
+     * stays per-runtime; SSD wear accumulates on the shared device.
+     */
+    SimRuntime(const KernelTrace& trace, Policy& policy, RunConfig config,
+               const SharedResources& shared);
+
     /** Run all iterations and return the measured statistics. */
     ExecStats run();
+
+    // ---- Incremental stepping (multi-tenant interleaving) ----------
+
+    /** Prepare the run: build schedules, place weights, notify policy. */
+    void start();
+
+    /** True once every iteration completed (or the run failed). */
+    bool finished() const;
+
+    /**
+     * Replay exactly one kernel of the current iteration and advance.
+     * @return false when there was nothing left to do
+     */
+    bool stepKernel();
+
+    /** Finalize and return statistics; call after finished(). */
+    ExecStats finalize();
 
     // ---- Services for policies -------------------------------------
 
@@ -120,6 +181,12 @@ class SimRuntime
     /** Number of kernels in one iteration. */
     std::size_t numKernels() const { return trace_->numKernels(); }
 
+    /** This runtime's fabric view (per-job traffic accounting). */
+    const Fabric& fabric() const { return fabric_; }
+
+    /** The SSD this runtime writes to (shared in multi-tenant runs). */
+    const SsdDevice& ssd() const { return *ssd_; }
+
   private:
     struct PendingFree
     {
@@ -162,8 +229,10 @@ class SimRuntime
     Policy* policy_;
     RunConfig config_;
 
-    SsdDevice ssd_;
+    std::unique_ptr<SsdDevice> ownedSsd_;  ///< null when SSD is shared
+    SsdDevice* ssd_;
     Fabric fabric_;
+    GpuComputeTimeline* gpu_ = nullptr;  ///< null = exclusive GPU
     Rng rng_;
 
     std::vector<TensorRt> tensors_;
@@ -185,6 +254,11 @@ class SimRuntime
 
     // Outstanding eviction space returns.
     std::vector<PendingFree> pendingFrees_;  // min-heap by `at`
+
+    // Stepping cursor (used by run() and the multi-tenant engine).
+    bool started_ = false;
+    int iter_ = 0;
+    std::size_t nextKernel_ = 0;
 
     // Stats under construction.
     ExecStats stats_;

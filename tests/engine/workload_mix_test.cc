@@ -1,0 +1,113 @@
+/** @file Unit tests for the workload-mix file parser. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/workload_mix.h"
+
+namespace g10 {
+namespace {
+
+/** Write @p text to a unique temp file and return its path. */
+std::string
+writeTemp(const std::string& text, const std::string& tag)
+{
+    std::string path = ::testing::TempDir() + "g10_mix_" + tag + "_" +
+                       std::to_string(::getpid()) + ".mix";
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+TEST(WorkloadMixParser, ParsesAFullMix)
+{
+    std::string path = writeTemp(
+        "# a comment\n"
+        "scale = 8\n"
+        "sched = priority\n"
+        "seed = 7\n"
+        "isolated = 0\n"
+        "gpu_mem_gb = 20\n"
+        "\n"
+        "job = ResNet152 batch=256 design=g10 priority=2 "
+        "arrival_ms=1.5 iterations=3 weight=2 name=big\n"
+        "job = BERT\n",
+        "full");
+    WorkloadMix mix = parseMixFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(mix.scaleDown, 8u);
+    EXPECT_EQ(mix.sched, MixSched::Priority);
+    EXPECT_EQ(mix.seed, 7u);
+    EXPECT_FALSE(mix.isolatedBaseline);
+    EXPECT_EQ(mix.sys.gpuMemBytes, static_cast<Bytes>(20e9));
+    ASSERT_EQ(mix.jobs.size(), 2u);
+
+    const JobSpec& a = mix.jobs[0];
+    EXPECT_EQ(a.model, ModelKind::ResNet152);
+    EXPECT_EQ(a.batchSize, 256);
+    EXPECT_EQ(a.design, DesignPoint::G10);
+    EXPECT_EQ(a.priority, 2);
+    EXPECT_EQ(a.arrivalNs, static_cast<TimeNs>(1.5 * MSEC));
+    EXPECT_EQ(a.iterations, 3);
+    EXPECT_DOUBLE_EQ(a.memWeight, 2.0);
+    EXPECT_EQ(a.name, "big");
+
+    const JobSpec& b = mix.jobs[1];
+    EXPECT_EQ(b.model, ModelKind::BertBase);
+    // Unspecified batch defaults to the model's Fig. 11 batch.
+    EXPECT_EQ(b.batchSize, paperBatchSize(ModelKind::BertBase));
+    EXPECT_EQ(b.priority, 1);
+}
+
+TEST(WorkloadMixParserDeathTest, RejectsUnknownKey)
+{
+    std::string path =
+        writeTemp("job = BERT\nnope = 1\n", "unknown_key");
+    EXPECT_EXIT(parseMixFile(path), ::testing::ExitedWithCode(1),
+                "unknown key 'nope'");
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadMixParserDeathTest, RejectsUnknownJobAttribute)
+{
+    std::string path =
+        writeTemp("job = BERT turbo=1\n", "unknown_attr");
+    EXPECT_EXIT(parseMixFile(path), ::testing::ExitedWithCode(1),
+                "unknown job attribute 'turbo'");
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadMixParserDeathTest, RejectsMalformedNumber)
+{
+    std::string path =
+        writeTemp("job = BERT batch=12x\n", "bad_number");
+    EXPECT_EXIT(parseMixFile(path), ::testing::ExitedWithCode(1),
+                "needs an integer");
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadMixParserDeathTest, RejectsEmptyMix)
+{
+    std::string path = writeTemp("scale = 4\n", "empty");
+    EXPECT_EXIT(parseMixFile(path), ::testing::ExitedWithCode(1),
+                "no jobs");
+    std::remove(path.c_str());
+}
+
+TEST(WorkloadMixParserDeathTest, RejectsTrailingGarbage)
+{
+    std::string path =
+        writeTemp("scale = 4 extra\njob = BERT\n", "trailing");
+    EXPECT_EXIT(parseMixFile(path), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace g10

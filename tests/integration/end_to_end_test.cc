@@ -136,8 +136,7 @@ TEST(EndToEnd, MoreSsdBandwidthNeverHurtsG10)
 
     double prev = 0.0;
     for (double bw : {3.2, 6.4, 12.8}) {
-        cfg.sys.ssdReadGBps = bw;
-        cfg.sys.ssdWriteGBps = bw * (3.0 / 3.2);
+        cfg.sys.setSsdBandwidthGBps(bw);
         double perf = runExperiment(cfg).normalizedPerf();
         EXPECT_GE(perf, prev - 0.02) << bw;
         prev = perf;

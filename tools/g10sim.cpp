@@ -5,9 +5,13 @@
  *
  * Usage:
  *   g10sim <config-file>
+ *   g10sim --mix <mix-file>
  *   g10sim --dump-trace <model> <batch> <scale> <out.trace>
+ *   g10sim --help
  *
- * Config files are `key = value` lines ('#' comments). Keys:
+ * Config files are `key = value` lines ('#' comments). Unknown keys
+ * and malformed values are rejected with a diagnostic and non-zero
+ * exit. Keys:
  *   model        BERT|ViT|Inceptionv3|ResNet152|SENet154
  *   trace        path to a saved .trace file (overrides model/batch)
  *   batch        paper-scale batch size       (default: model's Fig.11)
@@ -25,15 +29,50 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "api/g10.h"
+#include "common/parse_util.h"
 #include "graph/trace_io.h"
 
 namespace {
 
 using namespace g10;
+
+const std::set<std::string> kKnownKeys = {
+    "model",      "trace",       "batch",    "scale",
+    "design",     "iterations",  "timing_error", "seed",
+    "gpu_mem_gb", "host_mem_gb", "ssd_gbps", "pcie_gbps",
+    "listing",
+};
+
+int
+usage(std::ostream& os, int code)
+{
+    os << "usage: g10sim <config-file>\n"
+          "       g10sim --mix <mix-file>\n"
+          "       g10sim --dump-trace <model> <batch> <scale> <out>\n"
+          "       g10sim --help\n"
+          "\n"
+          "Config file: '#' comments; 'key = value' lines. Keys:\n"
+          "  model        BERT|ViT|Inceptionv3|ResNet152|SENet154\n"
+          "  trace        path to a saved .trace file\n"
+          "  batch        paper-scale batch size\n"
+          "  scale        1/N platform scale (default 16)\n"
+          "  design       ideal|baseuvm|deepum|flashneuron|g10gds|\n"
+          "               g10host|g10 (default g10)\n"
+          "  iterations   replay count, last measured (default 2)\n"
+          "  timing_error kernel-time noise fraction (default 0)\n"
+          "  seed         RNG seed (default 42)\n"
+          "  gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps\n"
+          "  listing      N -> print first N instrumented kernels\n"
+          "\n"
+          "Unknown keys and malformed values are errors.\n"
+          "For multi-tenant mix files, see g10multi --help.\n";
+    return code;
+}
 
 std::map<std::string, std::string>
 parseConfig(const std::string& path)
@@ -50,30 +89,62 @@ parseConfig(const std::string& path)
         if (hash != std::string::npos)
             line = line.substr(0, hash);
         std::stringstream ss(line);
-        std::string key, eq, value;
+        std::string key, eq, value, extra;
         if (!(ss >> key))
             continue;
         if (!(ss >> eq >> value) || eq != "=")
             fatal("%s:%zu: expected 'key = value'", path.c_str(),
                   lineno);
+        if (ss >> extra)
+            fatal("%s:%zu: trailing garbage '%s' after value",
+                  path.c_str(), lineno, extra.c_str());
+        if (kKnownKeys.count(key) == 0)
+            fatal("%s:%zu: unknown key '%s' (run 'g10sim --help' for "
+                  "the full list)",
+                  path.c_str(), lineno, key.c_str());
+        if (kv.count(key))
+            fatal("%s:%zu: duplicate key '%s'", path.c_str(), lineno,
+                  key.c_str());
         kv[key] = value;
     }
     return kv;
 }
 
-DesignPoint
-designFromString(std::string s)
+/** Fetch an integer key with range checking; fatal on bad values. */
+long long
+intKey(const std::map<std::string, std::string>& kv,
+       const std::string& key, long long def, long long lo,
+       long long hi)
 {
-    for (char& c : s)
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    if (s == "ideal") return DesignPoint::Ideal;
-    if (s == "baseuvm" || s == "uvm") return DesignPoint::BaseUvm;
-    if (s == "deepum" || s == "deepum+") return DesignPoint::DeepUmPlus;
-    if (s == "flashneuron") return DesignPoint::FlashNeuron;
-    if (s == "g10gds" || s == "g10-gds") return DesignPoint::G10Gds;
-    if (s == "g10host" || s == "g10-host") return DesignPoint::G10Host;
-    if (s == "g10") return DesignPoint::G10;
-    fatal("unknown design '%s'", s.c_str());
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    long long v = 0;
+    if (!parseIntStrict(it->second, &v))
+        fatal("config key '%s' needs an integer, got '%s'",
+              key.c_str(), it->second.c_str());
+    if (v < lo || v > hi)
+        fatal("config key '%s' must be in [%lld, %lld], got %lld",
+              key.c_str(), lo, hi, v);
+    return v;
+}
+
+/** Fetch a double key with range checking; fatal on bad values. */
+double
+doubleKey(const std::map<std::string, std::string>& kv,
+          const std::string& key, double def, double lo, double hi)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        return def;
+    double v = 0.0;
+    if (!parseDoubleStrict(it->second, &v))
+        fatal("config key '%s' needs a number, got '%s'", key.c_str(),
+              it->second.c_str());
+    if (v < lo || v > hi)
+        fatal("config key '%s' must be in [%g, %g], got %g",
+              key.c_str(), lo, hi, v);
+    return v;
 }
 
 int
@@ -83,14 +154,38 @@ dumpTrace(int argc, char** argv)
         fatal("usage: g10sim --dump-trace <model> <batch> <scale> "
               "<out.trace>");
     ModelKind m = modelKindFromName(argv[2]);
-    int batch = std::atoi(argv[3]);
-    auto scale = static_cast<unsigned>(std::atoi(argv[4]));
-    KernelTrace trace = buildModelScaled(m, batch, scale);
+    long long batch = 0;
+    long long scale = 0;
+    if (!parseIntStrict(argv[3], &batch) || batch < 1 ||
+        batch > (1 << 24))
+        fatal("--dump-trace batch must be an integer in [1, %d], got "
+              "'%s'",
+              1 << 24, argv[3]);
+    if (!parseIntStrict(argv[4], &scale) || scale < 1 ||
+        scale > (1 << 20))
+        fatal("--dump-trace scale must be an integer in [1, %d], got "
+              "'%s'",
+              1 << 20, argv[4]);
+    KernelTrace trace = buildModelScaled(m, static_cast<int>(batch),
+                                         static_cast<unsigned>(scale));
     saveTraceFile(argv[5], trace);
     std::cout << "wrote " << trace.numKernels() << " kernels / "
               << trace.numTensors() << " tensors to " << argv[5]
               << "\n";
     return 0;
+}
+
+int
+runMix(const std::string& path)
+{
+    WorkloadMix mix = parseMixFile(path);
+    std::cout << "# g10sim --mix: " << mix.jobs.size()
+              << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
+              << ", sched " << mixSchedName(mix.sched) << "\n\n";
+    MultiTenantSim sim(mix);
+    MixResult res = sim.run();
+    printMixReport(std::cout, res);
+    return res.allSucceeded() ? 0 : 2;
 }
 
 }  // namespace
@@ -100,56 +195,64 @@ main(int argc, char** argv)
 {
     using namespace g10;
 
-    if (argc >= 2 && std::string(argv[1]) == "--dump-trace")
-        return dumpTrace(argc, argv);
-    if (argc != 2) {
-        std::cerr << "usage: g10sim <config-file> | g10sim "
-                     "--dump-trace <model> <batch> <scale> <out>\n";
-        return 1;
+    if (argc >= 2) {
+        std::string arg1 = argv[1];
+        if (arg1 == "--help" || arg1 == "-h")
+            return usage(std::cout, 0);
+        if (arg1 == "--dump-trace")
+            return dumpTrace(argc, argv);
+        if (arg1 == "--mix") {
+            if (argc != 3)
+                return usage(std::cerr, 1);
+            return runMix(argv[2]);
+        }
     }
+    if (argc != 2)
+        return usage(std::cerr, 1);
 
     auto kv = parseConfig(argv[1]);
-    auto get = [&](const std::string& k, const std::string& def) {
-        auto it = kv.find(k);
-        return it == kv.end() ? def : it->second;
-    };
 
-    unsigned scale =
-        static_cast<unsigned>(std::stoul(get("scale", "16")));
+    auto scale = static_cast<unsigned>(
+        intKey(kv, "scale", 16, 1, 1 << 20));
 
     KernelTrace trace;
     if (kv.count("trace")) {
         trace = loadTraceFile(kv["trace"]);
     } else {
-        ModelKind m = modelKindFromName(get("model", "ResNet152"));
-        int batch = std::stoi(get(
-            "batch", std::to_string(paperBatchSize(m))));
+        ModelKind m = modelKindFromName(
+            kv.count("model") ? kv["model"] : "ResNet152");
+        auto batch = static_cast<int>(
+            intKey(kv, "batch", paperBatchSize(m), 1, 1 << 24));
         trace = buildModelScaled(m, batch, scale);
     }
 
     SystemConfig sys = SystemConfig().scaledDown(scale);
     if (kv.count("gpu_mem_gb"))
         sys.gpuMemBytes = static_cast<Bytes>(
-            std::stod(kv["gpu_mem_gb"]) * 1e9);
+            doubleKey(kv, "gpu_mem_gb", 0, 1e-3, 1e6) * 1e9);
+    // host_mem_gb = 0 is a meaningful platform (Fig. 17's no-host
+    // -staging point), so it keeps a zero lower bound.
     if (kv.count("host_mem_gb"))
         sys.hostMemBytes = static_cast<Bytes>(
-            std::stod(kv["host_mem_gb"]) * 1e9);
-    if (kv.count("ssd_gbps")) {
-        sys.ssdReadGBps = std::stod(kv["ssd_gbps"]);
-        sys.ssdWriteGBps = sys.ssdReadGBps * (3.0 / 3.2);
-    }
+            doubleKey(kv, "host_mem_gb", 0, 0, 1e6) * 1e9);
+    if (kv.count("ssd_gbps"))
+        sys.setSsdBandwidthGBps(
+            doubleKey(kv, "ssd_gbps", 0, 1e-3, 1e6));
     if (kv.count("pcie_gbps"))
-        sys.pcieGBps = std::stod(kv["pcie_gbps"]);
+        sys.pcieGBps = doubleKey(kv, "pcie_gbps", 0, 1e-3, 1e6);
 
     ExperimentConfig cfg;
     cfg.sys = sys;
     cfg.scaleDown = 1;
-    cfg.design = designFromString(get("design", "g10"));
-    cfg.iterations = std::stoi(get("iterations", "2"));
-    cfg.timingErrorPct = std::stod(get("timing_error", "0"));
-    cfg.seed = std::stoull(get("seed", "42"));
+    cfg.design = designPointFromName(
+        kv.count("design") ? kv["design"] : "g10");
+    cfg.iterations =
+        static_cast<int>(intKey(kv, "iterations", 2, 1, 1000));
+    cfg.timingErrorPct = doubleKey(kv, "timing_error", 0.0, 0.0, 1.0);
+    cfg.seed = static_cast<std::uint64_t>(
+        intKey(kv, "seed", 42, 0, INT64_MAX));
 
-    int listing = std::stoi(get("listing", "0"));
+    auto listing = static_cast<int>(intKey(kv, "listing", 0, 0, 1 << 20));
     if (listing > 0 &&
         (cfg.design == DesignPoint::G10 ||
          cfg.design == DesignPoint::G10Host ||
