@@ -67,7 +67,7 @@ class TraceCache
 
 /** Run one (trace, design) pair on a scaled platform. */
 inline ExecStats
-runDesign(const KernelTrace& trace, DesignPoint design,
+runDesign(const KernelTrace& trace, const std::string& design,
           const SystemConfig& base_sys, unsigned scale,
           double timing_error = 0.0)
 {

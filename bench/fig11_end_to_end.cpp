@@ -26,11 +26,11 @@ main()
 
     Table table("Fig 11: throughput normalized to Ideal");
     std::vector<std::string> header = {"model", "B", "M_pct"};
-    for (DesignPoint d : allDesignPoints())
-        header.push_back(designPointName(d));
+    for (const std::string& d : allDesignNames())
+        header.push_back(designDisplayName(d));
     table.setHeader(header);
 
-    std::map<DesignPoint, std::vector<double>> per_design;
+    std::map<std::string, std::vector<double>> per_design;
     for (ModelKind m : allModels()) {
         int batch = paperBatchSize(m);
         const KernelTrace& trace = cache.get(m, batch, scale);
@@ -38,7 +38,7 @@ main()
         std::vector<std::string> row = {
             modelName(m), std::to_string(trace.batchSize()),
             Table::formatCell(memoryPercent(trace, sys, scale))};
-        for (DesignPoint d : allDesignPoints()) {
+        for (const std::string& d : allDesignNames()) {
             ExecStats st = runDesign(trace, d, sys, scale);
             if (st.failed) {
                 row.push_back("fail");
@@ -61,13 +61,11 @@ main()
     std::printf(
         "\nsummary: mean normalized perf -- G10 %.3f (paper 0.903), "
         "DeepUM+ %.3f, FlashNeuron %.3f, Base UVM %.3f\n",
-        mean(per_design[DesignPoint::G10]),
-        mean(per_design[DesignPoint::DeepUmPlus]),
-        mean(per_design[DesignPoint::FlashNeuron]),
-        mean(per_design[DesignPoint::BaseUvm]));
-    double g10 = mean(per_design[DesignPoint::G10]);
-    double fn = mean(per_design[DesignPoint::FlashNeuron]);
-    double du = mean(per_design[DesignPoint::DeepUmPlus]);
+        mean(per_design["g10"]), mean(per_design["deepum"]),
+        mean(per_design["flashneuron"]), mean(per_design["baseuvm"]));
+    double g10 = mean(per_design["g10"]);
+    double fn = mean(per_design["flashneuron"]);
+    double du = mean(per_design["deepum"]);
     if (fn > 0 && du > 0)
         std::printf("summary: G10 speedup vs FlashNeuron %.2fx "
                     "(paper 1.56x avg), vs DeepUM+ %.2fx (paper "

@@ -27,19 +27,17 @@ main()
     for (ModelKind m : allModels()) {
         const KernelTrace& trace =
             cache.get(m, paperBatchSize(m), scale);
-        for (DesignPoint d :
-             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
-              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+        for (const std::string& d : sweepDesignNames()) {
             ExecStats st = runDesign(trace, d, sys, scale);
             if (st.failed) {
-                table.addRowOf(modelName(m), designPointName(d), "fail",
+                table.addRowOf(modelName(m), designDisplayName(d).c_str(), "fail",
                                "fail");
                 continue;
             }
             double stall =
                 100.0 * static_cast<double>(st.totalStallNs) /
                 static_cast<double>(st.measuredIterationNs);
-            table.addRowOf(modelName(m), designPointName(d),
+            table.addRowOf(modelName(m), designDisplayName(d).c_str(),
                            100.0 - stall, stall);
         }
     }

@@ -27,12 +27,10 @@ main()
     for (ModelKind m : allModels()) {
         const KernelTrace& trace =
             cache.get(m, paperBatchSize(m), scale);
-        for (DesignPoint d :
-             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
-              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+        for (const std::string& d : sweepDesignNames()) {
             ExecStats st = runDesign(trace, d, sys, scale);
             if (st.failed) {
-                table.addRowOf(modelName(m), designPointName(d), "fail",
+                table.addRowOf(modelName(m), designDisplayName(d).c_str(), "fail",
                                "fail", "fail", "fail");
                 continue;
             }
@@ -47,7 +45,7 @@ main()
                     ++slowed;
             }
             table.addRowOf(
-                modelName(m), designPointName(d),
+                modelName(m), designDisplayName(d).c_str(),
                 slowdown.percentile(0.50), slowdown.percentile(0.90),
                 slowdown.percentile(0.99),
                 100.0 * static_cast<double>(slowed) /

@@ -30,12 +30,10 @@ main()
     for (ModelKind m : allModels()) {
         const KernelTrace& trace =
             cache.get(m, paperBatchSize(m), scale);
-        for (DesignPoint d :
-             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
-              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+        for (const std::string& d : sweepDesignNames()) {
             ExecStats st = runDesign(trace, d, sys, scale);
             if (st.failed) {
-                table.addRowOf(modelName(m), designPointName(d), "fail",
+                table.addRowOf(modelName(m), designDisplayName(d).c_str(), "fail",
                                "fail", "fail", "fail", "fail");
                 continue;
             }
@@ -49,7 +47,7 @@ main()
                 static_cast<double>(st.traffic.totalToGpu()) / 1e9;
             double writes =
                 static_cast<double>(st.traffic.totalFromGpu()) / 1e9;
-            table.addRowOf(modelName(m), designPointName(d), ssd, host,
+            table.addRowOf(modelName(m), designDisplayName(d).c_str(), ssd, host,
                            reads, writes, ssd + host);
         }
     }

@@ -36,10 +36,10 @@ main()
         for (int b : batches.at(m)) {
             const KernelTrace& trace = cache.get(m, b, scale);
             std::vector<std::string> row = {std::to_string(b)};
-            for (DesignPoint d :
-                 {DesignPoint::Ideal, DesignPoint::BaseUvm,
-                  DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
-                  DesignPoint::G10}) {
+            for (const std::string& d :
+                 {std::string("ideal"), std::string("baseuvm"),
+                  std::string("flashneuron"), std::string("deepum"),
+                  std::string("g10")}) {
                 ExecStats st = runDesign(trace, d, sys, scale);
                 row.push_back(st.failed
                                   ? "fail"

@@ -47,7 +47,7 @@ main()
                 SystemConfig s = sys;
                 s.hostMemBytes = static_cast<Bytes>(h) * GiB;
                 ExecStats st =
-                    runDesign(trace, DesignPoint::G10, s, scale);
+                    runDesign(trace, "g10", s, scale);
                 row.push_back(
                     st.failed
                         ? "fail"

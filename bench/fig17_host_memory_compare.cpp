@@ -37,9 +37,9 @@ main()
             SystemConfig s = sys;
             s.hostMemBytes = static_cast<Bytes>(h) * GiB;
             std::vector<std::string> row = {std::to_string(h)};
-            for (DesignPoint d :
-                 {DesignPoint::DeepUmPlus, DesignPoint::FlashNeuron,
-                  DesignPoint::G10}) {
+            for (const std::string& d :
+                 {std::string("deepum"), std::string("flashneuron"),
+                  std::string("g10")}) {
                 ExecStats st = runDesign(trace, d, s, scale);
                 row.push_back(
                     st.failed

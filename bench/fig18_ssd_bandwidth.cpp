@@ -37,9 +37,7 @@ main()
             SystemConfig s = pcie4;
             s.setSsdBandwidthGBps(bw);
             std::vector<std::string> row = {Table::formatCell(bw)};
-            for (DesignPoint d :
-                 {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
-                  DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+            for (const std::string& d : sweepDesignNames()) {
                 ExecStats st = runDesign(trace, d, s, scale);
                 row.push_back(st.failed ? "fail"
                                         : Table::formatCell(

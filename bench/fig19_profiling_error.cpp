@@ -39,8 +39,7 @@ main()
         double base_perf = 0.0;
         std::vector<std::string> row = {modelName(m)};
         for (double e : errors) {
-            ExecStats st = runDesign(trace, DesignPoint::G10, sys,
-                                     scale, e);
+            ExecStats st = runDesign(trace, "g10", sys, scale, e);
             // Normalize against the *noisy* compute floor so the metric
             // isolates scheduling damage, like the paper's figure.
             double perf = st.normalizedPerf();

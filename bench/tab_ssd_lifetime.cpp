@@ -31,12 +31,10 @@ main()
     for (ModelKind m : allModels()) {
         const KernelTrace& trace =
             cache.get(m, paperBatchSize(m), scale);
-        for (DesignPoint d :
-             {DesignPoint::BaseUvm, DesignPoint::FlashNeuron,
-              DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+        for (const std::string& d : sweepDesignNames()) {
             ExecStats st = runDesign(trace, d, sys, scale);
             if (st.failed) {
-                table.addRowOf(modelName(m), designPointName(d), "fail",
+                table.addRowOf(modelName(m), designDisplayName(d).c_str(), "fail",
                                "fail", "fail", "fail");
                 continue;
             }
@@ -55,10 +53,10 @@ main()
             double years = per_day > 0.0
                                ? budget / per_day / 365.0
                                : 5.0;
-            table.addRowOf(modelName(m), designPointName(d),
+            table.addRowOf(modelName(m), designDisplayName(d).c_str(),
                            writes / 1e9, reads / 1e9, st.ssd.waf(),
                            std::min(years, 99.0));
-            writes_sum[designPointName(d)] += writes;
+            writes_sum[designDisplayName(d).c_str()] += writes;
         }
     }
     table.print(std::cout);

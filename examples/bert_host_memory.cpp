@@ -45,7 +45,7 @@ main(int argc, char** argv)
         cfg.sys = sys;
         cfg.scaleDown = 1;
 
-        cfg.design = DesignPoint::G10;
+        cfg.design = "g10";
         ExecStats g10 = runExperimentOnTrace(trace, cfg);
         double host_frac = 0.0;
         Bytes tot = g10.traffic.totalToGpu() + g10.traffic.totalFromGpu();
@@ -54,9 +54,9 @@ main(int argc, char** argv)
                                             g10.traffic.gpuToHost) /
                         static_cast<double>(tot);
 
-        cfg.design = DesignPoint::DeepUmPlus;
+        cfg.design = "deepum";
         ExecStats deepum = runExperimentOnTrace(trace, cfg);
-        cfg.design = DesignPoint::FlashNeuron;
+        cfg.design = "flashneuron";
         ExecStats fn = runExperimentOnTrace(trace, cfg);
 
         auto secs = [&](const ExecStats& st) {

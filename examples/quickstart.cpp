@@ -1,7 +1,8 @@
 /**
  * @file
  * Quickstart: train one model under several GPU-memory designs and
- * compare against the infinite-memory ideal.
+ * compare against the infinite-memory ideal, using the fluent
+ * experiment API (`Experiment()...run()`).
  *
  * Usage: quickstart [model] [batch] [scale_down]
  *   model      BERT | ViT | Inceptionv3 | ResNet152 | SENet154
@@ -28,14 +29,10 @@ main(int argc, char** argv)
     unsigned scale = (argc > 3)
         ? static_cast<unsigned>(std::atoi(argv[3])) : 8;
 
-    ExperimentConfig cfg;
-    cfg.model = model;
-    cfg.batchSize = batch;
-    cfg.scaleDown = scale;
-
-    // Describe the workload once.
+    // Describe the workload once; every design below replays the same
+    // trace on the same scaled platform.
     KernelTrace trace = buildModelScaled(model, batch, scale);
-    SystemConfig sys = cfg.sys.scaledDown(scale);
+    SystemConfig sys = SystemConfig().scaledDown(scale);
     VitalityAnalysis vit(trace, sys.kernelLaunchOverheadNs);
 
     std::cout << "Model " << trace.modelName() << "  batch "
@@ -56,17 +53,18 @@ main(int argc, char** argv)
     table.setHeader({"design", "iter_time_s", "samples_per_s",
                      "vs_ideal", "stall_frac", "faults"});
 
-    ExperimentConfig run = cfg;
-    run.sys = sys;
-    run.scaleDown = 1;  // trace/sys already scaled
-    for (DesignPoint d :
-         {DesignPoint::Ideal, DesignPoint::BaseUvm,
-          DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
-          DesignPoint::G10}) {
-        run.design = d;
-        ExecStats st = runExperimentOnTrace(trace, run);
+    for (const std::string& d :
+         {"ideal", "baseuvm", "flashneuron", "deepum", "g10"}) {
+        RunResult r = Experiment()
+                          .model(model)
+                          .batch(batch)
+                          .system(sys)
+                          .scaleDown(1)  // trace/sys already scaled
+                          .design(d)
+                          .runOnTrace(trace);
+        const ExecStats& st = r.stats;
         if (st.failed) {
-            table.addRowOf(designPointName(d), "FAILED",
+            table.addRowOf(r.designName.c_str(), "FAILED",
                            st.failReason.c_str(), "-", "-", "-");
             continue;
         }
@@ -75,7 +73,7 @@ main(int argc, char** argv)
         double stall_frac =
             static_cast<double>(st.totalStallNs) /
             static_cast<double>(st.measuredIterationNs);
-        table.addRowOf(designPointName(d), iter_s, st.throughput(),
+        table.addRowOf(r.designName.c_str(), iter_s, st.throughput(),
                        st.normalizedPerf(), stall_frac,
                        static_cast<unsigned long long>(
                            st.pageFaultBatches));

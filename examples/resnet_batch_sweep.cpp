@@ -27,31 +27,30 @@ main(int argc, char** argv)
     const ModelKind model = ModelKind::ResNet152;
     const std::vector<int> batches = {128, 256, 512, 768, 1024, 1280,
                                       1536};
-    const std::vector<DesignPoint> designs = {
-        DesignPoint::Ideal, DesignPoint::BaseUvm,
-        DesignPoint::FlashNeuron, DesignPoint::DeepUmPlus,
-        DesignPoint::G10};
+    const std::vector<std::string> designs = {
+        "ideal", "baseuvm", "flashneuron", "deepum", "g10"};
 
     std::cout << "ResNet-152 batch-size scaling study (1/" << scale
               << " platform scale)\n\n";
 
     Table table("throughput (images/sec, paper-equivalent)");
     std::vector<std::string> header = {"batch"};
-    for (DesignPoint d : designs)
-        header.push_back(designPointName(d));
+    for (const std::string& d : designs)
+        header.push_back(designDisplayName(d));
     table.setHeader(header);
 
-    std::map<DesignPoint, double> best_small;
-    std::map<DesignPoint, int> biggest_ok;
+    std::map<std::string, double> best_small;
+    std::map<std::string, int> biggest_ok;
     for (int b : batches) {
         KernelTrace trace = buildModelScaled(model, b, scale);
         std::vector<std::string> row = {std::to_string(b)};
-        for (DesignPoint d : designs) {
-            ExperimentConfig cfg;
-            cfg.sys = SystemConfig().scaledDown(scale);
-            cfg.scaleDown = 1;
-            cfg.design = d;
-            ExecStats st = runExperimentOnTrace(trace, cfg);
+        for (const std::string& d : designs) {
+            ExecStats st = Experiment()
+                               .system(SystemConfig().scaledDown(scale))
+                               .scaleDown(1)
+                               .design(d)
+                               .runOnTrace(trace)
+                               .stats;
             if (st.failed) {
                 row.push_back("fail");
                 continue;
@@ -68,8 +67,8 @@ main(int argc, char** argv)
     table.print(std::cout);
 
     std::cout << "\nlargest batch within 80% of peak throughput:\n";
-    for (DesignPoint d : designs)
-        std::cout << "  " << designPointName(d) << ": "
+    for (const std::string& d : designs)
+        std::cout << "  " << designDisplayName(d) << ": "
                   << (biggest_ok.count(d) ? biggest_ok[d] : 0) << "\n";
     return 0;
 }

@@ -8,15 +8,18 @@ ExecStats
 runExperimentOnTrace(const KernelTrace& trace,
                      const ExperimentConfig& config)
 {
-    DesignInstance design =
-        makeDesign(config.design, trace, config.sys);
+    DesignInstance design = PolicyRegistry::instance().make(
+        config.design, trace, config.sys);
 
     RunConfig rc;
     rc.sys = config.sys;
     rc.iterations = config.iterations;
-    rc.uvmExtension = design.uvmExtension;
+    rc.uvmExtension = config.uvmExtension < 0
+                          ? design.uvmExtension
+                          : (config.uvmExtension != 0);
     rc.timingErrorPct = config.timingErrorPct;
     rc.seed = config.seed;
+    rc.weightWatermark = config.weightWatermark;
 
     return simulate(trace, *design.policy, rc);
 }
@@ -29,6 +32,168 @@ runExperiment(const ExperimentConfig& config)
     ExperimentConfig scaled = config;
     scaled.sys = config.sys.scaledDown(config.scaleDown);
     return runExperimentOnTrace(trace, scaled);
+}
+
+RunResult
+runExperimentResult(const ExperimentConfig& config)
+{
+    RunResult out;
+    out.config = config;
+    out.designName =
+        PolicyRegistry::instance().resolve(config.design).name;
+    out.stats = runExperiment(config);
+    return out;
+}
+
+RunResult
+runExperimentResultOnTrace(const KernelTrace& trace,
+                           const ExperimentConfig& config)
+{
+    RunResult out;
+    out.config = config;
+    out.designName =
+        PolicyRegistry::instance().resolve(config.design).name;
+    out.stats = runExperimentOnTrace(trace, config);
+    return out;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::model(ModelKind m)
+{
+    cfg_.model = m;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::model(const std::string& name)
+{
+    cfg_.model = modelKindFromName(name);
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::batch(int batch_size)
+{
+    if (batch_size < 1)
+        fatal("Experiment: batch must be >= 1, got %d", batch_size);
+    cfg_.batchSize = batch_size;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::scaleDown(unsigned factor)
+{
+    if (factor < 1)
+        fatal("Experiment: scaleDown must be >= 1");
+    cfg_.scaleDown = factor;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::design(const std::string& name)
+{
+    // Resolve eagerly so typos fail at build time, not at run().
+    PolicyRegistry::instance().resolve(name);
+    cfg_.design = name;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::iterations(int n)
+{
+    if (n < 1)
+        fatal("Experiment: iterations must be >= 1, got %d", n);
+    cfg_.iterations = n;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::timingError(double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        fatal("Experiment: timingError must be in [0, 1], got %g",
+              fraction);
+    cfg_.timingErrorPct = fraction;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::seed(std::uint64_t s)
+{
+    cfg_.seed = s;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::system(const SystemConfig& sys)
+{
+    cfg_.sys = sys;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::gpuMemGB(double gb)
+{
+    if (gb <= 0.0)
+        fatal("Experiment: gpuMemGB must be > 0, got %g", gb);
+    cfg_.sys.gpuMemBytes = static_cast<Bytes>(gb * 1e9);
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::hostMemGB(double gb)
+{
+    if (gb < 0.0)
+        fatal("Experiment: hostMemGB must be >= 0, got %g", gb);
+    cfg_.sys.hostMemBytes = static_cast<Bytes>(gb * 1e9);
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::ssdGBps(double read_gbps)
+{
+    if (read_gbps <= 0.0)
+        fatal("Experiment: ssdGBps must be > 0, got %g", read_gbps);
+    cfg_.sys.setSsdBandwidthGBps(read_gbps);
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::pcieGBps(double gbps)
+{
+    if (gbps <= 0.0)
+        fatal("Experiment: pcieGBps must be > 0, got %g", gbps);
+    cfg_.sys.pcieGBps = gbps;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::weightWatermark(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("Experiment: weightWatermark must be in (0, 1], got %g",
+              fraction);
+    cfg_.weightWatermark = fraction;
+    return *this;
+}
+
+ExperimentBuilder&
+ExperimentBuilder::uvmExtension(bool enabled)
+{
+    cfg_.uvmExtension = enabled ? 1 : 0;
+    return *this;
+}
+
+RunResult
+ExperimentBuilder::run() const
+{
+    return runExperimentResult(cfg_);
+}
+
+RunResult
+ExperimentBuilder::runOnTrace(const KernelTrace& trace) const
+{
+    return runExperimentResultOnTrace(trace, cfg_);
 }
 
 }  // namespace g10

@@ -13,6 +13,8 @@
 #define G10_API_G10_H
 
 #include "api/experiment.h"
+#include "api/report.h"
+#include "common/json_writer.h"
 #include "common/stats.h"
 #include "common/logging.h"
 #include "common/system_config.h"
@@ -29,6 +31,7 @@
 #include "policies/baselines.h"
 #include "policies/design_point.h"
 #include "policies/g10_policy.h"
+#include "policies/registry.h"
 #include "sim/runtime/sim_runtime.h"
 
 #endif  // G10_API_G10_H

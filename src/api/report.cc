@@ -1,0 +1,425 @@
+#include "report.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace g10 {
+
+const char*
+reportFormatName(ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Table: return "table";
+      case ReportFormat::Json: return "json";
+      case ReportFormat::Csv: return "csv";
+    }
+    return "?";
+}
+
+ReportFormat
+reportFormatFromName(const std::string& name)
+{
+    std::string s = name;
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "table")
+        return ReportFormat::Table;
+    if (s == "json")
+        return ReportFormat::Json;
+    if (s == "csv")
+        return ReportFormat::Csv;
+    fatal("unknown format '%s' (valid: table, json, csv)",
+          name.c_str());
+}
+
+namespace {
+
+double
+seconds(TimeNs ns)
+{
+    return static_cast<double>(ns) / 1e9;
+}
+
+void
+writeTrafficJson(JsonWriter& w, const TrafficStats& t)
+{
+    w.beginObject();
+    w.field("ssd_to_gpu_bytes", static_cast<std::uint64_t>(t.ssdToGpu));
+    w.field("gpu_to_ssd_bytes", static_cast<std::uint64_t>(t.gpuToSsd));
+    w.field("host_to_gpu_bytes",
+            static_cast<std::uint64_t>(t.hostToGpu));
+    w.field("gpu_to_host_bytes",
+            static_cast<std::uint64_t>(t.gpuToHost));
+    w.field("fault_batches", t.faultBatches);
+    w.field("migration_ops", t.migrationOps);
+    w.endObject();
+}
+
+void
+writeSsdJson(JsonWriter& w, const SsdStats& s)
+{
+    w.beginObject();
+    w.field("host_read_bytes",
+            static_cast<std::uint64_t>(s.hostReadBytes));
+    w.field("host_write_bytes",
+            static_cast<std::uint64_t>(s.hostWriteBytes));
+    w.field("nand_write_bytes",
+            static_cast<std::uint64_t>(s.nandWriteBytes));
+    w.field("waf", s.waf());
+    w.field("gc_runs", s.gcRuns);
+    w.field("block_erases", s.blockErases);
+    w.field("relocated_pages", s.relocatedPages);
+    w.endObject();
+}
+
+void
+writeSystemJson(JsonWriter& w, const SystemConfig& sys)
+{
+    w.beginObject();
+    w.field("gpu_mem_bytes", static_cast<std::uint64_t>(sys.gpuMemBytes));
+    w.field("host_mem_bytes",
+            static_cast<std::uint64_t>(sys.hostMemBytes));
+    w.field("ssd_capacity_bytes",
+            static_cast<std::uint64_t>(sys.ssdCapacityBytes));
+    w.field("pcie_gbps", sys.pcieGBps);
+    w.field("ssd_read_gbps", sys.ssdReadGBps);
+    w.field("ssd_write_gbps", sys.ssdWriteGBps);
+    w.endObject();
+}
+
+void
+writeConfigJson(JsonWriter& w, const ExperimentConfig& cfg)
+{
+    w.beginObject();
+    w.field("model", modelName(cfg.model));
+    w.field("batch", static_cast<std::int64_t>(cfg.batchSize));
+    w.field("scale_down", static_cast<std::uint64_t>(cfg.scaleDown));
+    w.field("design", cfg.design);
+    w.field("iterations", static_cast<std::int64_t>(cfg.iterations));
+    w.field("timing_error", cfg.timingErrorPct);
+    w.field("seed", static_cast<std::uint64_t>(cfg.seed));
+    w.field("weight_watermark", cfg.weightWatermark);
+    w.key("uvm_extension");
+    if (cfg.uvmExtension < 0)
+        w.value("auto");
+    else
+        w.value(cfg.uvmExtension != 0);
+    w.key("system");
+    writeSystemJson(w, cfg.sys);
+    w.endObject();
+}
+
+/** The per-run key/value table shared by table and CSV output. */
+Table
+runResultTable(const RunResult& r)
+{
+    const ExecStats& st = r.stats;
+    Table out("g10sim result");
+    out.setHeader({"key", "value"});
+    out.addRowOf("model", st.modelName.c_str());
+    out.addRowOf("batch", st.batchSize);
+    out.addRowOf("design", st.policyName.c_str());
+    if (st.failed) {
+        out.addRowOf("status", "FAILED");
+        out.addRowOf("reason", st.failReason.c_str());
+        return out;
+    }
+    out.addRowOf("status", "ok");
+    out.addRowOf("iteration_s", seconds(st.measuredIterationNs));
+    out.addRowOf("ideal_s", seconds(st.idealIterationNs));
+    out.addRowOf("normalized_perf", st.normalizedPerf());
+    out.addRowOf("throughput_sps", st.throughput());
+    out.addRowOf("stall_s", seconds(st.totalStallNs));
+    out.addRowOf("fault_batches",
+                 static_cast<unsigned long long>(st.pageFaultBatches));
+    out.addRowOf("gpu_ssd_GB",
+                 static_cast<double>(st.traffic.gpuToSsd +
+                                     st.traffic.ssdToGpu) / 1e9);
+    out.addRowOf("gpu_host_GB",
+                 static_cast<double>(st.traffic.gpuToHost +
+                                     st.traffic.hostToGpu) / 1e9);
+    out.addRowOf("ssd_waf", st.ssd.waf());
+    return out;
+}
+
+Table
+mixJobsTable(const MixResult& result)
+{
+    Table jobs("per-job results (shared GPU + host DRAM + SSD)");
+    jobs.setHeader({"job", "design", "prio", "arrive_ms", "status",
+                    "iter_s", "isolated_s", "slowdown", "turnaround",
+                    "finish_s"});
+    for (const JobResult& j : result.jobs) {
+        if (j.shared.failed) {
+            jobs.addRowOf(j.name.c_str(),
+                          j.shared.policyName.c_str(), j.spec.priority,
+                          static_cast<double>(j.spec.arrivalNs) / 1e6,
+                          "FAILED", j.shared.failReason.c_str(), "-",
+                          "-", "-", "-");
+            continue;
+        }
+        jobs.addRowOf(
+            j.name.c_str(), j.shared.policyName.c_str(),
+            j.spec.priority,
+            static_cast<double>(j.spec.arrivalNs) / 1e6, "ok",
+            seconds(j.shared.measuredIterationNs),
+            j.isolated.measuredIterationNs > 0
+                ? Table::formatCell(
+                      seconds(j.isolated.measuredIterationNs))
+                : std::string("-"),
+            j.slowdown > 0 ? Table::formatCell(j.slowdown)
+                           : std::string("-"),
+            j.turnaroundSlowdown > 0
+                ? Table::formatCell(j.turnaroundSlowdown)
+                : std::string("-"),
+            seconds(j.finishNs));
+    }
+    return jobs;
+}
+
+Table
+mixAggregateTable(const MixResult& result)
+{
+    Table agg("mix aggregate");
+    agg.setHeader({"metric", "value"});
+    agg.addRowOf("jobs", static_cast<int>(result.jobs.size()));
+    agg.addRowOf("makespan_s", seconds(result.makespanNs));
+    agg.addRowOf("gpu_utilization", result.gpuUtilization);
+    agg.addRowOf("aggregate_throughput_sps",
+                 result.aggregateThroughput);
+    agg.addRowOf("fairness_jain", result.fairness);
+    agg.addRowOf("ssd_host_write_GB",
+                 static_cast<double>(result.ssd.hostWriteBytes) / 1e9);
+    agg.addRowOf("ssd_nand_write_GB",
+                 static_cast<double>(result.ssd.nandWriteBytes) / 1e9);
+    agg.addRowOf("ssd_waf", result.ssd.waf());
+    agg.addRowOf("ssd_gc_runs",
+                 static_cast<unsigned long long>(result.ssd.gcRuns));
+    return agg;
+}
+
+void
+writeJobJson(JsonWriter& w, const JobResult& j)
+{
+    w.beginObject();
+    w.field("name", j.name);
+    w.field("model", modelName(j.spec.model));
+    w.field("batch", static_cast<std::int64_t>(j.spec.batchSize));
+    w.field("design", j.spec.design);
+    w.field("priority", static_cast<std::int64_t>(j.spec.priority));
+    w.field("arrival_ms",
+            static_cast<double>(j.spec.arrivalNs) / 1e6);
+    w.field("status", j.shared.failed ? "failed" : "ok");
+    if (j.shared.failed)
+        w.field("fail_reason", j.shared.failReason);
+    w.field("iteration_time_s", seconds(j.shared.measuredIterationNs));
+    w.key("isolated_iteration_s");
+    if (j.isolated.measuredIterationNs > 0)
+        w.value(seconds(j.isolated.measuredIterationNs));
+    else
+        w.null();
+    w.key("slowdown");
+    if (j.slowdown > 0)
+        w.value(j.slowdown);
+    else
+        w.null();
+    w.key("turnaround_slowdown");
+    if (j.turnaroundSlowdown > 0)
+        w.value(j.turnaroundSlowdown);
+    else
+        w.null();
+    w.field("finish_s", seconds(j.finishNs));
+    w.key("stats");
+    writeJson(w, j.shared);
+    w.endObject();
+}
+
+}  // namespace
+
+void
+writeJson(JsonWriter& w, const ExecStats& stats)
+{
+    w.beginObject();
+    w.field("model", stats.modelName);
+    w.field("batch", static_cast<std::int64_t>(stats.batchSize));
+    w.field("design", stats.policyName);
+    w.field("status", stats.failed ? "failed" : "ok");
+    if (stats.failed)
+        w.field("fail_reason", stats.failReason);
+    w.field("iteration_time_s", seconds(stats.measuredIterationNs));
+    w.field("ideal_iteration_s", seconds(stats.idealIterationNs));
+    w.field("normalized_perf", stats.normalizedPerf());
+    w.field("throughput_sps", stats.throughput());
+    w.field("stall_s", seconds(stats.totalStallNs));
+    w.field("fault_batches", stats.pageFaultBatches);
+    w.field("kernels",
+            static_cast<std::uint64_t>(stats.kernels.size()));
+    w.key("traffic");
+    writeTrafficJson(w, stats.traffic);
+    w.key("ssd");
+    writeSsdJson(w, stats.ssd);
+    w.endObject();
+}
+
+void
+writeRunResultJson(std::ostream& os, const RunResult& result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.run_result.v1");
+    w.field("design", result.designName);
+    w.key("config");
+    writeConfigJson(w, result.config);
+    w.key("result");
+    writeJson(w, result.stats);
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeMixResultJson(std::ostream& os, const MixResult& result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.mix_result.v1");
+    w.key("jobs");
+    w.beginArray();
+    for (const JobResult& j : result.jobs)
+        writeJobJson(w, j);
+    w.endArray();
+    w.key("aggregate");
+    w.beginObject();
+    w.field("makespan_s", seconds(result.makespanNs));
+    w.field("gpu_busy_s", seconds(result.gpuBusyNs));
+    w.field("gpu_utilization", result.gpuUtilization);
+    w.field("aggregate_throughput_sps", result.aggregateThroughput);
+    w.field("fairness_jain", result.fairness);
+    w.key("ssd");
+    writeSsdJson(w, result.ssd);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeGridJson(std::ostream& os, const std::vector<RunResult>& results)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.grid.v1");
+    w.field("runs", static_cast<std::uint64_t>(results.size()));
+    w.key("results");
+    w.beginArray();
+    for (const RunResult& r : results) {
+        w.beginObject();
+        w.field("design", r.designName);
+        w.key("config");
+        writeConfigJson(w, r.config);
+        w.key("result");
+        writeJson(w, r.stats);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+int
+printRunResult(std::ostream& os, const RunResult& result,
+               ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Json:
+        writeRunResultJson(os, result);
+        break;
+      case ReportFormat::Csv:
+        runResultTable(result).printCsv(os);
+        break;
+      case ReportFormat::Table:
+        runResultTable(result).print(os);
+        break;
+    }
+    return result.ok() ? 0 : 2;
+}
+
+int
+printMixResult(std::ostream& os, const MixResult& result,
+               ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Json:
+        writeMixResultJson(os, result);
+        break;
+      case ReportFormat::Csv:
+        mixJobsTable(result).printCsv(os);
+        os << "\n";
+        mixAggregateTable(result).printCsv(os);
+        break;
+      case ReportFormat::Table:
+        mixJobsTable(result).print(os);
+        os << "\n";
+        mixAggregateTable(result).print(os);
+        break;
+    }
+    return result.allSucceeded() ? 0 : 2;
+}
+
+void
+printMixReport(std::ostream& os, const MixResult& result)
+{
+    printMixResult(os, result, ReportFormat::Table);
+}
+
+void
+printDesignList(std::ostream& os, ReportFormat format)
+{
+    auto designs = PolicyRegistry::instance().registeredDesigns();
+
+    if (format == ReportFormat::Json) {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "g10.designs.v1");
+        w.key("designs");
+        w.beginArray();
+        for (const PolicyInfo* d : designs) {
+            w.beginObject();
+            w.field("name", d->name);
+            w.field("key", d->key);
+            w.key("aliases");
+            w.beginArray();
+            for (const std::string& a : d->aliases)
+                w.value(a);
+            w.endArray();
+            w.field("description", d->description);
+            w.field("builtin", d->builtinTag >= 0);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        return;
+    }
+
+    Table t("registered designs");
+    t.setHeader({"name", "key", "aliases", "description"});
+    for (const PolicyInfo* d : designs) {
+        std::string aliases;
+        for (const std::string& a : d->aliases) {
+            if (!aliases.empty())
+                aliases += " ";
+            aliases += a;
+        }
+        if (aliases.empty())
+            aliases = "-";
+        t.addRowOf(d->name.c_str(), d->key.c_str(), aliases.c_str(),
+                   d->description.c_str());
+    }
+    if (format == ReportFormat::Csv)
+        t.printCsv(os);
+    else
+        t.print(os);
+}
+
+}  // namespace g10

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Structured result reporting: one place that turns RunResult /
+ * MixResult / experiment grids into human tables, CSV, or
+ * machine-readable JSON (the `--format` surface of g10sim/g10multi).
+ *
+ * JSON documents carry a `schema` tag (`g10.run_result.v1`,
+ * `g10.mix_result.v1`, `g10.grid.v1`) so downstream tooling can
+ * dispatch without sniffing fields.
+ */
+
+#ifndef G10_API_REPORT_H
+#define G10_API_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "common/json_writer.h"
+#include "engine/multi_tenant.h"
+
+namespace g10 {
+
+/** Output encodings supported by the CLIs. */
+enum class ReportFormat
+{
+    Table,  ///< aligned human-readable tables (default)
+    Json,   ///< one machine-readable JSON document
+    Csv,    ///< RFC-4180-ish CSV of the same tables
+};
+
+/** Display/CLI name of a format ("table", "json", "csv"). */
+const char* reportFormatName(ReportFormat format);
+
+/**
+ * Parse a `--format` value (case-insensitive); fatal() listing the
+ * valid names on unknown input.
+ */
+ReportFormat reportFormatFromName(const std::string& name);
+
+// ---- JSON serialization ---------------------------------------------
+
+/** Serialize @p stats as a nested object onto an open writer. */
+void writeJson(JsonWriter& w, const ExecStats& stats);
+
+/** Serialize @p result (config echo + stats) as a complete document. */
+void writeRunResultJson(std::ostream& os, const RunResult& result);
+
+/** Serialize a consolidated multi-tenant result. */
+void writeMixResultJson(std::ostream& os, const MixResult& result);
+
+/** Serialize an experiment grid (ExperimentEngine output). */
+void writeGridJson(std::ostream& os,
+                   const std::vector<RunResult>& results);
+
+// ---- Format-dispatched printers -------------------------------------
+
+/**
+ * Print one run in @p format. Returns the suggested process exit code
+ * (0 ok, 2 when the run failed) so the CLIs stay one-liners.
+ */
+int printRunResult(std::ostream& os, const RunResult& result,
+                   ReportFormat format);
+
+/** Print one consolidated mix in @p format (exit code as above). */
+int printMixResult(std::ostream& os, const MixResult& result,
+                   ReportFormat format);
+
+/**
+ * Legacy table-only mix report (used by the consolidation bench and
+ * multi-tenant examples); printMixResult with ReportFormat::Table.
+ */
+void printMixReport(std::ostream& os, const MixResult& result);
+
+/**
+ * Print the PolicyRegistry contents (name, aliases, description) —
+ * the `--list-designs` surface.
+ */
+void printDesignList(std::ostream& os, ReportFormat format);
+
+}  // namespace g10
+
+#endif  // G10_API_REPORT_H

@@ -1,0 +1,502 @@
+#include "json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+// ------------------------------------------------------------- writer
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent)
+{}
+
+JsonWriter::~JsonWriter()
+{
+    if (!stack_.empty())
+        panic("JsonWriter destroyed with %zu unclosed container(s)",
+              stack_.size());
+}
+
+void
+JsonWriter::prefix(bool isKey)
+{
+    Ctx ctx = stack_.empty() ? Ctx::Top : stack_.back();
+    if (ctx == Ctx::Top) {
+        if (isKey)
+            panic("JsonWriter: key() outside any object");
+        if (done_)
+            panic("JsonWriter: second top-level value");
+        return;
+    }
+    if (ctx == Ctx::Object && !isKey && !keyPending_)
+        panic("JsonWriter: object member needs key() first");
+    if (ctx == Ctx::Array && isKey)
+        panic("JsonWriter: key() inside an array");
+    if (keyPending_)
+        return;  // the value right after its key: no comma/indent
+
+    if (hasItems_.back())
+        os_ << ',';
+    if (indent_ > 0) {
+        os_ << '\n';
+        os_ << std::string(stack_.size() *
+                           static_cast<std::size_t>(indent_), ' ');
+    }
+    hasItems_.back() = true;
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << '{';
+    stack_.push_back(Ctx::Object);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Ctx::Object || keyPending_)
+        panic("JsonWriter: endObject() does not match an open object");
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had && indent_ > 0)
+        os_ << '\n'
+            << std::string(stack_.size() *
+                           static_cast<std::size_t>(indent_), ' ');
+    os_ << '}';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << '[';
+    stack_.push_back(Ctx::Array);
+    hasItems_.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Ctx::Array)
+        panic("JsonWriter: endArray() does not match an open array");
+    bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had && indent_ > 0)
+        os_ << '\n'
+            << std::string(stack_.size() *
+                           static_cast<std::size_t>(indent_), ' ');
+    os_ << ']';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(const std::string& k)
+{
+    if (keyPending_)
+        panic("JsonWriter: key('%s') while another key is pending",
+              k.c_str());
+    prefix(true);
+    os_ << quote(k) << (indent_ > 0 ? ": " : ":");
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const std::string& v)
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << quote(v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter&
+JsonWriter::value(double v)
+{
+    prefix(false);
+    keyPending_ = false;
+    if (!std::isfinite(v)) {
+        os_ << "null";
+    } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.12g", v);
+        os_ << buf;
+    }
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(bool v)
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << (v ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::int64_t v)
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(std::uint64_t v)
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << "null";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::quote(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+// ------------------------------------------------------------- parser
+
+const JsonValue*
+JsonValue::find(const std::string& k) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& m : members)
+        if (m.first == k)
+            return &m.second;
+    return nullptr;
+}
+
+const JsonValue&
+JsonValue::at(const std::string& k) const
+{
+    const JsonValue* v = find(k);
+    if (!v)
+        panic("JsonValue: missing member '%s'", k.c_str());
+    return *v;
+}
+
+namespace {
+
+/** Cursor over the input text with error reporting. */
+struct JsonParser
+{
+    const std::string& text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string& msg)
+    {
+        if (error.empty())
+            error = msg + " at byte " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char* word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out->clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode (surrogate pairs are passed through as
+                // two 3-byte sequences; the writer never emits them).
+                if (cp < 0x80) {
+                    *out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    *out += static_cast<char>(0xC0 | (cp >> 6));
+                    *out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    *out += static_cast<char>(0xE0 | (cp >> 12));
+                    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    *out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue* out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out->kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string k;
+                if (!parseString(&k))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->members.emplace_back(std::move(k), std::move(v));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out->kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue v;
+                if (!parseValue(&v, depth + 1))
+                    return false;
+                out->items.push_back(std::move(v));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out->kind = JsonValue::Kind::String;
+            return parseString(&out->str);
+        }
+        if (c == 't') {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return literal("true", 4);
+        }
+        if (c == 'f') {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = false;
+            return literal("false", 5);
+        }
+        if (c == 'n') {
+            out->kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        }
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            std::size_t start = pos;
+            if (consume('-')) {}
+            if (pos >= text.size() || !std::isdigit(
+                    static_cast<unsigned char>(text[pos])))
+                return fail("malformed number");
+            if (text[pos] == '0') {
+                ++pos;
+            } else {
+                while (pos < text.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(text[pos])))
+                    ++pos;
+            }
+            if (consume('.')) {
+                if (pos >= text.size() || !std::isdigit(
+                        static_cast<unsigned char>(text[pos])))
+                    return fail("malformed fraction");
+                while (pos < text.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(text[pos])))
+                    ++pos;
+            }
+            if (pos < text.size() &&
+                (text[pos] == 'e' || text[pos] == 'E')) {
+                ++pos;
+                if (pos < text.size() &&
+                    (text[pos] == '+' || text[pos] == '-'))
+                    ++pos;
+                if (pos >= text.size() || !std::isdigit(
+                        static_cast<unsigned char>(text[pos])))
+                    return fail("malformed exponent");
+                while (pos < text.size() &&
+                       std::isdigit(
+                           static_cast<unsigned char>(text[pos])))
+                    ++pos;
+            }
+            out->kind = JsonValue::Kind::Number;
+            out->number =
+                std::strtod(text.substr(start, pos - start).c_str(),
+                            nullptr);
+            return true;
+        }
+        return fail("unexpected character");
+    }
+};
+
+}  // namespace
+
+bool
+parseJson(const std::string& text, JsonValue* out, std::string* err)
+{
+    JsonParser p{text, 0, {}};
+    JsonValue v;
+    if (!p.parseValue(&v, 0)) {
+        if (err)
+            *err = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (err)
+            *err = "trailing garbage at byte " + std::to_string(p.pos);
+        return false;
+    }
+    *out = std::move(v);
+    return true;
+}
+
+}  // namespace g10

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Minimal dependency-free JSON support for machine-readable results:
+ * a streaming writer (pretty-printed, RFC 8259 escaping) used by the
+ * report layer, and a small recursive-descent parser used by tests and
+ * smoke checks to validate what the writer emitted.
+ */
+
+#ifndef G10_COMMON_JSON_WRITER_H
+#define G10_COMMON_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace g10 {
+
+/**
+ * Streaming JSON emitter. Call begin/end/key/value in document order;
+ * commas, indentation, and string escaping are handled internally.
+ * Nesting errors (a value without a pending key inside an object, or
+ * unbalanced begin/end) are programming errors and panic().
+ *
+ * Non-finite doubles are emitted as `null` so the output always parses.
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level; 0 = compact one-line. */
+    explicit JsonWriter(std::ostream& os, int indent = 2);
+
+    /** All containers must be closed by the time this runs. */
+    ~JsonWriter();
+
+    JsonWriter& beginObject();
+    JsonWriter& endObject();
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    /** Member key; must be directly inside an object. */
+    JsonWriter& key(const std::string& k);
+
+    JsonWriter& value(const std::string& v);
+    JsonWriter& value(const char* v);
+    JsonWriter& value(double v);
+    JsonWriter& value(bool v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& null();
+
+    /** key(k) + value(v) in one call. */
+    template <typename T>
+    JsonWriter&
+    field(const std::string& k, T&& v)
+    {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /** Escape @p s into a quoted JSON string literal. */
+    static std::string quote(const std::string& s);
+
+  private:
+    enum class Ctx { Top, Object, Array };
+
+    /** Comma/newline/indent bookkeeping before any value or key. */
+    void prefix(bool isKey);
+
+    std::ostream& os_;
+    int indent_;
+    std::vector<Ctx> stack_;
+    std::vector<bool> hasItems_;  ///< per level: emitted anything yet?
+    bool keyPending_ = false;
+    bool done_ = false;  ///< one top-level value already written
+};
+
+/**
+ * Parsed JSON document node. A deliberately small tree representation:
+ * numbers are doubles (adequate for every field the report layer
+ * writes), object member order is preserved.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;  ///< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& k) const;
+
+    /** find() that fails loudly (panic) — convenient in tests. */
+    const JsonValue& at(const std::string& k) const;
+
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+};
+
+/**
+ * Parse one complete JSON document (trailing whitespace allowed,
+ * trailing garbage rejected).
+ *
+ * @param err when non-null, receives a message with the byte offset of
+ *        the first error
+ * @return false on malformed input
+ */
+bool parseJson(const std::string& text, JsonValue* out,
+               std::string* err = nullptr);
+
+}  // namespace g10
+
+#endif  // G10_COMMON_JSON_WRITER_H

@@ -122,6 +122,27 @@ ExperimentEngine::runGridOnTrace(const KernelTrace& trace,
     return results;
 }
 
+std::vector<RunResult>
+ExperimentEngine::runGridResults(const std::vector<ExperimentConfig>& grid)
+{
+    std::vector<RunResult> results(grid.size());
+    parallelFor(grid.size(), [&](std::size_t i) {
+        results[i] = runExperimentResult(grid[i]);
+    });
+    return results;
+}
+
+std::vector<RunResult>
+ExperimentEngine::runGridResultsOnTrace(
+    const KernelTrace& trace, const std::vector<ExperimentConfig>& grid)
+{
+    std::vector<RunResult> results(grid.size());
+    parallelFor(grid.size(), [&](std::size_t i) {
+        results[i] = runExperimentResultOnTrace(trace, grid[i]);
+    });
+    return results;
+}
+
 std::vector<MixResult>
 ExperimentEngine::runMixes(const std::vector<WorkloadMix>& mixes)
 {

@@ -68,6 +68,18 @@ class ExperimentEngine
     runGridOnTrace(const KernelTrace& trace,
                    const std::vector<ExperimentConfig>& grid);
 
+    /**
+     * Like runGrid(), but each result carries its config echo — the
+     * shape writeGridJson() serializes.
+     */
+    std::vector<RunResult>
+    runGridResults(const std::vector<ExperimentConfig>& grid);
+
+    /** runGridOnTrace() with config echoes; results in input order. */
+    std::vector<RunResult>
+    runGridResultsOnTrace(const KernelTrace& trace,
+                          const std::vector<ExperimentConfig>& grid);
+
     /** Run every workload mix; results in input order. */
     std::vector<MixResult>
     runMixes(const std::vector<WorkloadMix>& mixes);

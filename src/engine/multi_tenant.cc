@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "common/table.h"
+#include "policies/registry.h"
 
 namespace g10 {
 
@@ -172,7 +172,8 @@ MultiTenantSim::run()
         jobSys.hostMemBytes = static_cast<Bytes>(
             static_cast<double>(scaledSys_.hostMemBytes) * w);
 
-        designs.push_back(makeDesign(spec.design, traces_[i], jobSys));
+        designs.push_back(PolicyRegistry::instance().make(
+            spec.design, traces_[i], jobSys));
 
         RunConfig rc;
         rc.sys = jobSys;
@@ -231,8 +232,8 @@ MultiTenantSim::run()
     for (std::size_t i = 0; i < n; ++i) {
         JobResult& jr = out.jobs[i];
         if (mix_.isolatedBaseline) {
-            DesignInstance design =
-                makeDesign(mix_.jobs[i].design, traces_[i], scaledSys_);
+            DesignInstance design = PolicyRegistry::instance().make(
+                mix_.jobs[i].design, traces_[i], scaledSys_);
             RunConfig rc;
             rc.sys = scaledSys_;
             rc.iterations = mix_.jobs[i].iterations;
@@ -268,62 +269,6 @@ MultiTenantSim::run()
             (s * s) / (static_cast<double>(speeds.size()) * s2);
     }
     return out;
-}
-
-void
-printMixReport(std::ostream& os, const MixResult& result)
-{
-    Table jobs("per-job results (shared GPU + host DRAM + SSD)");
-    jobs.setHeader({"job", "design", "prio", "arrive_ms", "status",
-                    "iter_s", "isolated_s", "slowdown", "turnaround",
-                    "finish_s"});
-    for (const JobResult& j : result.jobs) {
-        if (j.shared.failed) {
-            jobs.addRowOf(j.name.c_str(),
-                          j.shared.policyName.c_str(), j.spec.priority,
-                          static_cast<double>(j.spec.arrivalNs) / 1e6,
-                          "FAILED", j.shared.failReason.c_str(), "-",
-                          "-", "-", "-");
-            continue;
-        }
-        jobs.addRowOf(
-            j.name.c_str(), j.shared.policyName.c_str(),
-            j.spec.priority,
-            static_cast<double>(j.spec.arrivalNs) / 1e6, "ok",
-            static_cast<double>(j.shared.measuredIterationNs) / 1e9,
-            j.isolated.measuredIterationNs > 0
-                ? Table::formatCell(
-                      static_cast<double>(
-                          j.isolated.measuredIterationNs) /
-                      1e9)
-                : std::string("-"),
-            j.slowdown > 0 ? Table::formatCell(j.slowdown)
-                           : std::string("-"),
-            j.turnaroundSlowdown > 0
-                ? Table::formatCell(j.turnaroundSlowdown)
-                : std::string("-"),
-            static_cast<double>(j.finishNs) / 1e9);
-    }
-    jobs.print(os);
-    os << "\n";
-
-    Table agg("mix aggregate");
-    agg.setHeader({"metric", "value"});
-    agg.addRowOf("jobs", static_cast<int>(result.jobs.size()));
-    agg.addRowOf("makespan_s",
-                 static_cast<double>(result.makespanNs) / 1e9);
-    agg.addRowOf("gpu_utilization", result.gpuUtilization);
-    agg.addRowOf("aggregate_throughput_sps",
-                 result.aggregateThroughput);
-    agg.addRowOf("fairness_jain", result.fairness);
-    agg.addRowOf("ssd_host_write_GB",
-                 static_cast<double>(result.ssd.hostWriteBytes) / 1e9);
-    agg.addRowOf("ssd_nand_write_GB",
-                 static_cast<double>(result.ssd.nandWriteBytes) / 1e9);
-    agg.addRowOf("ssd_waf", result.ssd.waf());
-    agg.addRowOf("ssd_gc_runs",
-                 static_cast<unsigned long long>(result.ssd.gcRuns));
-    agg.print(os);
 }
 
 }  // namespace g10

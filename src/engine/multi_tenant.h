@@ -17,7 +17,6 @@
 #define G10_ENGINE_MULTI_TENANT_H
 
 #include <memory>
-#include <ostream>
 #include <vector>
 
 #include "engine/workload_mix.h"
@@ -130,12 +129,6 @@ class MultiTenantSim
     std::vector<TimeNs> vtBase_;
     std::vector<bool> joined_;
 };
-
-/**
- * Print the per-job and aggregate tables of one consolidated run
- * (used by g10multi, `g10sim --mix`, and the consolidation bench).
- */
-void printMixReport(std::ostream& os, const MixResult& result);
 
 }  // namespace g10
 

@@ -71,7 +71,11 @@ parseJobLine(const std::string& payload, const std::string& path,
             job.batchSize =
                 static_cast<int>(parseInt(val, path, line, key));
         } else if (key == "design") {
-            job.design = designPointFromName(val);
+            if (!PolicyRegistry::instance().contains(val))
+                fatal("%s:%zu: unknown design '%s' (registered: %s)",
+                      path.c_str(), line, val.c_str(),
+                      PolicyRegistry::instance().knownNames().c_str());
+            job.design = val;
         } else if (key == "priority") {
             job.priority =
                 static_cast<int>(parseInt(val, path, line, key));

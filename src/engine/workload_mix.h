@@ -16,7 +16,7 @@
 #include "common/system_config.h"
 #include "common/types.h"
 #include "models/model_zoo.h"
-#include "policies/design_point.h"
+#include "policies/registry.h"
 
 namespace g10 {
 
@@ -31,8 +31,11 @@ struct JobSpec
     /** Paper-scale batch size; 0 = the model's Fig. 11 batch. */
     int batchSize = 0;
 
-    /** Memory-management design this job runs under. */
-    DesignPoint design = DesignPoint::G10;
+    /**
+     * Memory-management design this job runs under, by PolicyRegistry
+     * name (built-in or registered custom policy).
+     */
+    std::string design = "g10";
 
     /**
      * Scheduling weight (>= 1). Under MixSched::Priority a job with

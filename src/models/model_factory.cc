@@ -19,24 +19,35 @@ modelName(ModelKind kind)
     return "?";
 }
 
-ModelKind
-modelKindFromName(const std::string& name)
+bool
+tryModelKindFromName(const std::string& name, ModelKind* out)
 {
     std::string lower = name;
     std::transform(lower.begin(), lower.end(), lower.begin(),
                    [](unsigned char ch) { return std::tolower(ch); });
     if (lower == "bert" || lower == "bert_base" || lower == "bertbase")
-        return ModelKind::BertBase;
-    if (lower == "vit")
-        return ModelKind::ViT;
-    if (lower == "inceptionv3" || lower == "inception")
-        return ModelKind::Inceptionv3;
-    if (lower == "resnet152" || lower == "resnet")
-        return ModelKind::ResNet152;
-    if (lower == "senet154" || lower == "senet")
-        return ModelKind::SENet154;
-    fatal("unknown model '%s' (expected BERT/ViT/Inceptionv3/ResNet152/"
-          "SENet154)", name.c_str());
+        *out = ModelKind::BertBase;
+    else if (lower == "vit")
+        *out = ModelKind::ViT;
+    else if (lower == "inceptionv3" || lower == "inception")
+        *out = ModelKind::Inceptionv3;
+    else if (lower == "resnet152" || lower == "resnet")
+        *out = ModelKind::ResNet152;
+    else if (lower == "senet154" || lower == "senet")
+        *out = ModelKind::SENet154;
+    else
+        return false;
+    return true;
+}
+
+ModelKind
+modelKindFromName(const std::string& name)
+{
+    ModelKind kind;
+    if (!tryModelKindFromName(name, &kind))
+        fatal("unknown model '%s' (expected BERT/ViT/Inceptionv3/"
+              "ResNet152/SENet154)", name.c_str());
+    return kind;
 }
 
 std::vector<ModelKind>

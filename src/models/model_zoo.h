@@ -37,6 +37,12 @@ const char* modelName(ModelKind kind);
 /** Parse a model name (case-insensitive); fatal() on unknown names. */
 ModelKind modelKindFromName(const std::string& name);
 
+/**
+ * Non-fatal variant: false when @p name is not a zoo model (e.g. the
+ * model name of a synthetic saved trace). @p out is untouched then.
+ */
+bool tryModelKindFromName(const std::string& name, ModelKind* out);
+
 /** All five models, in the paper's figure order. */
 std::vector<ModelKind> allModels();
 

@@ -1,10 +1,7 @@
 #include "design_point.h"
 
-#include <cctype>
-
 #include "common/logging.h"
-#include "policies/baselines.h"
-#include "policies/g10_policy.h"
+#include "policies/registry.h"
 
 namespace g10 {
 
@@ -26,17 +23,13 @@ designPointName(DesignPoint d)
 DesignPoint
 designPointFromName(const std::string& name)
 {
-    std::string s = name;
-    for (char& c : s)
-        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    if (s == "ideal") return DesignPoint::Ideal;
-    if (s == "baseuvm" || s == "uvm") return DesignPoint::BaseUvm;
-    if (s == "deepum" || s == "deepum+") return DesignPoint::DeepUmPlus;
-    if (s == "flashneuron") return DesignPoint::FlashNeuron;
-    if (s == "g10gds" || s == "g10-gds") return DesignPoint::G10Gds;
-    if (s == "g10host" || s == "g10-host") return DesignPoint::G10Host;
-    if (s == "g10") return DesignPoint::G10;
-    fatal("unknown design '%s'", name.c_str());
+    const PolicyInfo& info = PolicyRegistry::instance().resolve(name);
+    if (info.builtinTag < 0)
+        fatal("design '%s' is a registered custom policy; it has no "
+              "DesignPoint enum value — use the string-based API "
+              "(ExperimentConfig::design / PolicyRegistry)",
+              name.c_str());
+    return static_cast<DesignPoint>(info.builtinTag);
 }
 
 std::vector<DesignPoint>
@@ -58,33 +51,8 @@ DesignInstance
 makeDesign(DesignPoint design, const KernelTrace& trace,
            const SystemConfig& config)
 {
-    DesignInstance out;
-    switch (design) {
-      case DesignPoint::Ideal:
-        out.policy = std::make_unique<IdealPolicy>();
-        return out;
-      case DesignPoint::BaseUvm:
-        out.policy = std::make_unique<BaseUvmPolicy>();
-        return out;
-      case DesignPoint::DeepUmPlus:
-        out.policy = std::make_unique<DeepUmPolicy>();
-        return out;
-      case DesignPoint::FlashNeuron:
-        out.policy =
-            std::make_unique<FlashNeuronPolicy>(trace, config);
-        return out;
-      case DesignPoint::G10Gds:
-        out.policy = makeG10Gds(trace, config);
-        return out;
-      case DesignPoint::G10Host:
-        out.policy = makeG10Host(trace, config);
-        return out;
-      case DesignPoint::G10:
-        out.policy = makeG10(trace, config);
-        out.uvmExtension = true;  // §4.5 unified page table
-        return out;
-    }
-    panic("unreachable design point");
+    return PolicyRegistry::instance().make(designPointName(design),
+                                           trace, config);
 }
 
 }  // namespace g10

@@ -1,7 +1,9 @@
 /**
  * @file
- * The named design points of the paper's evaluation and a factory that
- * instantiates each one for a given trace/platform.
+ * The named design points of the paper's evaluation, the DesignInstance
+ * bundle they produce, and legacy enum-based shims over the string-keyed
+ * PolicyRegistry (policies/registry.h), which is the extensible surface
+ * new code should target.
  */
 
 #ifndef G10_POLICIES_DESIGN_POINT_H
@@ -35,8 +37,10 @@ const char* designPointName(DesignPoint d);
 /**
  * Parse a design name (case-insensitive; accepts the CLI spellings
  * "ideal", "baseuvm"/"uvm", "deepum"/"deepum+", "flashneuron",
- * "g10gds"/"g10-gds", "g10host"/"g10-host", "g10"). fatal() on unknown
- * names.
+ * "g10gds"/"g10-gds", "g10host"/"g10-host", "g10"). Resolution goes
+ * through the PolicyRegistry; fatal() on unknown names and on names
+ * that resolve to a registered custom (non-built-in) policy — those
+ * are only reachable through the string-based API.
  */
 DesignPoint designPointFromName(const std::string& name);
 
@@ -55,7 +59,8 @@ struct DesignInstance
 
 /**
  * Instantiate @p design for @p trace on @p config (runs the G10 or
- * FlashNeuron compile passes when the design needs a plan).
+ * FlashNeuron compile passes when the design needs a plan). Shim over
+ * PolicyRegistry::make().
  */
 DesignInstance makeDesign(DesignPoint design, const KernelTrace& trace,
                           const SystemConfig& config);

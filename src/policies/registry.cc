@@ -1,0 +1,220 @@
+#include "registry.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "policies/baselines.h"
+#include "policies/g10_policy.h"
+
+namespace g10 {
+
+namespace {
+
+/** Wrap a policy pointer into a DesignInstance. */
+DesignInstance
+instanceOf(std::unique_ptr<Policy> policy, bool uvm_extension = false)
+{
+    DesignInstance d;
+    d.policy = std::move(policy);
+    d.uvmExtension = uvm_extension;
+    return d;
+}
+
+}  // namespace
+
+PolicyRegistry&
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry;
+    return registry;
+}
+
+PolicyRegistry::PolicyRegistry()
+{
+    // The paper's §7 design points, in Fig. 11 legend order. Keys are
+    // the CLI spellings g10sim has always accepted.
+    add({"Ideal", "ideal", {},
+         "Infinite GPU memory; the normalization baseline.",
+         [](const KernelTrace&, const SystemConfig&) {
+             return instanceOf(std::make_unique<IdealPolicy>());
+         },
+         static_cast<int>(DesignPoint::Ideal)});
+
+    add({"Base UVM", "baseuvm", {"uvm"},
+         "Stock UVM: on-demand page faults, LRU eviction to host, "
+         "overflow to SSD.",
+         [](const KernelTrace&, const SystemConfig&) {
+             return instanceOf(std::make_unique<BaseUvmPolicy>());
+         },
+         static_cast<int>(DesignPoint::BaseUvm)});
+
+    add({"DeepUM+", "deepum", {"deepum+"},
+         "UVM plus a correlation prefetcher over the next kernels' "
+         "tensors (ASPLOS'23, SSD-backed).",
+         [](const KernelTrace&, const SystemConfig&) {
+             return instanceOf(std::make_unique<DeepUmPolicy>());
+         },
+         static_cast<int>(DesignPoint::DeepUmPlus)});
+
+    add({"FlashNeuron", "flashneuron", {},
+         "Direct GPU-SSD activation offloading; no host staging, no "
+         "demand paging (FAST'21).",
+         [](const KernelTrace& trace, const SystemConfig& config) {
+             return instanceOf(
+                 std::make_unique<FlashNeuronPolicy>(trace, config));
+         },
+         static_cast<int>(DesignPoint::FlashNeuron)});
+
+    add({"G10-GDS", "g10gds", {},
+         "Smart tensor migrations between GPU and SSD only "
+         "(GPUDirect-Storage-style ablation).",
+         [](const KernelTrace& trace, const SystemConfig& config) {
+             return instanceOf(makeG10Gds(trace, config));
+         },
+         static_cast<int>(DesignPoint::G10Gds)});
+
+    add({"G10-Host", "g10host", {},
+         "Smart GPU/host/SSD migrations without the unified page "
+         "table (pays the host software path).",
+         [](const KernelTrace& trace, const SystemConfig& config) {
+             return instanceOf(makeG10Host(trace, config));
+         },
+         static_cast<int>(DesignPoint::G10Host)});
+
+    add({"G10", "g10", {},
+         "Full G10: smart migrations plus the unified page table "
+         "extension (paper §4.5).",
+         [](const KernelTrace& trace, const SystemConfig& config) {
+             // §4.5 unified page table
+             return instanceOf(makeG10(trace, config), true);
+         },
+         static_cast<int>(DesignPoint::G10)});
+}
+
+std::string
+PolicyRegistry::normalizeKey(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == ' ' || c == '-' || c == '_')
+            continue;
+        out += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+void
+PolicyRegistry::add(PolicyInfo info)
+{
+    if (info.key.empty())
+        fatal("PolicyRegistry: design '%s' has an empty key",
+              info.name.c_str());
+    if (!info.factory)
+        fatal("PolicyRegistry: design '%s' has no factory",
+              info.name.c_str());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_unique<PolicyInfo>(std::move(info));
+    const PolicyInfo* entry = owned.get();
+
+    std::vector<std::string> keys;
+    keys.push_back(normalizeKey(entry->key));
+    keys.push_back(normalizeKey(entry->name));
+    for (const std::string& a : entry->aliases)
+        keys.push_back(normalizeKey(a));
+
+    for (const std::string& k : keys) {
+        auto it = lookup_.find(k);
+        if (it != lookup_.end())
+            fatal("PolicyRegistry: design name '%s' already registered "
+                  "by '%s' (while adding '%s')",
+                  k.c_str(), it->second->name.c_str(),
+                  entry->name.c_str());
+    }
+    for (const std::string& k : keys)
+        lookup_[k] = entry;
+    entries_.push_back(std::move(owned));
+}
+
+const PolicyInfo*
+PolicyRegistry::find(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = lookup_.find(normalizeKey(name));
+    return it == lookup_.end() ? nullptr : it->second;
+}
+
+bool
+PolicyRegistry::contains(const std::string& name) const
+{
+    return find(name) != nullptr;
+}
+
+const PolicyInfo&
+PolicyRegistry::resolve(const std::string& name) const
+{
+    const PolicyInfo* info = find(name);
+    if (!info)
+        fatal("unknown design '%s' (registered: %s)", name.c_str(),
+              knownNames().c_str());
+    return *info;
+}
+
+DesignInstance
+PolicyRegistry::make(const std::string& name, const KernelTrace& trace,
+                     const SystemConfig& config) const
+{
+    const PolicyInfo& info = resolve(name);
+    DesignInstance out = info.factory(trace, config);
+    if (!out.policy)
+        fatal("design '%s': factory returned a null policy",
+              info.name.c_str());
+    return out;
+}
+
+std::vector<const PolicyInfo*>
+PolicyRegistry::registeredDesigns() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const PolicyInfo*> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_)
+        out.push_back(e.get());
+    return out;
+}
+
+std::string
+PolicyRegistry::knownNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto& e : entries_) {
+        if (!out.empty())
+            out += ", ";
+        out += e->key;
+    }
+    return out;
+}
+
+std::string
+designDisplayName(const std::string& name)
+{
+    return PolicyRegistry::instance().resolve(name).name;
+}
+
+std::vector<std::string>
+allDesignNames()
+{
+    return {"baseuvm", "flashneuron", "deepum",
+            "g10gds",  "g10host",     "g10"};
+}
+
+std::vector<std::string>
+sweepDesignNames()
+{
+    return {"baseuvm", "flashneuron", "deepum", "g10"};
+}
+
+}  // namespace g10

@@ -17,8 +17,8 @@ smallGrid()
 {
     std::vector<ExperimentConfig> grid;
     std::uint64_t seed = 1000;
-    for (DesignPoint d : {DesignPoint::Ideal, DesignPoint::BaseUvm,
-                          DesignPoint::DeepUmPlus, DesignPoint::G10}) {
+    for (const std::string& d :
+         {"ideal", "baseuvm", "deepum", "g10"}) {
         ExperimentConfig cfg;
         cfg.sys = test::tinySystem();
         cfg.scaleDown = 1;

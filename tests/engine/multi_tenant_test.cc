@@ -10,7 +10,7 @@ namespace {
 
 /** A mix of @p n identical fwd+bwd jobs on a tiny shared machine. */
 WorkloadMix
-identicalMix(int n, DesignPoint design = DesignPoint::BaseUvm)
+identicalMix(int n, const std::string& design = "baseuvm")
 {
     WorkloadMix mix;
     mix.sys = test::tinySystem();
@@ -208,7 +208,7 @@ TEST(MultiTenant, FailedTenantDoesNotSinkTheOthers)
     // Job 1 runs FlashNeuron with a working set far beyond its memory
     // partition: it must fail while job 0 completes normally.
     WorkloadMix mix = identicalMix(2);
-    mix.jobs[1].design = DesignPoint::FlashNeuron;
+    mix.jobs[1].design = "flashneuron";
     std::vector<KernelTrace> traces;
     traces.push_back(test::makeFwdBwdTrace(16, 2 * MiB, 500 * USEC));
     traces.push_back(test::makeFwdBwdTrace(4, 40 * MiB, 500 * USEC));

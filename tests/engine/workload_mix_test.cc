@@ -51,7 +51,7 @@ TEST(WorkloadMixParser, ParsesAFullMix)
     const JobSpec& a = mix.jobs[0];
     EXPECT_EQ(a.model, ModelKind::ResNet152);
     EXPECT_EQ(a.batchSize, 256);
-    EXPECT_EQ(a.design, DesignPoint::G10);
+    EXPECT_EQ(a.design, "g10");
     EXPECT_EQ(a.priority, 2);
     EXPECT_EQ(a.arrivalNs, static_cast<TimeNs>(1.5 * MSEC));
     EXPECT_EQ(a.iterations, 3);

@@ -7,7 +7,7 @@
 
 #include "api/experiment.h"
 #include "core/g10_compiler.h"
-#include "policies/design_point.h"
+#include "policies/registry.h"
 #include "tests/test_util.h"
 
 namespace g10 {
@@ -16,19 +16,20 @@ namespace {
 constexpr unsigned kScale = 32;  // keep CI runs fast
 
 ExecStats
-runModel(ModelKind m, DesignPoint d, double err = 0.0)
+runModel(ModelKind m, const std::string& d, double err = 0.0)
 {
-    ExperimentConfig cfg;
-    cfg.model = m;
-    cfg.batchSize = paperBatchSize(m);
-    cfg.scaleDown = kScale;
-    cfg.design = d;
-    cfg.timingErrorPct = err;
-    return runExperiment(cfg);
+    return Experiment()
+        .model(m)
+        .batch(paperBatchSize(m))
+        .scaleDown(kScale)
+        .design(d)
+        .timingError(err)
+        .run()
+        .stats;
 }
 
 class ModelDesignTest
-    : public ::testing::TestWithParam<std::tuple<ModelKind, DesignPoint>>
+    : public ::testing::TestWithParam<std::tuple<ModelKind, std::string>>
 {};
 
 TEST_P(ModelDesignTest, RunsAndReportsSaneStats)
@@ -53,13 +54,12 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ModelDesignTest,
     ::testing::Combine(
         ::testing::ValuesIn(allModels()),
-        ::testing::Values(DesignPoint::Ideal, DesignPoint::BaseUvm,
-                          DesignPoint::DeepUmPlus,
-                          DesignPoint::FlashNeuron, DesignPoint::G10)),
+        ::testing::Values("ideal", "baseuvm", "deepum",
+                          "flashneuron", "g10")),
     [](const auto& info) {
         std::string name =
             std::string(modelName(std::get<0>(info.param))) + "_" +
-            designPointName(std::get<1>(info.param));
+            designDisplayName(std::get<1>(info.param));
         for (char& c : name)
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';
@@ -72,9 +72,9 @@ class PerModelOrderingTest : public ::testing::TestWithParam<ModelKind>
 TEST_P(PerModelOrderingTest, G10DominatesBaselines)
 {
     ModelKind m = GetParam();
-    double g10 = runModel(m, DesignPoint::G10).normalizedPerf();
-    double deepum = runModel(m, DesignPoint::DeepUmPlus).normalizedPerf();
-    double base = runModel(m, DesignPoint::BaseUvm).normalizedPerf();
+    double g10 = runModel(m, "g10").normalizedPerf();
+    double deepum = runModel(m, "deepum").normalizedPerf();
+    double base = runModel(m, "baseuvm").normalizedPerf();
     // Fig. 11: G10 >= DeepUM+ (small tolerance: our DeepUM+ has a
     // perfect correlation oracle) and everything beats Base UVM.
     EXPECT_GE(g10 + 0.05, deepum) << modelName(m);
@@ -88,8 +88,8 @@ TEST_P(PerModelOrderingTest, ProfilingErrorBarelyHurtsG10)
     // at our reduced scale (shorter kernels make margins relatively
     // bigger).
     ModelKind m = GetParam();
-    double clean = runModel(m, DesignPoint::G10).normalizedPerf();
-    double noisy = runModel(m, DesignPoint::G10, 0.20).normalizedPerf();
+    double clean = runModel(m, "g10").normalizedPerf();
+    double noisy = runModel(m, "g10", 0.20).normalizedPerf();
     EXPECT_GT(noisy, clean - 0.03) << modelName(m);
 }
 
@@ -104,7 +104,7 @@ TEST(EndToEnd, G10ReachesNearIdealOnCnns)
     // Fig. 11: CNNs hit ~0.87-0.97 of ideal under G10.
     for (ModelKind m :
          {ModelKind::ResNet152, ModelKind::Inceptionv3}) {
-        double perf = runModel(m, DesignPoint::G10).normalizedPerf();
+        double perf = runModel(m, "g10").normalizedPerf();
         EXPECT_GT(perf, 0.85) << modelName(m);
     }
 }
@@ -117,7 +117,7 @@ TEST(EndToEnd, HostMemoryHelpsG10)
     cfg.model = ModelKind::BertBase;
     cfg.batchSize = 256;
     cfg.scaleDown = kScale;
-    cfg.design = DesignPoint::G10;
+    cfg.design = "g10";
 
     ExperimentConfig no_host = cfg;
     no_host.sys.hostMemBytes = 0;
@@ -132,7 +132,7 @@ TEST(EndToEnd, MoreSsdBandwidthNeverHurtsG10)
     cfg.model = ModelKind::SENet154;
     cfg.batchSize = 1024;
     cfg.scaleDown = kScale;
-    cfg.design = DesignPoint::G10;
+    cfg.design = "g10";
 
     double prev = 0.0;
     for (double bw : {3.2, 6.4, 12.8}) {
@@ -147,9 +147,9 @@ TEST(EndToEnd, G10WritesLessToSsdThanDeepUm)
 {
     // §7.7: G10 incurs fewer writes than DeepUM+/FlashNeuron.
     ModelKind m = ModelKind::SENet154;
-    ExecStats g10 = runModel(m, DesignPoint::G10);
-    ExecStats deepum = runModel(m, DesignPoint::DeepUmPlus);
-    ExecStats base = runModel(m, DesignPoint::BaseUvm);
+    ExecStats g10 = runModel(m, "g10");
+    ExecStats deepum = runModel(m, "deepum");
+    ExecStats base = runModel(m, "baseuvm");
     EXPECT_LE(g10.traffic.totalFromGpu(),
               deepum.traffic.totalFromGpu() * 3 / 2);
     EXPECT_LT(g10.traffic.totalFromGpu(),
@@ -180,15 +180,14 @@ TEST_P(RandomTraceTest, PipelineInvariantsHold)
     }
 
     // The runtime completes for every UVM-style design.
-    for (DesignPoint d : {DesignPoint::BaseUvm, DesignPoint::DeepUmPlus,
-                          DesignPoint::G10}) {
+    for (const std::string& d : {"baseuvm", "deepum", "g10"}) {
         ExperimentConfig cfg;
         cfg.sys = sys;
         cfg.scaleDown = 1;
         cfg.design = d;
         ExecStats st = runExperimentOnTrace(t, cfg);
         EXPECT_FALSE(st.failed)
-            << designPointName(d) << " seed " << GetParam();
+            << d << " seed " << GetParam();
         EXPECT_GE(st.measuredIterationNs, st.idealIterationNs);
     }
 }

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared argv handling for the g10 CLIs: the common flags
+ * (--help, --format <f>, --list-designs), tool-specific boolean
+ * flags, and positional collection — so g10sim and g10multi cannot
+ * drift apart.
+ */
+
+#ifndef G10_TOOLS_CLI_UTIL_H
+#define G10_TOOLS_CLI_UTIL_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/report.h"
+#include "common/logging.h"
+
+namespace g10::tools {
+
+/** Parsed command line. */
+struct CliArgs
+{
+    ReportFormat format = ReportFormat::Table;
+    bool help = false;
+    bool listDesigns = false;
+
+    /** Tool-specific boolean flags seen (e.g. "--mix", "--demo"). */
+    std::set<std::string> flags;
+
+    std::vector<std::string> positional;
+
+    /** Non-empty when an unknown option was seen (caller prints usage). */
+    std::string error;
+
+    bool has(const std::string& flag) const { return flags.count(flag); }
+};
+
+/**
+ * Parse argv. Flags may appear in any position; `--format` consumes
+ * the next argument (fatal when missing or invalid). Options outside
+ * the common set and @p boolFlags set `error` instead of aborting so
+ * the tool can print its own usage text.
+ */
+inline CliArgs
+parseCliArgs(int argc, char** argv,
+             const std::set<std::string>& boolFlags = {})
+{
+    CliArgs out;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            out.help = true;
+        } else if (arg == "--format") {
+            if (i + 1 >= argc)
+                fatal("--format needs a value (table|json|csv)");
+            out.format = reportFormatFromName(argv[++i]);
+        } else if (arg == "--list-designs") {
+            out.listDesigns = true;
+        } else if (boolFlags.count(arg)) {
+            out.flags.insert(arg);
+        } else if (!arg.empty() && arg[0] == '-') {
+            out.error = "unknown option '" + arg + "'";
+            return out;
+        } else {
+            out.positional.push_back(arg);
+        }
+    }
+    return out;
+}
+
+}  // namespace g10::tools
+
+#endif  // G10_TOOLS_CLI_UTIL_H

@@ -4,21 +4,25 @@
  * sharing one simulated GPU + host DRAM + SSD.
  *
  * Usage:
- *   g10multi <mix-file>        run a workload mix (see --help format)
+ *   g10multi <mix-file> [--format table|json|csv]
  *   g10multi --demo [scale]    ResNet152 + BERT consolidation demo
+ *   g10multi --list-designs [--format table|json|csv]
  *   g10multi --help
  *
  * Prints per-job iteration time, slowdown vs. running alone on the
  * full machine, ANTT-style turnaround slowdown, and the shared SSD's
- * write amplification under consolidation.
+ * write amplification under consolidation. `--format json` emits one
+ * machine-readable document instead of tables.
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/g10.h"
 #include "common/parse_util.h"
+#include "tools/cli_util.h"
 
 namespace {
 
@@ -27,8 +31,9 @@ using namespace g10;
 int
 usage(std::ostream& os, int code)
 {
-    os << "usage: g10multi <mix-file>\n"
+    os << "usage: g10multi <mix-file> [--format table|json|csv]\n"
           "       g10multi --demo [scale]\n"
+          "       g10multi --list-designs [--format ...]\n"
           "       g10multi --help\n"
           "\n"
           "Mix file: '#' comments; 'key = value' lines.\n"
@@ -39,8 +44,8 @@ usage(std::ostream& os, int code)
           "             [priority=N] [arrival_ms=X] [iterations=N]\n"
           "             [weight=X] [name=STR]\n"
           "  models   : BERT ViT Inceptionv3 ResNet152 SENet154\n"
-          "  designs  : ideal baseuvm deepum flashneuron g10gds\n"
-          "             g10host g10\n"
+          "  designs  : any registered name; run\n"
+          "             'g10multi --list-designs' for the list\n"
           "\n"
           "Example:\n"
           "  scale = 16\n"
@@ -72,38 +77,48 @@ main(int argc, char** argv)
 {
     using namespace g10;
 
-    if (argc < 2)
-        return usage(std::cerr, 1);
-    std::string arg1 = argv[1];
-    if (arg1 == "--help" || arg1 == "-h")
+    tools::CliArgs args = tools::parseCliArgs(argc, argv, {"--demo"});
+    if (args.help)
         return usage(std::cout, 0);
+    if (!args.error.empty()) {
+        std::cerr << args.error << "\n";
+        return usage(std::cerr, 1);
+    }
 
+    if (args.listDesigns) {
+        if (!args.flags.empty() || !args.positional.empty())
+            return usage(std::cerr, 1);
+        printDesignList(std::cout, args.format);
+        return 0;
+    }
+
+    ReportFormat format = args.format;
     WorkloadMix mix;
-    if (arg1 == "--demo") {
-        if (argc > 3)
+    if (args.has("--demo")) {
+        if (args.positional.size() > 1)
             return usage(std::cerr, 1);
         unsigned scale = 16;
-        if (argc == 3) {
+        if (args.positional.size() == 1) {
             long long v = 0;
-            if (!parseIntStrict(argv[2], &v) || v < 1)
+            if (!parseIntStrict(args.positional[0], &v) || v < 1)
                 fatal("--demo scale must be a positive integer, got "
                       "'%s'",
-                      argv[2]);
+                      args.positional[0].c_str());
             scale = static_cast<unsigned>(v);
         }
         mix = demoMix(scale);
     } else {
-        if (argc != 2)
+        if (args.positional.size() != 1)
             return usage(std::cerr, 1);
-        mix = parseMixFile(arg1);
+        mix = parseMixFile(args.positional[0]);
     }
 
-    std::cout << "# g10multi: " << mix.jobs.size()
-              << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
-              << ", sched " << mixSchedName(mix.sched) << "\n\n";
+    if (format == ReportFormat::Table)
+        std::cout << "# g10multi: " << mix.jobs.size()
+                  << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
+                  << ", sched " << mixSchedName(mix.sched) << "\n\n";
 
     MultiTenantSim sim(mix);
     MixResult res = sim.run();
-    printMixReport(std::cout, res);
-    return res.allSucceeded() ? 0 : 2;
+    return printMixResult(std::cout, res, format);
 }

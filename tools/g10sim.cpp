@@ -4,8 +4,9 @@
  * the paper artifact's `gpg <config>` workflow.
  *
  * Usage:
- *   g10sim <config-file>
- *   g10sim --mix <mix-file>
+ *   g10sim [--format table|json|csv] <config-file>
+ *   g10sim --mix <mix-file> [--format table|json|csv]
+ *   g10sim --list-designs [--format table|json|csv]
  *   g10sim --dump-trace <model> <batch> <scale> <out.trace>
  *   g10sim --help
  *
@@ -16,10 +17,13 @@
  *   trace        path to a saved .trace file (overrides model/batch)
  *   batch        paper-scale batch size       (default: model's Fig.11)
  *   scale        1/N platform scale           (default 16)
- *   design       ideal|baseuvm|deepum|flashneuron|g10gds|g10host|g10
+ *   design       any registered design name (see --list-designs)
  *   iterations   replay count, last measured  (default 2)
  *   timing_error fraction, e.g. 0.2 = +-20%   (default 0)
  *   seed         RNG seed                     (default 42)
+ *   weight_watermark  fraction of GPU memory weights may fill (0.85)
+ *   uvm_extension     0|1 force the unified page table off/on
+ *                     (default: the design's own setting)
  *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps   platform knobs
  *   listing      N  -> print the first N kernels of the instrumented
  *                      program (G10 designs only)
@@ -32,27 +36,30 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "api/g10.h"
 #include "common/parse_util.h"
 #include "graph/trace_io.h"
+#include "tools/cli_util.h"
 
 namespace {
 
 using namespace g10;
 
 const std::set<std::string> kKnownKeys = {
-    "model",      "trace",       "batch",    "scale",
+    "model",      "trace",       "batch",        "scale",
     "design",     "iterations",  "timing_error", "seed",
-    "gpu_mem_gb", "host_mem_gb", "ssd_gbps", "pcie_gbps",
-    "listing",
+    "gpu_mem_gb", "host_mem_gb", "ssd_gbps",     "pcie_gbps",
+    "listing",    "weight_watermark",            "uvm_extension",
 };
 
 int
 usage(std::ostream& os, int code)
 {
-    os << "usage: g10sim <config-file>\n"
-          "       g10sim --mix <mix-file>\n"
+    os << "usage: g10sim [--format table|json|csv] <config-file>\n"
+          "       g10sim --mix <mix-file> [--format ...]\n"
+          "       g10sim --list-designs [--format ...]\n"
           "       g10sim --dump-trace <model> <batch> <scale> <out>\n"
           "       g10sim --help\n"
           "\n"
@@ -61,11 +68,13 @@ usage(std::ostream& os, int code)
           "  trace        path to a saved .trace file\n"
           "  batch        paper-scale batch size\n"
           "  scale        1/N platform scale (default 16)\n"
-          "  design       ideal|baseuvm|deepum|flashneuron|g10gds|\n"
-          "               g10host|g10 (default g10)\n"
+          "  design       registered design name (default g10);\n"
+          "               run 'g10sim --list-designs' for the list\n"
           "  iterations   replay count, last measured (default 2)\n"
           "  timing_error kernel-time noise fraction (default 0)\n"
           "  seed         RNG seed (default 42)\n"
+          "  weight_watermark  weight-placement cap (default 0.85)\n"
+          "  uvm_extension     0|1 override the design's default\n"
           "  gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps\n"
           "  listing      N -> print first N instrumented kernels\n"
           "\n"
@@ -148,82 +157,72 @@ doubleKey(const std::map<std::string, std::string>& kv,
 }
 
 int
-dumpTrace(int argc, char** argv)
+dumpTrace(const std::vector<std::string>& args)
 {
-    if (argc != 6)
+    if (args.size() != 4)
         fatal("usage: g10sim --dump-trace <model> <batch> <scale> "
               "<out.trace>");
-    ModelKind m = modelKindFromName(argv[2]);
+    ModelKind m = modelKindFromName(args[0]);
     long long batch = 0;
     long long scale = 0;
-    if (!parseIntStrict(argv[3], &batch) || batch < 1 ||
+    if (!parseIntStrict(args[1], &batch) || batch < 1 ||
         batch > (1 << 24))
         fatal("--dump-trace batch must be an integer in [1, %d], got "
               "'%s'",
-              1 << 24, argv[3]);
-    if (!parseIntStrict(argv[4], &scale) || scale < 1 ||
+              1 << 24, args[1].c_str());
+    if (!parseIntStrict(args[2], &scale) || scale < 1 ||
         scale > (1 << 20))
         fatal("--dump-trace scale must be an integer in [1, %d], got "
               "'%s'",
-              1 << 20, argv[4]);
+              1 << 20, args[2].c_str());
     KernelTrace trace = buildModelScaled(m, static_cast<int>(batch),
                                          static_cast<unsigned>(scale));
-    saveTraceFile(argv[5], trace);
+    saveTraceFile(args[3], trace);
     std::cout << "wrote " << trace.numKernels() << " kernels / "
-              << trace.numTensors() << " tensors to " << argv[5]
+              << trace.numTensors() << " tensors to " << args[3]
               << "\n";
     return 0;
 }
 
 int
-runMix(const std::string& path)
+runMix(const std::string& path, ReportFormat format)
 {
     WorkloadMix mix = parseMixFile(path);
-    std::cout << "# g10sim --mix: " << mix.jobs.size()
-              << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
-              << ", sched " << mixSchedName(mix.sched) << "\n\n";
+    if (format == ReportFormat::Table)
+        std::cout << "# g10sim --mix: " << mix.jobs.size()
+                  << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
+                  << ", sched " << mixSchedName(mix.sched) << "\n\n";
     MultiTenantSim sim(mix);
     MixResult res = sim.run();
-    printMixReport(std::cout, res);
-    return res.allSucceeded() ? 0 : 2;
+    return printMixResult(std::cout, res, format);
 }
 
-}  // namespace
-
 int
-main(int argc, char** argv)
+runConfig(const std::string& path, ReportFormat format)
 {
-    using namespace g10;
-
-    if (argc >= 2) {
-        std::string arg1 = argv[1];
-        if (arg1 == "--help" || arg1 == "-h")
-            return usage(std::cout, 0);
-        if (arg1 == "--dump-trace")
-            return dumpTrace(argc, argv);
-        if (arg1 == "--mix") {
-            if (argc != 3)
-                return usage(std::cerr, 1);
-            return runMix(argv[2]);
-        }
-    }
-    if (argc != 2)
-        return usage(std::cerr, 1);
-
-    auto kv = parseConfig(argv[1]);
+    auto kv = parseConfig(path);
 
     auto scale = static_cast<unsigned>(
         intKey(kv, "scale", 16, 1, 1 << 20));
 
     KernelTrace trace;
+    ModelKind model = ModelKind::ResNet152;
+    int batch = 0;
     if (kv.count("trace")) {
         trace = loadTraceFile(kv["trace"]);
+        batch = trace.batchSize();
+        // Keep the config echo honest: map the trace's model back to
+        // the zoo when possible (synthetic traces stay unmapped).
+        if (!tryModelKindFromName(trace.modelName(), &model))
+            warn("trace model '%s' is not a zoo model; the config echo "
+                 "reports %s",
+                 trace.modelName().c_str(), modelName(model));
     } else {
-        ModelKind m = modelKindFromName(
+        model = modelKindFromName(
             kv.count("model") ? kv["model"] : "ResNet152");
-        auto batch = static_cast<int>(
-            intKey(kv, "batch", paperBatchSize(m), 1, 1 << 24));
-        trace = buildModelScaled(m, batch, scale);
+        batch = static_cast<int>(
+            intKey(kv, "batch", paperBatchSize(model), 1, 1 << 24));
+        trace = buildModelScaled(model, batch, scale);
     }
 
     SystemConfig sys = SystemConfig().scaledDown(scale);
@@ -242,58 +241,70 @@ main(int argc, char** argv)
         sys.pcieGBps = doubleKey(kv, "pcie_gbps", 0, 1e-3, 1e6);
 
     ExperimentConfig cfg;
+    cfg.model = model;
+    cfg.batchSize = batch;
     cfg.sys = sys;
     cfg.scaleDown = 1;
-    cfg.design = designPointFromName(
-        kv.count("design") ? kv["design"] : "g10");
+    cfg.design = kv.count("design") ? kv["design"] : "g10";
+    // Resolve now: unknown names fail with the registered list.
+    const PolicyInfo& design =
+        PolicyRegistry::instance().resolve(cfg.design);
     cfg.iterations =
         static_cast<int>(intKey(kv, "iterations", 2, 1, 1000));
     cfg.timingErrorPct = doubleKey(kv, "timing_error", 0.0, 0.0, 1.0);
     cfg.seed = static_cast<std::uint64_t>(
         intKey(kv, "seed", 42, 0, INT64_MAX));
+    cfg.weightWatermark =
+        doubleKey(kv, "weight_watermark", 0.85, 0.01, 1.0);
+    cfg.uvmExtension =
+        static_cast<int>(intKey(kv, "uvm_extension", -1, 0, 1));
 
     auto listing = static_cast<int>(intKey(kv, "listing", 0, 0, 1 << 20));
-    if (listing > 0 &&
-        (cfg.design == DesignPoint::G10 ||
-         cfg.design == DesignPoint::G10Host ||
-         cfg.design == DesignPoint::G10Gds)) {
+    bool g10Design =
+        design.builtinTag == static_cast<int>(DesignPoint::G10) ||
+        design.builtinTag == static_cast<int>(DesignPoint::G10Host) ||
+        design.builtinTag == static_cast<int>(DesignPoint::G10Gds);
+    if (listing > 0 && g10Design) {
         CompiledPlan plan = compileG10Plan(trace, sys);
         printInstrumentedProgram(std::cout, *plan.vitality, plan.plan,
                                  0, listing);
         std::cout << "\n";
     }
 
-    ExecStats st = runExperimentOnTrace(trace, cfg);
+    RunResult result = runExperimentResultOnTrace(trace, cfg);
+    return printRunResult(std::cout, result, format);
+}
 
-    Table out("g10sim result");
-    out.setHeader({"key", "value"});
-    out.addRowOf("model", st.modelName.c_str());
-    out.addRowOf("batch", st.batchSize);
-    out.addRowOf("design", st.policyName.c_str());
-    if (st.failed) {
-        out.addRowOf("status", "FAILED");
-        out.addRowOf("reason", st.failReason.c_str());
-        out.print(std::cout);
-        return 2;
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace g10;
+
+    tools::CliArgs args =
+        tools::parseCliArgs(argc, argv, {"--mix", "--dump-trace"});
+    if (args.help)
+        return usage(std::cout, 0);
+    if (!args.error.empty()) {
+        std::cerr << args.error << "\n";
+        return usage(std::cerr, 1);
     }
-    out.addRowOf("status", "ok");
-    out.addRowOf("iteration_s",
-                 static_cast<double>(st.measuredIterationNs) / 1e9);
-    out.addRowOf("ideal_s",
-                 static_cast<double>(st.idealIterationNs) / 1e9);
-    out.addRowOf("normalized_perf", st.normalizedPerf());
-    out.addRowOf("throughput_sps", st.throughput());
-    out.addRowOf("stall_s",
-                 static_cast<double>(st.totalStallNs) / 1e9);
-    out.addRowOf("fault_batches",
-                 static_cast<unsigned long long>(st.pageFaultBatches));
-    out.addRowOf("gpu_ssd_GB",
-                 static_cast<double>(st.traffic.gpuToSsd +
-                                     st.traffic.ssdToGpu) / 1e9);
-    out.addRowOf("gpu_host_GB",
-                 static_cast<double>(st.traffic.gpuToHost +
-                                     st.traffic.hostToGpu) / 1e9);
-    out.addRowOf("ssd_waf", st.ssd.waf());
-    out.print(std::cout);
-    return 0;
+
+    if (args.listDesigns) {
+        if (!args.flags.empty() || !args.positional.empty())
+            return usage(std::cerr, 1);
+        printDesignList(std::cout, args.format);
+        return 0;
+    }
+    if (args.has("--dump-trace"))
+        return dumpTrace(args.positional);
+    if (args.has("--mix")) {
+        if (args.positional.size() != 1)
+            return usage(std::cerr, 1);
+        return runMix(args.positional[0], args.format);
+    }
+    if (args.positional.size() != 1)
+        return usage(std::cerr, 1);
+    return runConfig(args.positional[0], args.format);
 }
