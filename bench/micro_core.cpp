@@ -41,6 +41,29 @@ BM_StepFunctionIntegralAbove(benchmark::State& state)
 BENCHMARK(BM_StepFunctionIntegralAbove);
 
 void
+BM_StepFunctionCursorWalk(benchmark::State& state)
+{
+    // The bandwidth model's drainTime pattern: walk segments from t0
+    // until the flow drains, typically stopping long before the
+    // horizon. The cursor makes this allocation-free and early-exiting
+    // (materializing segments() here would build all ~4096 of them).
+    StepFunction f;
+    for (std::int64_t i = 0; i < 4096; ++i)
+        f.add(i * 11, i * 11 + 700, 1.0);
+    for (auto _ : state) {
+        double drained = 0.0;
+        for (auto c = f.cursor(0, 4096 * 11); !c.done(); c.next()) {
+            drained +=
+                c.value() * static_cast<double>(c.end() - c.begin());
+            if (drained > 1e6)
+                break;
+        }
+        benchmark::DoNotOptimize(drained);
+    }
+}
+BENCHMARK(BM_StepFunctionCursorWalk);
+
+void
 BM_BuildModelTrace(benchmark::State& state)
 {
     auto kind = static_cast<ModelKind>(state.range(0));

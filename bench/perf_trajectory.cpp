@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tracked performance harness: times the two stages every experiment
+ * pays for -- plan compilation (compileG10Plan) and full simulation
+ * replay -- across the model zoo and the key designs, and emits a
+ * schema-tagged JSON document (BENCH_core.json) so the repository
+ * carries a perf trajectory from PR to PR.
+ *
+ * Usage: bench_perf_trajectory [out.json]
+ *   G10_SCALE     platform/batch scale divisor for the zoo sweep
+ *                 (default 16; the headline entry always runs at
+ *                 paper scale)
+ *   G10_PERF_REPS timing repetitions, best-of is reported (default 3)
+ *
+ * Times are wall-clock milliseconds (best of N reps, so the numbers
+ * are stable enough to compare across commits on the same machine).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/g10.h"
+
+namespace {
+
+using namespace g10;
+
+/** Wall-clock milliseconds of the best run of @p reps calls to @p fn. */
+template <typename Fn>
+double
+bestMs(int reps, Fn&& fn)
+{
+    double best = -1.0;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (best < 0.0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+struct StageTimes
+{
+    std::string model;
+    int batch = 0;
+    unsigned scale = 1;
+    std::size_t kernels = 0;
+    std::size_t periods = 0;
+    std::size_t migrations = 0;
+    double buildMs = 0.0;
+    double compileMs = 0.0;
+    std::vector<std::pair<std::string, double>> replayMs;
+};
+
+StageTimes
+timeWorkload(ModelKind m, unsigned scale, int reps,
+             const std::vector<std::string>& designs)
+{
+    StageTimes out;
+    out.model = modelName(m);
+    out.batch = paperBatchSize(m);
+    out.scale = scale;
+
+    out.buildMs = bestMs(reps, [&] {
+        KernelTrace t = buildModelScaled(m, out.batch, scale);
+        if (t.numKernels() == 0)
+            std::abort();
+    });
+
+    KernelTrace trace = buildModelScaled(m, out.batch, scale);
+    SystemConfig sys = SystemConfig().scaledDown(scale);
+    out.kernels = trace.numKernels();
+
+    out.compileMs = bestMs(reps, [&] {
+        CompiledPlan plan = compileG10Plan(trace, sys);
+        out.periods = plan.vitality->periods().size();
+        out.migrations = plan.schedule.migrations.size();
+    });
+
+    // Pure replay: the design instance (whose construction runs the
+    // plan compile for the G10 family) is rebuilt outside the timed
+    // region each rep, so replay_ms never double-counts compile_ms.
+    for (const std::string& d : designs) {
+        double best = -1.0;
+        for (int r = 0; r < reps; ++r) {
+            DesignInstance design =
+                PolicyRegistry::instance().make(d, trace, sys);
+            RunConfig rc;
+            rc.sys = sys;
+            rc.uvmExtension = design.uvmExtension;
+            double ms = bestMs(1, [&] {
+                ExecStats st = simulate(trace, *design.policy, rc);
+                if (st.measuredIterationNs <= 0 && !st.failed)
+                    std::abort();
+            });
+            if (best < 0.0 || ms < best)
+                best = ms;
+        }
+        out.replayMs.emplace_back(d, best);
+    }
+    return out;
+}
+
+void
+writeEntry(JsonWriter& w, const StageTimes& st)
+{
+    w.beginObject();
+    w.field("model", st.model);
+    w.field("batch", static_cast<std::int64_t>(st.batch));
+    w.field("scale", static_cast<std::int64_t>(st.scale));
+    w.field("kernels", static_cast<std::uint64_t>(st.kernels));
+    w.field("inactive_periods", static_cast<std::uint64_t>(st.periods));
+    w.field("migrations", static_cast<std::uint64_t>(st.migrations));
+    w.field("trace_build_ms", st.buildMs);
+    w.field("compile_ms", st.compileMs);
+    w.key("replay_ms").beginObject();
+    for (const auto& [design, ms] : st.replayMs)
+        w.field(design, ms);
+    w.endObject();
+    double total = st.compileMs;
+    for (const auto& [design, ms] : st.replayMs)
+        if (design == "g10")
+            total += ms;
+    w.field("compile_plus_g10_replay_ms", total);
+    w.endObject();
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+    unsigned scale = 16;
+    if (const char* s = std::getenv("G10_SCALE")) {
+        int v = std::atoi(s);
+        if (v >= 1)
+            scale = static_cast<unsigned>(v);
+    }
+    int reps = 3;
+    if (const char* r = std::getenv("G10_PERF_REPS")) {
+        int v = std::atoi(r);
+        if (v >= 1)
+            reps = v;
+    }
+
+    const std::vector<std::string> designs = {"baseuvm", "deepum", "g10"};
+
+    std::cerr << "perf trajectory: zoo sweep at 1/" << scale
+              << " scale, best of " << reps << " reps\n";
+    std::vector<StageTimes> entries;
+    for (ModelKind m : allModels())
+        entries.push_back(timeWorkload(m, scale, reps, designs));
+
+    // Headline number: the largest trace at paper scale under the full
+    // G10 design -- the configuration the acceptance trajectory tracks.
+    std::cerr << "perf trajectory: headline (ResNet152, paper scale)\n";
+    StageTimes headline =
+        timeWorkload(ModelKind::ResNet152, 1, reps, {"g10"});
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot open " << out_path << " for writing\n";
+        return 1;
+    }
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "g10.bench_core.v1");
+        w.field("scale", static_cast<std::int64_t>(scale));
+        w.field("reps", static_cast<std::int64_t>(reps));
+        w.key("headline");
+        writeEntry(w, headline);
+        w.key("workloads").beginArray();
+        for (const StageTimes& st : entries)
+            writeEntry(w, st);
+        w.endArray();
+        w.endObject();
+    }
+    os << "\n";
+    os.close();
+
+    std::cerr << "perf trajectory: wrote " << out_path << " ("
+              << "headline compile " << headline.compileMs
+              << " ms, compile+replay "
+              << headline.compileMs + headline.replayMs.front().second
+              << " ms)\n";
+    return 0;
+}

@@ -11,9 +11,9 @@
 #ifndef G10_COMMON_EVENT_QUEUE_H
 #define G10_COMMON_EVENT_QUEUE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "logging.h"
@@ -55,7 +55,8 @@ class EventQueue
             panic("event scheduled in the past (when=%lld now=%lld)",
                   static_cast<long long>(when),
                   static_cast<long long>(now_));
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(Event{when, nextSeq_++, std::move(cb)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     /** Schedule @p cb to run @p delay after the current time. */
@@ -89,7 +90,7 @@ class EventQueue
     TimeNs
     runUntil(TimeNs until)
     {
-        while (!heap_.empty() && heap_.top().when <= until)
+        while (!heap_.empty() && heap_.front().when <= until)
             step();
         if (now_ < until)
             now_ = until;
@@ -105,10 +106,16 @@ class EventQueue
     {
         if (heap_.empty())
             return false;
-        // Move the callback out before popping so the event may schedule
-        // new events (including at the same timestamp).
-        Event ev = heap_.top();
-        heap_.pop();
+        // Pop first, then run: the event is moved (never copied) out of
+        // the heap, and the callback is free to schedule new events,
+        // including at the same timestamp. Using an explicit
+        // vector-backed heap instead of std::priority_queue is what
+        // makes the move possible -- priority_queue::top() only exposes
+        // a const reference, so the old `Event ev = heap_.top()` deep-
+        // copied every std::function despite intending to move it.
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
         now_ = ev.when;
         ev.cb();
         ++executed_;
@@ -137,7 +144,11 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    // Min-heap on (when, seq) kept via the std heap algorithms over a
+    // plain vector; heap_.front() is the earliest event. The (when,
+    // seq) key is a strict total order, so execution order is fully
+    // deterministic regardless of internal heap layout.
+    std::vector<Event> heap_;
     TimeNs now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

@@ -7,35 +7,57 @@
 
 namespace g10 {
 
+std::size_t
+StepFunction::ensureBreakpoint(TimeNs t)
+{
+    auto it = std::lower_bound(times_.begin(), times_.end(), t);
+    auto idx = static_cast<std::size_t>(it - times_.begin());
+    if (it != times_.end() && *it == t)
+        return idx;
+    // A new breakpoint carries the value in force at t, so the function
+    // itself (and the cached peak) is unchanged by the insertion.
+    double prev = (idx == 0) ? 0.0 : vals_[idx - 1];
+    times_.insert(it, t);
+    vals_.insert(vals_.begin() + static_cast<std::ptrdiff_t>(idx), prev);
+    return idx;
+}
+
 void
 StepFunction::add(TimeNs t0, TimeNs t1, double delta)
 {
     if (t1 <= t0 || delta == 0.0)
         return;
 
-    // Ensure breakpoints exist at t0 and t1 carrying the current value.
-    auto ensure = [this](TimeNs t) {
-        auto it = points_.lower_bound(t);
-        if (it != points_.end() && it->first == t)
-            return it;
-        double prev = (it == points_.begin())
-            ? 0.0 : std::prev(it)->second;
-        return points_.emplace_hint(it, t, prev);
-    };
+    std::size_t i0 = ensureBreakpoint(t0);
+    std::size_t i1 = ensureBreakpoint(t1);  // i1 > i0 since t1 > t0
 
-    auto first = ensure(t0);
-    auto last = ensure(t1);
-    for (auto it = first; it != last; ++it)
-        it->second += delta;
+    double span_before = vals_[i0];
+    double span_after = vals_[i0] + delta;
+    for (std::size_t i = i0; i < i1; ++i) {
+        span_before = std::max(span_before, vals_[i]);
+        vals_[i] += delta;
+        span_after = std::max(span_after, vals_[i]);
+    }
+
+    if (!maxDirty_) {
+        if (delta > 0.0) {
+            // Values outside [i0,i1) are unchanged, values inside only
+            // grew: the new peak is known exactly.
+            cachedMax_ = std::max(cachedMax_, span_after);
+        } else if (span_before >= cachedMax_) {
+            // The old peak may have lived in the lowered span; a lazy
+            // rescan settles it.
+            maxDirty_ = true;
+        }
+        // else: the peak is outside the lowered span and survives.
+    }
 }
 
 double
 StepFunction::valueAt(TimeNs t) const
 {
-    auto it = points_.upper_bound(t);
-    if (it == points_.begin())
-        return 0.0;
-    return std::prev(it)->second;
+    std::size_t idx = upperBound(t);
+    return (idx == 0) ? 0.0 : vals_[idx - 1];
 }
 
 double
@@ -44,9 +66,9 @@ StepFunction::maxOver(TimeNs t0, TimeNs t1) const
     if (t1 <= t0)
         return 0.0;
     double best = valueAt(t0);
-    for (auto it = points_.upper_bound(t0);
-         it != points_.end() && it->first < t1; ++it)
-        best = std::max(best, it->second);
+    for (std::size_t i = upperBound(t0);
+         i < times_.size() && times_[i] < t1; ++i)
+        best = std::max(best, vals_[i]);
     return best;
 }
 
@@ -56,19 +78,23 @@ StepFunction::minOver(TimeNs t0, TimeNs t1) const
     if (t1 <= t0)
         return 0.0;
     double best = valueAt(t0);
-    for (auto it = points_.upper_bound(t0);
-         it != points_.end() && it->first < t1; ++it)
-        best = std::min(best, it->second);
+    for (std::size_t i = upperBound(t0);
+         i < times_.size() && times_[i] < t1; ++i)
+        best = std::min(best, vals_[i]);
     return best;
 }
 
 double
 StepFunction::maxValue() const
 {
-    double best = 0.0;
-    for (const auto& [t, v] : points_)
-        best = std::max(best, v);
-    return best;
+    if (maxDirty_) {
+        double best = 0.0;
+        for (double v : vals_)
+            best = std::max(best, v);
+        cachedMax_ = best;
+        maxDirty_ = false;
+    }
+    return cachedMax_;
 }
 
 double
@@ -78,21 +104,11 @@ StepFunction::integralAbove(TimeNs t0, TimeNs t1, double threshold,
     if (t1 <= t0)
         return 0.0;
     double area = 0.0;
-    TimeNs cur = t0;
-    double cur_val = valueAt(t0);
-    auto it = points_.upper_bound(t0);
-    while (cur < t1) {
-        TimeNs next = (it == points_.end())
-            ? t1 : std::min<TimeNs>(it->first, t1);
-        double excess = cur_val - threshold;
+    for (Cursor c = cursor(t0, t1); !c.done(); c.next()) {
+        double excess = c.value() - threshold;
         if (excess > 0.0) {
             double contrib = std::min(excess, cap_per_t);
-            area += contrib * static_cast<double>(next - cur);
-        }
-        cur = next;
-        if (it != points_.end() && it->first == next) {
-            cur_val = it->second;
-            ++it;
+            area += contrib * static_cast<double>(c.end() - c.begin());
         }
     }
     return area;
@@ -119,19 +135,19 @@ StepFunction::earliestFit(TimeNs t_min, TimeNs t_latest, TimeNs t_end,
 
     TimeNs candidate = t_latest;
     // Walk breakpoints in (t_min, t_latest] from the right.
-    auto it = points_.upper_bound(t_latest);
+    std::size_t idx = upperBound(t_latest);
     while (true) {
-        if (it == points_.begin()) {
+        if (idx == 0) {
             // Value is 0 all the way back to -inf.
             if (0.0 + delta <= limit)
                 candidate = t_min;
             break;
         }
-        --it;
-        if (it->second + delta > limit)
-            break;  // this segment [it->first, ...) would overflow
-        candidate = std::max<TimeNs>(t_min, it->first);
-        if (it->first <= t_min)
+        --idx;
+        if (vals_[idx] + delta > limit)
+            break;  // this segment [times_[idx], ...) would overflow
+        candidate = std::max<TimeNs>(t_min, times_[idx]);
+        if (times_[idx] <= t_min)
             break;
     }
     return candidate;
@@ -143,34 +159,30 @@ StepFunction::segments(TimeNs t0, TimeNs t1) const
     std::vector<Segment> out;
     if (t1 <= t0)
         return out;
-    TimeNs cur = t0;
-    double cur_val = valueAt(t0);
-    auto it = points_.upper_bound(t0);
-    while (cur < t1) {
-        TimeNs next = (it == points_.end())
-            ? t1 : std::min<TimeNs>(it->first, t1);
-        out.push_back(Segment{cur, next, cur_val});
-        cur = next;
-        if (it != points_.end() && it->first == next) {
-            cur_val = it->second;
-            ++it;
-        }
-    }
+    for (Cursor c = cursor(t0, t1); !c.done(); c.next())
+        out.push_back(Segment{c.begin(), c.end(), c.value()});
     return out;
 }
 
 void
 StepFunction::compact()
 {
+    // In-place two-pointer sweep keeping only breakpoints that change
+    // the value. The function is untouched, so the cached peak stays
+    // valid: any dropped value is duplicated by the kept breakpoint
+    // before it (or is the implicit leading 0).
     double prev = 0.0;
-    for (auto it = points_.begin(); it != points_.end();) {
-        if (it->second == prev) {
-            it = points_.erase(it);
-        } else {
-            prev = it->second;
-            ++it;
-        }
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < times_.size(); ++r) {
+        if (vals_[r] == prev)
+            continue;
+        times_[w] = times_[r];
+        vals_[w] = vals_[r];
+        prev = vals_[w];
+        ++w;
     }
+    times_.resize(w);
+    vals_.resize(w);
 }
 
 }  // namespace g10

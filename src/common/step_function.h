@@ -10,13 +10,32 @@
  *   - range queries:   max over [t0,t1), value at t,
  *   - "benefit" math:  the integral of the part of the curve above a
  *                      threshold, clipped per-interval (Fig. 7 of the paper).
+ *
+ * Representation: flat sorted breakpoint arrays (structure-of-arrays:
+ * `times_[i]` holds breakpoint i, `vals_[i]` the value on
+ * [times_[i], times_[i+1])) instead of a node-based std::map. Lookups
+ * are binary searches over a contiguous TimeNs array, range updates
+ * touch a contiguous double span (vectorizable, zero allocations in the
+ * common case), and the global maximum is cached so the eviction
+ * scheduler's per-iteration peak check is O(1) instead of a full
+ * rescan. Values are updated eagerly (no lazy tags) so every operation
+ * of this class reproduces the historical map-based implementation's
+ * floating-point accumulation order bit for bit. (Callers that also
+ * changed *how often* they compact() — see BandwidthModel — own any
+ * regrouping that introduces; the golden-determinism suite pins the
+ * combined result.)
+ *
+ * Iteration over segments goes through the allocation-free Cursor
+ * instead of materializing a std::vector<Segment> per query; the
+ * bandwidth model's drain walks exit early without ever building the
+ * full horizon.
  */
 
 #ifndef G10_COMMON_STEP_FUNCTION_H
 #define G10_COMMON_STEP_FUNCTION_H
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "types.h"
@@ -38,6 +57,66 @@ class StepFunction
         double value;
     };
 
+    /**
+     * Allocation-free forward iteration over the constant segments
+     * covering a query window [t0, t1). The cursor yields the same
+     * tiling segments(t0, t1) would materialize, one at a time:
+     *
+     *   for (auto c = f.cursor(t0, t1); !c.done(); c.next())
+     *       use(c.begin(), c.end(), c.value());
+     *
+     * Must not outlive the StepFunction, and is invalidated by any
+     * mutation of it.
+     */
+    class Cursor
+    {
+      public:
+        /** True once the window is exhausted. */
+        bool done() const { return cur_ >= t1_; }
+
+        /** Start of the current segment (clamped to the window). */
+        TimeNs begin() const { return cur_; }
+
+        /** End of the current segment (clamped to the window). */
+        TimeNs end() const { return segEnd_; }
+
+        /** Value of f over [begin(), end()). */
+        double value() const { return val_; }
+
+        /** Advance to the next segment. */
+        void
+        next()
+        {
+            cur_ = segEnd_;
+            if (idx_ < f_->times_.size() && f_->times_[idx_] == cur_) {
+                val_ = f_->vals_[idx_];
+                ++idx_;
+            }
+            segEnd_ = (idx_ < f_->times_.size())
+                ? std::min<TimeNs>(f_->times_[idx_], t1_)
+                : t1_;
+        }
+
+      private:
+        friend class StepFunction;
+
+        Cursor(const StepFunction& f, TimeNs t0, TimeNs t1)
+            : f_(&f), idx_(f.upperBound(t0)), cur_(t0), t1_(t1)
+        {
+            val_ = (idx_ == 0) ? 0.0 : f.vals_[idx_ - 1];
+            segEnd_ = (idx_ < f.times_.size())
+                ? std::min<TimeNs>(f.times_[idx_], t1)
+                : t1;
+        }
+
+        const StepFunction* f_;
+        std::size_t idx_;  ///< next breakpoint index past cur_
+        TimeNs cur_;
+        TimeNs segEnd_;
+        TimeNs t1_;
+        double val_;
+    };
+
     StepFunction() = default;
 
     /** Add @p delta over the half-open interval [t0, t1). */
@@ -52,7 +131,13 @@ class StepFunction
     /** Minimum value over [t0, t1); 0 for empty intervals. */
     double minOver(TimeNs t0, TimeNs t1) const;
 
-    /** Global maximum over the whole support. */
+    /**
+     * Global maximum over the whole support (never below 0, matching
+     * the zero value outside the support). O(1) when the cached peak is
+     * valid; a range add can only invalidate it when it lowers the
+     * region the maximum lived in, which triggers one amortized linear
+     * rescan of the flat value array.
+     */
     double maxValue() const;
 
     /**
@@ -82,19 +167,46 @@ class StepFunction
     TimeNs earliestFit(TimeNs t_min, TimeNs t_latest, TimeNs t_end,
                        double delta, double limit) const;
 
+    /** Segment cursor over the window [t0, t1); see Cursor. */
+    Cursor cursor(TimeNs t0, TimeNs t1) const
+    {
+        return Cursor(*this, t0, t1);
+    }
+
     /** Dump all maximal segments intersecting [t0, t1). */
     std::vector<Segment> segments(TimeNs t0, TimeNs t1) const;
 
     /** Number of internal breakpoints (for complexity tests). */
-    std::size_t breakpointCount() const { return points_.size(); }
+    std::size_t breakpointCount() const { return times_.size(); }
 
     /** Remove breakpoints that no longer change the value. */
     void compact();
 
   private:
-    // Maps breakpoint time -> value from that time until the next
-    // breakpoint. Value before the first breakpoint is 0.
-    std::map<TimeNs, double> points_;
+    /** Index of the first breakpoint with time > @p t. */
+    std::size_t
+    upperBound(TimeNs t) const
+    {
+        return static_cast<std::size_t>(
+            std::upper_bound(times_.begin(), times_.end(), t) -
+            times_.begin());
+    }
+
+    /**
+     * Index of the breakpoint at exactly @p t, inserting one carrying
+     * the current value if absent.
+     */
+    std::size_t ensureBreakpoint(TimeNs t);
+
+    // Breakpoints ascending; vals_[i] is the value from times_[i] until
+    // times_[i+1]. The value before times_[0] is 0.
+    std::vector<TimeNs> times_;
+    std::vector<double> vals_;
+
+    // Cached global peak (floored at 0). Exact while !maxDirty_;
+    // maxValue() rescans lazily otherwise.
+    mutable double cachedMax_ = 0.0;
+    mutable bool maxDirty_ = false;
 };
 
 }  // namespace g10

@@ -111,6 +111,10 @@ class BandwidthModel
     StepFunction ssdRead_;
     StepFunction pcieOut_;  // GPU -> host/SSD direction
     StepFunction pcieIn_;   // host/SSD -> GPU direction
+
+    /** Sweep dead breakpoints every this many released prefetches. */
+    static constexpr int kCompactInterval = 16;
+    int releasesSinceCompact_ = 0;
 };
 
 }  // namespace g10

@@ -133,6 +133,12 @@ class Policy
     /**
      * Preferred destination for capacity evictions when the allocator
      * must push tensors out (LRU victims chosen by the runtime).
+     *
+     * Contract: this hook runs *inside* the allocator's eviction loop
+     * and must only inspect state (tensorState(), gpuFreeBytes(), ...)
+     * and answer. It must not issue transfers or touch residency —
+     * calling issuePrefetch()/issueEvict() from here would mutate the
+     * LRU order mid-scan; the runtime enforces this with a panic.
      */
     virtual MemLoc capacityEvictDest(SimRuntime&, TensorId) = 0;
 

@@ -54,6 +54,13 @@ SimRuntime::prepare()
     diesAfter_.assign(nk, {});
     perturbedDur_.assign(nk, 0);
 
+    // Empty LRU ring: the sentinel (node nt) points at itself.
+    lruSentinel_ = static_cast<std::int32_t>(nt);
+    lruPrev_.assign(nt + 1, kLruDetached);
+    lruNext_.assign(nt + 1, kLruDetached);
+    lruPrev_[nt] = lruSentinel_;
+    lruNext_[nt] = lruSentinel_;
+
     for (std::size_t ti = 0; ti < nt; ++ti) {
         const Tensor& t = trace_->tensor(static_cast<TensorId>(ti));
         tensors_[ti].footprint = footprintOf(t.bytes);
@@ -108,13 +115,34 @@ SimRuntime::placeWeights()
 }
 
 void
+SimRuntime::lruUnlink(TensorId t)
+{
+    auto i = static_cast<std::size_t>(t);
+    std::int32_t p = lruPrev_[i];
+    std::int32_t n = lruNext_[i];
+    lruNext_[static_cast<std::size_t>(p)] = n;
+    lruPrev_[static_cast<std::size_t>(n)] = p;
+    lruPrev_[i] = kLruDetached;
+    // lruNext_[i] intentionally still points forward: a victim-scan
+    // cursor parked on this node recovers by following it.
+}
+
+void
 SimRuntime::touch(TensorId t)
 {
-    TensorRt& tr = tensors_[static_cast<std::size_t>(t)];
-    if (tr.lruSeq != 0)
-        lru_.erase({tr.lruSeq, t});
-    tr.lruSeq = ++lruCounter_;
-    lru_.insert({tr.lruSeq, t});
+    if (inMakeSpace_)
+        panic("LRU touched during capacity eviction (tensor %d): "
+              "Policy::capacityEvictDest must not issue fetches",
+              t);
+    if (lruLinked(t))
+        lruUnlink(t);
+    auto i = static_cast<std::size_t>(t);
+    auto s = static_cast<std::size_t>(lruSentinel_);
+    std::int32_t hot = lruPrev_[s];
+    lruNext_[static_cast<std::size_t>(hot)] = static_cast<std::int32_t>(i);
+    lruPrev_[i] = hot;
+    lruNext_[i] = lruSentinel_;
+    lruPrev_[s] = static_cast<std::int32_t>(i);
 }
 
 void
@@ -154,7 +182,32 @@ SimRuntime::makeSpace(Bytes needed, TimeNs at, bool soft)
         return at;
     }
 
+    if (inMakeSpace_)
+        panic("makeSpace reentered: policy hooks must not allocate "
+              "during capacity eviction");
+    inMakeSpace_ = true;
+    // Clear the guard on every exit path below.
+    struct ScanGuard
+    {
+        bool& flag;
+        ~ScanGuard() { flag = false; }
+    } guard{inMakeSpace_};
+
     TimeNs when = at;
+    // Resumable victim cursors, one per desperation pass. Within one
+    // makeSpace() call every rejection reason is invariant (pins,
+    // arrival vs. streamTime_, and residency only change for evicted
+    // victims, which leave the list), so an entry rejected by pass p
+    // stays rejected by pass p: each cursor only ever moves forward
+    // instead of rescanning the cold end on every eviction. A cursor
+    // parked on a node that was just evicted (unlinked) recovers via
+    // the node's preserved forward pointer.
+    std::int32_t cursor[3] = {lruNext_[static_cast<std::size_t>(
+                                  lruSentinel_)],
+                              lruNext_[static_cast<std::size_t>(
+                                  lruSentinel_)],
+                              lruNext_[static_cast<std::size_t>(
+                                  lruSentinel_)]};
     while (gpuFreeBytes() < needed) {
         // Prefer waiting for evictions already in flight.
         if (!pendingFrees_.empty()) {
@@ -180,18 +233,24 @@ SimRuntime::makeSpace(Bytes needed, TimeNs at, bool soft)
         const int max_pass = soft ? 1 : 3;
         for (int pass = 0; pass < max_pass && victim == kInvalidTensor;
              ++pass) {
-            for (const auto& [seq, tid] : lru_) {
+            std::int32_t& cur = cursor[pass];
+            while (cur != lruSentinel_) {
+                if (lruPrev_[static_cast<std::size_t>(cur)] ==
+                    kLruDetached) {
+                    // Evicted underneath us; follow the stale link.
+                    cur = lruNext_[static_cast<std::size_t>(cur)];
+                    continue;
+                }
                 const TensorRt& tr =
-                    tensors_[static_cast<std::size_t>(tid)];
-                if (tr.pinnedUntil == globalIndex_)
-                    continue;  // hard pin: current working set
-                if (pass < 1 && tr.pinnedUntil > globalIndex_)
+                    tensors_[static_cast<std::size_t>(cur)];
+                if (tr.pinnedUntil == globalIndex_ ||  // hard pin
+                    (pass < 1 && tr.pinnedUntil > globalIndex_) ||
+                    (pass < 2 && tr.arrival > streamTime_) ||
+                    tr.residentBytes == 0) {
+                    cur = lruNext_[static_cast<std::size_t>(cur)];
                     continue;
-                if (pass < 2 && tr.arrival > streamTime_)
-                    continue;
-                if (tr.residentBytes == 0)
-                    continue;
-                victim = tid;
+                }
+                victim = static_cast<TensorId>(cur);
                 break;
             }
         }
@@ -271,10 +330,8 @@ SimRuntime::issueEvict(TensorId t, MemLoc dest, TransferCause cause,
                    std::greater<>());
     if (tr.residentBytes == 0) {
         tr.arrival = -1;
-        if (tr.lruSeq != 0) {
-            lru_.erase({tr.lruSeq, t});
-            tr.lruSeq = 0;
-        }
+        if (lruLinked(t))
+            lruUnlink(t);
     }
     return amount;
 }
@@ -346,10 +403,8 @@ SimRuntime::freeTensor(TensorId t)
     tr.awaySsdBytes = 0;
     tr.arrival = -1;
     tr.allocated = false;
-    if (tr.lruSeq != 0) {
-        lru_.erase({tr.lruSeq, t});
-        tr.lruSeq = 0;
-    }
+    if (lruLinked(t))
+        lruUnlink(t);
 }
 
 void

@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "common/rng.h"
@@ -43,7 +42,6 @@ struct TensorRt
     TimeNs arrival = -1;      ///< in-flight fetch completion (-1 = none)
     bool allocated = false;   ///< materialized at least once
     std::uint64_t ssdLogical = UINT64_MAX;  ///< FTL logical page base
-    std::uint64_t lruSeq = 0; ///< last-use sequence for LRU
     std::int64_t pinnedUntil = -1;  ///< global kernel idx pin horizon
 };
 
@@ -225,6 +223,18 @@ class SimRuntime
     /** Record use for LRU bookkeeping. */
     void touch(TensorId t);
 
+    // ---- Intrusive LRU list (O(1) touch/erase, no allocations) ------
+
+    /** True when @p t is linked into the recency list. */
+    bool
+    lruLinked(TensorId t) const
+    {
+        return lruPrev_[static_cast<std::size_t>(t)] != kLruDetached;
+    }
+
+    /** Unlink @p t, keeping its forward pointer for stale cursors. */
+    void lruUnlink(TensorId t);
+
     const KernelTrace* trace_;
     Policy* policy_;
     RunConfig config_;
@@ -248,12 +258,26 @@ class SimRuntime
     std::int64_t globalIndex_ = 0;
     KernelId currentKernel_ = 0;
 
-    // LRU index: (lruSeq, tensor) ordered ascending.
-    std::set<std::pair<std::uint64_t, TensorId>> lru_;
-    std::uint64_t lruCounter_ = 0;
+    // LRU recency order as an intrusive doubly-linked list indexed by
+    // TensorId: node numTensors() is the sentinel, sentinel->next is the
+    // coldest (least recently used) tensor, sentinel->prev the hottest.
+    // touch/erase are O(1) with zero allocations; victim scans walk
+    // coldest-to-hottest, exactly the order the former
+    // std::set<(lruSeq, tensor)> iterated in. A detached node keeps its
+    // forward pointer so a makeSpace() cursor parked on a just-evicted
+    // entry can keep walking (nodes are never re-linked mid-makeSpace).
+    static constexpr std::int32_t kLruDetached = -1;
+    std::vector<std::int32_t> lruPrev_;
+    std::vector<std::int32_t> lruNext_;
+    std::int32_t lruSentinel_ = 0;  ///< == numTensors(), set in prepare()
 
     // Outstanding eviction space returns.
     std::vector<PendingFree> pendingFrees_;  // min-heap by `at`
+
+    // Guards the resumable victim cursors: while makeSpace() runs, no
+    // code path may re-link LRU nodes (see Policy::capacityEvictDest's
+    // contract); touch() and reentrant makeSpace() panic if one does.
+    bool inMakeSpace_ = false;
 
     // Stepping cursor (used by run() and the multi-tenant engine).
     bool started_ = false;

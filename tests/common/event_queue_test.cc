@@ -85,6 +85,39 @@ TEST(EventQueue, StepExecutesExactlyOne)
     EXPECT_EQ(eq.executedCount(), 2u);
 }
 
+/** Callable that counts how often it is copied. */
+struct CopyCountingCallback
+{
+    static int copies;
+    std::vector<int> payload{1, 2, 3};  // something worth not copying
+
+    CopyCountingCallback() = default;
+    CopyCountingCallback(const CopyCountingCallback& o)
+        : payload(o.payload)
+    {
+        ++copies;
+    }
+    CopyCountingCallback(CopyCountingCallback&&) noexcept = default;
+
+    void operator()() const {}
+};
+
+int CopyCountingCallback::copies = 0;
+
+TEST(EventQueue, DispatchNeverCopiesCallbacks)
+{
+    // Regression test: step() used to do `Event ev = heap_.top()`,
+    // deep-copying every callback's captured state on execution
+    // because priority_queue::top() only exposes a const reference.
+    EventQueue eq;
+    CopyCountingCallback::copies = 0;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(i, EventQueue::Callback(CopyCountingCallback{}));
+    eq.run();
+    EXPECT_EQ(eq.executedCount(), 64u);
+    EXPECT_EQ(CopyCountingCallback::copies, 0);
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

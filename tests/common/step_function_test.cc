@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
 #include "common/step_function.h"
 
 namespace g10 {
@@ -169,6 +173,238 @@ TEST(StepFunction, ManyRangeAddsStayConsistent)
             expect_at_500 += 1.0;
     }
     EXPECT_DOUBLE_EQ(f.valueAt(500), expect_at_500);
+}
+
+TEST(StepFunction, CursorMatchesSegments)
+{
+    StepFunction f;
+    f.add(10, 20, 1.0);
+    f.add(15, 40, 2.5);
+    f.add(30, 35, -1.0);
+    for (auto [t0, t1] : {std::pair<TimeNs, TimeNs>{0, 50},
+                          {12, 33},
+                          {20, 20},   // empty window
+                          {45, 60},   // past the support
+                          {-5, 11}}) {
+        auto segs = f.segments(t0, t1);
+        std::size_t i = 0;
+        for (auto c = f.cursor(t0, t1); !c.done(); c.next(), ++i) {
+            ASSERT_LT(i, segs.size());
+            EXPECT_EQ(c.begin(), segs[i].begin);
+            EXPECT_EQ(c.end(), segs[i].end);
+            EXPECT_DOUBLE_EQ(c.value(), segs[i].value);
+        }
+        EXPECT_EQ(i, segs.size());
+    }
+}
+
+// ---- Complexity guarantees ------------------------------------------
+
+TEST(StepFunction, BreakpointCountGrowsAtMostTwoPerAdd)
+{
+    StepFunction f;
+    Rng rng(7);
+    std::size_t adds = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto lo = static_cast<TimeNs>(rng.uniformInt(0, 100000));
+        auto len = static_cast<TimeNs>(rng.uniformInt(1, 5000));
+        f.add(lo, lo + len, 1.0);
+        ++adds;
+        // Each range add introduces at most its two endpoints.
+        EXPECT_LE(f.breakpointCount(), 2 * adds);
+    }
+}
+
+TEST(StepFunction, RepeatedSameRangeDoesNotGrow)
+{
+    StepFunction f;
+    for (int i = 0; i < 1000; ++i)
+        f.add(100, 200, 1.0);
+    EXPECT_EQ(f.breakpointCount(), 2u);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 1000.0);
+}
+
+TEST(StepFunction, CompactBoundsResidualBreakpoints)
+{
+    StepFunction f;
+    // Reserve/release pairs (the bandwidth-model pattern): every pair
+    // cancels exactly, so compaction must shrink the representation
+    // back to nothing.
+    for (int i = 0; i < 500; ++i) {
+        TimeNs lo = i * 13;
+        f.add(lo, lo + 1000, 3.0);
+        f.add(lo, lo + 1000, -3.0);
+    }
+    EXPECT_GT(f.breakpointCount(), 0u);
+    f.compact();
+    EXPECT_EQ(f.breakpointCount(), 0u);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 0.0);
+}
+
+// ---- Randomized differential test -----------------------------------
+
+/**
+ * Naive reference: a dense value-per-tick array over [0, kDomain).
+ * Every query is answered by brute force, mirroring the documented
+ * StepFunction contract. Deltas are small integers so all arithmetic
+ * is exact and comparisons can demand bit equality.
+ */
+class DenseReference
+{
+  public:
+    static constexpr TimeNs kDomain = 512;
+
+    void
+    add(TimeNs t0, TimeNs t1, double delta)
+    {
+        if (t1 <= t0)
+            return;
+        for (TimeNs t = std::max<TimeNs>(0, t0);
+             t < std::min<TimeNs>(kDomain, t1); ++t)
+            v_[static_cast<std::size_t>(t)] += delta;
+    }
+
+    double
+    valueAt(TimeNs t) const
+    {
+        if (t < 0 || t >= kDomain)
+            return 0.0;
+        return v_[static_cast<std::size_t>(t)];
+    }
+
+    double
+    maxOver(TimeNs t0, TimeNs t1) const
+    {
+        if (t1 <= t0)
+            return 0.0;
+        double best = valueAt(t0);
+        for (TimeNs t = t0; t < t1; ++t)
+            best = std::max(best, valueAt(t));
+        return best;
+    }
+
+    double
+    minOver(TimeNs t0, TimeNs t1) const
+    {
+        if (t1 <= t0)
+            return 0.0;
+        double best = valueAt(t0);
+        for (TimeNs t = t0; t < t1; ++t)
+            best = std::min(best, valueAt(t));
+        return best;
+    }
+
+    double
+    maxValue() const
+    {
+        double best = 0.0;
+        for (double x : v_)
+            best = std::max(best, x);
+        return best;
+    }
+
+    double
+    integralAbove(TimeNs t0, TimeNs t1, double threshold,
+                  double cap) const
+    {
+        double area = 0.0;
+        for (TimeNs t = t0; t < t1; ++t) {
+            double excess = valueAt(t) - threshold;
+            if (excess > 0.0)
+                area += std::min(excess, cap);
+        }
+        return area;
+    }
+
+    TimeNs
+    earliestFit(TimeNs t_min, TimeNs t_latest, TimeNs t_end,
+                double delta, double limit) const
+    {
+        if (t_latest < t_min)
+            return t_latest;
+        if (maxOver(t_latest, std::max(t_latest + 1, t_end)) + delta >
+            limit)
+            return t_latest;
+        TimeNs best = t_latest;
+        for (TimeNs t = t_latest; t >= t_min; --t) {
+            if (valueAt(t) + delta > limit)
+                break;
+            best = t;
+        }
+        return best;
+    }
+
+  private:
+    double v_[kDomain] = {};
+};
+
+TEST(StepFunctionDifferential, ThousandsOfMixedOpsMatchNaive)
+{
+    StepFunction f;
+    DenseReference ref;
+    Rng rng(20260730);
+    constexpr TimeNs T = DenseReference::kDomain;
+
+    for (int op = 0; op < 4000; ++op) {
+        int kind = rng.uniformInt(0, 9);
+        auto t0 = static_cast<TimeNs>(rng.uniformInt(0, T - 1));
+        auto t1 = static_cast<TimeNs>(rng.uniformInt(0, T));
+        switch (kind) {
+          case 0:
+          case 1:
+          case 2: {  // range add (occasionally inverted/empty)
+            auto delta =
+                static_cast<double>(rng.uniformInt(-3, 3));
+            f.add(t0, t1, delta);
+            ref.add(t0, t1, delta);
+            break;
+          }
+          case 3:
+            ASSERT_DOUBLE_EQ(f.valueAt(t0), ref.valueAt(t0)) << op;
+            break;
+          case 4:
+            ASSERT_DOUBLE_EQ(f.maxOver(t0, t1), ref.maxOver(t0, t1))
+                << op;
+            break;
+          case 5:
+            ASSERT_DOUBLE_EQ(f.minOver(t0, t1), ref.minOver(t0, t1))
+                << op;
+            break;
+          case 6: {
+            double thr = static_cast<double>(rng.uniformInt(-2, 4));
+            double cap = static_cast<double>(rng.uniformInt(1, 3));
+            ASSERT_DOUBLE_EQ(f.integralAbove(t0, t1, thr, cap),
+                             ref.integralAbove(t0, t1, thr, cap))
+                << op;
+            break;
+          }
+          case 7: {
+            TimeNs lo = std::min(t0, t1);
+            TimeNs hi = std::max(t0, t1);
+            double delta =
+                static_cast<double>(rng.uniformInt(0, 3));
+            double limit =
+                static_cast<double>(rng.uniformInt(-1, 6));
+            ASSERT_EQ(f.earliestFit(lo, hi, hi + 8, delta, limit),
+                      ref.earliestFit(lo, hi, hi + 8, delta, limit))
+                << op;
+            break;
+          }
+          case 8:
+            f.compact();  // must never change observable values
+            break;
+          case 9:
+            ASSERT_DOUBLE_EQ(f.maxValue(), ref.maxValue()) << op;
+            break;
+        }
+    }
+
+    // Final full sweep: the segment tiling must reproduce the dense
+    // reference point for point.
+    ASSERT_DOUBLE_EQ(f.maxValue(), ref.maxValue());
+    for (const auto& seg : f.segments(0, T))
+        for (TimeNs t = seg.begin; t < seg.end; ++t)
+            ASSERT_DOUBLE_EQ(seg.value, ref.valueAt(t)) << t;
 }
 
 }  // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Golden-determinism guard: the simulator's observable statistics for
+ * the whole model zoo across every built-in design are pinned to exact
+ * recorded values.
+ *
+ * The core data structures (StepFunction, the runtime's LRU index, the
+ * event heap) are performance-critical and get rebuilt over time; every
+ * rebuild claims to be behavior-preserving. This test makes that claim
+ * checkable: all counters below were recorded from the tree as of the
+ * flat-StepFunction/intrusive-LRU refactor and must stay bit-identical.
+ * Every arithmetic path in the simulator is integer or
+ * order-deterministic IEEE double math, so exact equality is the right
+ * bar on any IEEE-754 platform (only a libm-level change in the trace
+ * cost model could legitimately shift them).
+ *
+ * If a PR changes these values *intentionally* (a modeling change, not
+ * a data-structure change), rerun with G10_UPDATE_GOLDEN=1 to print the
+ * replacement table, paste it below, and say so in the PR description.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "api/experiment.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+namespace {
+
+constexpr unsigned kScale = 32;  // matches end_to_end_test.cc
+
+/** Enum spelling for the G10_UPDATE_GOLDEN printer. */
+const char*
+enumToken(ModelKind m)
+{
+    switch (m) {
+      case ModelKind::BertBase: return "BertBase";
+      case ModelKind::ViT: return "ViT";
+      case ModelKind::Inceptionv3: return "Inceptionv3";
+      case ModelKind::ResNet152: return "ResNet152";
+      case ModelKind::SENet154: return "SENet154";
+    }
+    return "?";
+}
+
+struct GoldenRow
+{
+    ModelKind model;
+    const char* design;
+    bool failed;
+    std::int64_t measuredIterationNs;
+    std::int64_t totalStallNs;
+    Bytes ssdToGpu;
+    Bytes gpuToSsd;
+    Bytes hostToGpu;
+    Bytes gpuToHost;
+    std::uint64_t migrationOps;
+    std::uint64_t faultBatches;
+    Bytes ssdHostWriteBytes;
+    Bytes ssdNandWriteBytes;
+};
+
+// Model zoo at the paper's Fig. 11 batch sizes, 1/32 platform scale,
+// default iterations/seed. Recorded pre-refactor (std::map StepFunction
+// + std::set LRU); the flat structures must reproduce them exactly.
+// The two FlashNeuron `failed` rows are the expected workspace-OOM
+// cases of paper footnote 1.
+const GoldenRow kGolden[] = {
+    {ModelKind::BertBase, "ideal", false, 148989647, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::BertBase, "baseuvm", false, 358154541, 209164894, 0, 0, 957169664, 957169664, 414, 1041, 0, 0},
+    {ModelKind::BertBase, "deepum", false, 227217219, 78227572, 0, 0, 935907328, 935907328, 400, 0, 0, 0},
+    {ModelKind::BertBase, "flashneuron", false, 629297164, 480307517, 791150592, 791150592, 0, 0, 142, 0, 1582301184, 1582301184},
+    {ModelKind::BertBase, "g10gds", false, 1436948574, 1287958927, 2005581824, 2005581824, 0, 0, 452, 0, 4011163648, 4011196416},
+    {ModelKind::BertBase, "g10host", false, 195444191, 46454544, 157286400, 157286400, 630718464, 630718464, 214, 0, 314572800, 314572800},
+    {ModelKind::BertBase, "g10", false, 187773753, 38784106, 157286400, 157286400, 630718464, 630718464, 214, 0, 314572800, 314572800},
+    {ModelKind::ViT, "ideal", false, 243029746, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::ViT, "baseuvm", false, 1108061020, 865031274, 0, 0, 3976364032, 3976364032, 734, 4087, 0, 0},
+    {ModelKind::ViT, "deepum", false, 605874174, 362844428, 0, 0, 3955101696, 3955101696, 720, 0, 0, 0},
+    {ModelKind::ViT, "flashneuron", true, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::ViT, "g10gds", false, 3352277132, 3109247386, 4555546624, 4555546624, 43962368, 43962368, 698, 1298, 9111093248, 9117630464},
+    {ModelKind::ViT, "g10host", false, 580917559, 337887813, 142983168, 142983168, 4001185792, 4001185792, 442, 0, 285966336, 286392320},
+    {ModelKind::ViT, "g10", false, 570785441, 327755695, 142983168, 142983168, 4001185792, 4001185792, 442, 0, 285966336, 286392320},
+    {ModelKind::Inceptionv3, "ideal", false, 1444374560, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::Inceptionv3, "baseuvm", false, 2184368548, 739993988, 0, 0, 3387240448, 3387240448, 830, 3541, 0, 0},
+    {ModelKind::Inceptionv3, "deepum", false, 1880775430, 436400870, 0, 0, 4887375872, 4887375872, 1602, 435, 0, 0},
+    {ModelKind::Inceptionv3, "flashneuron", true, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::Inceptionv3, "g10gds", false, 3850613108, 2406238548, 4533784576, 4533784576, 1333477376, 1333477376, 1328, 1525, 9067569152, 9086173184},
+    {ModelKind::Inceptionv3, "g10host", false, 1585014638, 140640078, 1053696000, 1053696000, 2286931968, 2286931968, 498, 0, 2107392000, 2110914560},
+    {ModelKind::Inceptionv3, "g10", false, 1553162918, 108788358, 1053696000, 1053696000, 2286931968, 2286931968, 498, 0, 2107392000, 2110914560},
+    {ModelKind::ResNet152, "ideal", false, 3326709334, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::ResNet152, "baseuvm", false, 5605836180, 2279126846, 1712357376, 1712357376, 4509327360, 4509327360, 1736, 6501, 3424714752, 3428974592},
+    {ModelKind::ResNet152, "deepum", false, 4238086579, 911377245, 1686962176, 1686962176, 4578189312, 4578189312, 1748, 0, 3373924352, 3377987584},
+    {ModelKind::ResNet152, "flashneuron", false, 5975328282, 2648618948, 5980979200, 5980979200, 0, 0, 470, 0, 11961958400, 11968970752},
+    {ModelKind::ResNet152, "g10gds", false, 5103558765, 1776849431, 6451494912, 6451494912, 194297856, 194297856, 1798, 471, 12902989824, 12911509504},
+    {ModelKind::ResNet152, "g10host", false, 3592889360, 266180026, 2230190080, 2230190080, 3908034560, 3908034560, 842, 149, 4460380160, 4463788032},
+    {ModelKind::ResNet152, "g10", false, 3563014850, 236305516, 2230190080, 2230190080, 3908034560, 3908034560, 842, 149, 4460380160, 4463788032},
+    {ModelKind::SENet154, "ideal", false, 4266538724, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::SENet154, "baseuvm", false, 8799336946, 4532798222, 4578869248, 4578869248, 4636319744, 4636319744, 2578, 9707, 9157738496, 9157738496},
+    {ModelKind::SENet154, "deepum", false, 6641212016, 2374673292, 4574806016, 4574806016, 5248176128, 5248176128, 3764, 0, 9149612032, 9149612032},
+    {ModelKind::SENet154, "flashneuron", true, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+    {ModelKind::SENet154, "g10gds", false, 7752249310, 3485710586, 9642016768, 9642016768, 413478912, 413478912, 2408, 722, 19284033536, 19291570176},
+    {ModelKind::SENet154, "g10host", false, 5093652499, 827113775, 4785782784, 4785782784, 4316889088, 4316889088, 806, 13, 9571565568, 9571926016},
+    {ModelKind::SENet154, "g10", false, 4972819476, 706280752, 4785782784, 4785782784, 4316889088, 4316889088, 806, 13, 9571565568, 9571926016},
+};
+
+TEST(GoldenDeterminism, ModelZooAllDesignsBitIdentical)
+{
+    const bool update = std::getenv("G10_UPDATE_GOLDEN") != nullptr;
+    for (const GoldenRow& g : kGolden) {
+        RunResult r = Experiment()
+                          .model(g.model)
+                          .batch(paperBatchSize(g.model))
+                          .scaleDown(kScale)
+                          .design(g.design)
+                          .run();
+        const ExecStats& s = r.stats;
+        if (update) {
+            std::printf("    {ModelKind::%s, \"%s\", %s, %" PRId64
+                        ", %" PRId64 ", %" PRIu64 ", %" PRIu64
+                        ", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+                        ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
+                        enumToken(g.model), g.design,
+                        s.failed ? "true" : "false",
+                        s.measuredIterationNs, s.totalStallNs,
+                        s.traffic.ssdToGpu, s.traffic.gpuToSsd,
+                        s.traffic.hostToGpu, s.traffic.gpuToHost,
+                        s.traffic.migrationOps, s.traffic.faultBatches,
+                        s.ssd.hostWriteBytes, s.ssd.nandWriteBytes);
+            continue;
+        }
+        SCOPED_TRACE(std::string(modelName(g.model)) + " / " + g.design);
+        EXPECT_EQ(s.failed, g.failed);
+        EXPECT_EQ(s.measuredIterationNs, g.measuredIterationNs);
+        EXPECT_EQ(s.totalStallNs, g.totalStallNs);
+        EXPECT_EQ(s.traffic.ssdToGpu, g.ssdToGpu);
+        EXPECT_EQ(s.traffic.gpuToSsd, g.gpuToSsd);
+        EXPECT_EQ(s.traffic.hostToGpu, g.hostToGpu);
+        EXPECT_EQ(s.traffic.gpuToHost, g.gpuToHost);
+        EXPECT_EQ(s.traffic.migrationOps, g.migrationOps);
+        EXPECT_EQ(s.traffic.faultBatches, g.faultBatches);
+        // WAF pinned via its exact integer numerator/denominator.
+        EXPECT_EQ(s.ssd.hostWriteBytes, g.ssdHostWriteBytes);
+        EXPECT_EQ(s.ssd.nandWriteBytes, g.ssdNandWriteBytes);
+    }
+}
+
+}  // namespace
+}  // namespace g10
