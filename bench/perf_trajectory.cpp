@@ -2,9 +2,11 @@
  * @file
  * Tracked performance harness: times the two stages every experiment
  * pays for -- plan compilation (compileG10Plan) and full simulation
- * replay -- across the model zoo and the key designs, and emits a
- * schema-tagged JSON document (BENCH_core.json) so the repository
- * carries a perf trajectory from PR to PR.
+ * replay -- across the model zoo and the key designs, plus the
+ * served-load scenario (the g10serve demo sweep: open-loop traffic,
+ * churn, warm-started re-compiles), and emits a schema-tagged JSON
+ * document (BENCH_core.json) so the repository carries a perf
+ * trajectory from PR to PR.
  *
  * Usage: bench_perf_trajectory [out.json]
  *   G10_SCALE     platform/batch scale divisor for the zoo sweep
@@ -133,6 +135,50 @@ writeEntry(JsonWriter& w, const StageTimes& st)
     w.endObject();
 }
 
+/** The served-load scenario: one demo sweep, timed end to end. */
+struct ServeTimes
+{
+    std::size_t cells = 0;
+    std::size_t offered = 0;
+    std::uint64_t warmCompiles = 0;
+    std::uint64_t coldCompiles = 0;
+    double runMs = 0.0;
+};
+
+ServeTimes
+timeServedLoad(unsigned scale, int reps)
+{
+    ServeTimes out;
+    ServeSpec spec = demoServeSpec(scale);
+    ServeSweepResult res;
+    out.runMs = bestMs(reps, [&] {
+        ServeSweep sweep(spec);
+        ExperimentEngine engine;
+        res = sweep.run(engine);
+        if (res.cells.empty())
+            std::abort();
+    });
+    out.cells = res.cells.size();
+    for (const ServeCellResult& c : res.cells) {
+        out.offered += c.metrics.offered;
+        out.warmCompiles += c.metrics.warmCompiles;
+        out.coldCompiles += c.metrics.coldCompiles;
+    }
+    return out;
+}
+
+void
+writeServeEntry(JsonWriter& w, const ServeTimes& st)
+{
+    w.beginObject();
+    w.field("cells", static_cast<std::uint64_t>(st.cells));
+    w.field("offered_requests", static_cast<std::uint64_t>(st.offered));
+    w.field("warm_compiles", st.warmCompiles);
+    w.field("cold_compiles", st.coldCompiles);
+    w.field("sweep_ms", st.runMs);
+    w.endObject();
+}
+
 }  // namespace
 
 int
@@ -166,6 +212,12 @@ main(int argc, char** argv)
     StageTimes headline =
         timeWorkload(ModelKind::ResNet152, 1, reps, {"g10"});
 
+    // Served load: the g10serve demo sweep (3 designs x 3 rates of
+    // open-loop traffic with churn and warm-started re-compiles).
+    std::cerr << "perf trajectory: served load (demo sweep, 1/"
+              << scale << " scale)\n";
+    ServeTimes served = timeServedLoad(scale, reps);
+
     std::ofstream os(out_path);
     if (!os) {
         std::cerr << "cannot open " << out_path << " for writing\n";
@@ -179,6 +231,8 @@ main(int argc, char** argv)
         w.field("reps", static_cast<std::int64_t>(reps));
         w.key("headline");
         writeEntry(w, headline);
+        w.key("served_load");
+        writeServeEntry(w, served);
         w.key("workloads").beginArray();
         for (const StageTimes& st : entries)
             writeEntry(w, st);

@@ -5,8 +5,8 @@
  * Pulls in the public API surface: platform configuration, the model
  * zoo, the compile-time pipeline (vitality analysis + migration
  * scheduling), the runtime simulator with all design points, the
- * one-call experiment facade, and the multi-tenant / parallel
- * experiment engine.
+ * one-call experiment facade, the multi-tenant / parallel experiment
+ * engine, and the open-loop serving simulator.
  */
 
 #ifndef G10_API_G10_H
@@ -32,6 +32,10 @@
 #include "policies/design_point.h"
 #include "policies/g10_policy.h"
 #include "policies/registry.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+#include "serve/serve_sim.h"
+#include "serve/serve_spec.h"
 #include "sim/runtime/sim_runtime.h"
 
 #endif  // G10_API_G10_H

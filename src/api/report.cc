@@ -200,6 +200,102 @@ mixAggregateTable(const MixResult& result)
     return agg;
 }
 
+double
+milliseconds(TimeNs ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+void
+writeServeSpecJson(JsonWriter& w, const ServeSweepResult& r)
+{
+    const ServeSpec& s = r.spec;
+    w.beginObject();
+    w.field("scale_down", static_cast<std::uint64_t>(s.scaleDown));
+    w.field("seed", static_cast<std::uint64_t>(s.seed));
+    w.field("slots", static_cast<std::int64_t>(s.slots));
+    w.field("queue_capacity",
+            static_cast<std::uint64_t>(s.queueCapacity));
+    w.field("admission", admitPolicyName(s.admit));
+    w.field("starvation_ms", milliseconds(s.starvationNs));
+    w.field("slo_factor", s.sloFactor);
+    w.field("arrival", arrivalKindName(s.arrival.kind));
+    if (s.arrival.kind == ArrivalKind::Bursty) {
+        w.field("burst_on_ms", s.arrival.burstOnSec * 1e3);
+        w.field("burst_off_ms", s.arrival.burstOffSec * 1e3);
+    }
+    if (s.arrival.kind == ArrivalKind::Trace)
+        w.field("trace", s.arrival.tracePath);
+    else
+        w.field("requests", static_cast<std::int64_t>(s.requests));
+    w.key("rates");
+    w.beginArray();
+    for (double r2 : s.rates)
+        w.value(r2);
+    w.endArray();
+    w.key("designs");
+    w.beginArray();
+    for (const std::string& d : s.designs)
+        w.value(d);
+    w.endArray();
+    w.key("classes");
+    w.beginArray();
+    for (const std::string& c : r.classNames)
+        w.value(c);
+    w.endArray();
+    w.key("system");
+    writeSystemJson(w, s.sys);
+    w.endObject();
+}
+
+void
+writeServeCellJson(JsonWriter& w, const ServeCellResult& cell)
+{
+    const ServeMetrics& m = cell.metrics;
+    w.beginObject();
+    w.field("design", cell.design);
+    w.field("design_name", cell.designName);
+    w.field("rate_per_s", cell.rate);
+    w.field("sustained", cell.sustained());
+    w.field("offered", m.offered);
+    w.field("admitted", m.admitted);
+    w.field("rejected", m.rejected);
+    w.field("completed", m.completed);
+    w.field("failed", m.failed);
+    w.key("queue_delay_ms");
+    w.beginObject();
+    w.field("p50", milliseconds(m.queueP50Ns));
+    w.field("p95", milliseconds(m.queueP95Ns));
+    w.field("p99", milliseconds(m.queueP99Ns));
+    w.field("max", milliseconds(m.queueMaxNs));
+    w.field("mean", m.queueMeanNs / 1e6);
+    w.endObject();
+    w.key("latency_ms");
+    w.beginObject();
+    w.field("p50", milliseconds(m.latencyP50Ns));
+    w.field("p95", milliseconds(m.latencyP95Ns));
+    w.field("p99", milliseconds(m.latencyP99Ns));
+    w.field("mean", m.latencyMeanNs / 1e6);
+    w.endObject();
+    w.key("slowdown");
+    w.beginObject();
+    w.field("mean", m.slowdownMean);
+    w.field("p95", m.slowdownP95);
+    w.endObject();
+    w.field("slo_attainment", m.sloAttainment);
+    w.field("throughput_rps", m.throughputRps);
+    w.field("makespan_s", seconds(m.makespanNs));
+    w.field("gpu_utilization", m.gpuUtilization);
+    w.field("max_queue_depth",
+            static_cast<std::uint64_t>(m.maxQueueDepth));
+    w.field("starvation_promotions", m.starvationPromotions);
+    w.field("cold_compiles", m.coldCompiles);
+    w.field("warm_compiles", m.warmCompiles);
+    w.key("ssd");
+    writeSsdJson(w, cell.ssd);
+    w.endObject();
+}
+
 void
 writeJobJson(JsonWriter& w, const JobResult& j)
 {
@@ -304,6 +400,51 @@ writeMixResultJson(std::ostream& os, const MixResult& result)
 }
 
 void
+writeServeResultJson(std::ostream& os, const ServeSweepResult& result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.serve_result.v1");
+    w.key("spec");
+    writeServeSpecJson(w, result);
+    w.key("baselines");
+    w.beginArray();
+    for (std::size_t d = 0; d < result.baselines.size(); ++d) {
+        w.beginObject();
+        w.field("design", result.spec.designs[d]);
+        w.key("unloaded_latency_ms");
+        w.beginObject();
+        for (std::size_t c = 0; c < result.baselines[d].size(); ++c) {
+            const ServeClassBaseline& b = result.baselines[d][c];
+            w.key(result.classNames[c]);
+            if (b.failed)
+                w.null();
+            else
+                w.value(milliseconds(b.unloadedNs));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("cells");
+    w.beginArray();
+    for (const ServeCellResult& cell : result.cells)
+        writeServeCellJson(w, cell);
+    w.endArray();
+    w.key("capacity");
+    w.beginArray();
+    for (std::size_t d = 0; d < result.sustainedRate.size(); ++d) {
+        w.beginObject();
+        w.field("design", result.spec.designs[d]);
+        w.field("sustained_rate_per_s", result.sustainedRate[d]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
 writeGridJson(std::ostream& os, const std::vector<RunResult>& results)
 {
     JsonWriter w(os);
@@ -342,6 +483,66 @@ printRunResult(std::ostream& os, const RunResult& result,
         break;
     }
     return result.ok() ? 0 : 2;
+}
+
+namespace {
+
+Table
+serveCellsTable(const ServeSweepResult& result)
+{
+    Table t("served load (designs x offered rates)");
+    t.setHeader({"design", "rate", "ok", "offered", "rej", "fail",
+                 "queue_p95_ms", "lat_p50_ms", "lat_p95_ms",
+                 "lat_p99_ms", "slo", "tput_rps", "waf"});
+    for (const ServeCellResult& c : result.cells) {
+        const ServeMetrics& m = c.metrics;
+        t.addRowOf(c.designName.c_str(), c.rate,
+                   c.sustained() ? "yes" : "NO",
+                   static_cast<unsigned long long>(m.offered),
+                   static_cast<unsigned long long>(m.rejected),
+                   static_cast<unsigned long long>(m.failed),
+                   milliseconds(m.queueP95Ns),
+                   milliseconds(m.latencyP50Ns),
+                   milliseconds(m.latencyP95Ns),
+                   milliseconds(m.latencyP99Ns), m.sloAttainment,
+                   m.throughputRps, c.ssd.waf());
+    }
+    return t;
+}
+
+Table
+serveCapacityTable(const ServeSweepResult& result)
+{
+    Table t("sustained-throughput capacity (max rate, bounded queue)");
+    t.setHeader({"design", "sustained_rate_per_s"});
+    for (std::size_t d = 0; d < result.sustainedRate.size(); ++d)
+        t.addRowOf(result.spec.designs[d].c_str(),
+                   result.sustainedRate[d]);
+    return t;
+}
+
+}  // namespace
+
+int
+printServeResult(std::ostream& os, const ServeSweepResult& result,
+                 ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Json:
+        writeServeResultJson(os, result);
+        break;
+      case ReportFormat::Csv:
+        serveCellsTable(result).printCsv(os);
+        os << "\n";
+        serveCapacityTable(result).printCsv(os);
+        break;
+      case ReportFormat::Table:
+        serveCellsTable(result).print(os);
+        os << "\n";
+        serveCapacityTable(result).print(os);
+        break;
+    }
+    return result.allSucceeded() ? 0 : 2;
 }
 
 int

@@ -5,8 +5,8 @@
  * machine-readable JSON (the `--format` surface of g10sim/g10multi).
  *
  * JSON documents carry a `schema` tag (`g10.run_result.v1`,
- * `g10.mix_result.v1`, `g10.grid.v1`) so downstream tooling can
- * dispatch without sniffing fields.
+ * `g10.mix_result.v1`, `g10.grid.v1`, `g10.serve_result.v1`) so
+ * downstream tooling can dispatch without sniffing fields.
  */
 
 #ifndef G10_API_REPORT_H
@@ -19,6 +19,7 @@
 #include "api/experiment.h"
 #include "common/json_writer.h"
 #include "engine/multi_tenant.h"
+#include "serve/serve_sim.h"
 
 namespace g10 {
 
@@ -54,6 +55,10 @@ void writeMixResultJson(std::ostream& os, const MixResult& result);
 void writeGridJson(std::ostream& os,
                    const std::vector<RunResult>& results);
 
+/** Serialize a serving sweep (`g10.serve_result.v1`). */
+void writeServeResultJson(std::ostream& os,
+                          const ServeSweepResult& result);
+
 // ---- Format-dispatched printers -------------------------------------
 
 /**
@@ -66,6 +71,10 @@ int printRunResult(std::ostream& os, const RunResult& result,
 /** Print one consolidated mix in @p format (exit code as above). */
 int printMixResult(std::ostream& os, const MixResult& result,
                    ReportFormat format);
+
+/** Print one serving sweep in @p format (exit code as above). */
+int printServeResult(std::ostream& os, const ServeSweepResult& result,
+                     ReportFormat format);
 
 /**
  * Legacy table-only mix report (used by the consolidation bench and

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "logging.h"
@@ -65,8 +66,77 @@ class EventQueue
         schedule(now_ + delay, std::move(cb));
     }
 
+    /** One (time, callback) pair for bulk scheduling. */
+    struct TimedCallback
+    {
+        TimeNs when = 0;
+        Callback cb;
+    };
+
+    /**
+     * Schedule every entry of @p batch in one O(n) heap rebuild
+     * (std::make_heap) instead of n O(log n) pushes. Entries keep
+     * @p batch's order for same-timestamp ties, and interleave with
+     * previously scheduled events exactly as individual schedule()
+     * calls would — phase-oriented simulations (e.g. injecting a whole
+     * arrival trace up front) use this to avoid the per-push cost.
+     *
+     * @pre every entry's time >= now()
+     */
+    void
+    scheduleBatch(std::vector<TimedCallback> batch)
+    {
+        if (batch.empty())
+            return;
+        heap_.reserve(heap_.size() + batch.size());
+        for (TimedCallback& tc : batch) {
+            if (tc.when < now_)
+                panic("event scheduled in the past (when=%lld now=%lld)",
+                      static_cast<long long>(tc.when),
+                      static_cast<long long>(now_));
+            heap_.push_back(Event{tc.when, nextSeq_++, std::move(tc.cb)});
+        }
+        std::make_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    /**
+     * Remove every pending event with time <= @p until and append them
+     * to @p out in execution order, *without* running them. Leaves
+     * now() untouched (the caller decides what to do with the drained
+     * work). Phase-oriented simulations use this to hand a whole phase
+     * of events to bulk processing instead of stepping one at a time.
+     *
+     * @return number of events drained
+     */
+    std::size_t
+    drainTo(TimeNs until, std::vector<TimedCallback>* out)
+    {
+        std::size_t drained = 0;
+        while (!heap_.empty() && heap_.front().when <= until) {
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            Event ev = std::move(heap_.back());
+            heap_.pop_back();
+            out->push_back(TimedCallback{ev.when, std::move(ev.cb)});
+            ++drained;
+        }
+        return drained;
+    }
+
+    /** drainTo() over every pending event regardless of time. */
+    std::size_t
+    drainAll(std::vector<TimedCallback>* out)
+    {
+        return drainTo(heap_.empty() ? 0 : kMaxTime, out);
+    }
+
     /** True when no events remain. */
     bool empty() const { return heap_.empty(); }
+
+    /** Time of the earliest pending event; TimeNs max when empty. */
+    TimeNs nextTime() const
+    {
+        return heap_.empty() ? kMaxTime : heap_.front().when;
+    }
 
     /** Number of pending events. */
     std::size_t size() const { return heap_.size(); }
@@ -124,6 +194,9 @@ class EventQueue
 
     /** Total number of events executed so far (for micro-benchmarks). */
     std::uint64_t executedCount() const { return executed_; }
+
+    /** The "no pending event" sentinel nextTime() returns. */
+    static constexpr TimeNs kMaxTime = std::numeric_limits<TimeNs>::max();
 
   private:
     struct Event

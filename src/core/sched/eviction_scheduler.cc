@@ -54,6 +54,94 @@ EvictionScheduler::scorePeriod(std::size_t pi,
     return area / cost_ns;
 }
 
+bool
+EvictionScheduler::tryCommit(std::size_t pi, double host_cap,
+                             EvictionSchedule* out)
+{
+    const InactivePeriod& p = vitality_.periods()[pi];
+    const Tensor& t = vitality_.trace().tensor(p.tensor);
+    const Bytes size = t.bytes;
+
+    // ---- Destination choice (Algorithm 1 lines 7-17). ----
+    // SSD first for capacity; divert to host when the flash path is
+    // under pressure in either the eviction window or the planned
+    // prefetch window (a tensor written to the SSD must also come
+    // *back* through the saturated read path in time).
+    TimeNs pf_ssd = std::max(
+        p.startNs,
+        p.endNs - bandwidth_.prefetchDuration(size, MemLoc::Ssd) -
+            params_.prefetchSafetyNs);
+    MemLoc dest = MemLoc::Ssd;
+    if (!params_.allowSsd) {
+        dest = MemLoc::Host;
+    } else if (params_.allowHost &&
+               (bandwidth_.ssdEvictSaturated(p.startNs, size) ||
+                bandwidth_.ssdPrefetchSaturated(pf_ssd, size))) {
+        dest = MemLoc::Host;
+    }
+    if (dest == MemLoc::Host) {
+        // Host staging must have room for the whole inactive period.
+        double host_peak = hostMemUse_.maxOver(p.startNs, p.endNs) +
+                           static_cast<double>(size);
+        if (host_peak > host_cap) {
+            if (params_.allowSsd) {
+                dest = MemLoc::Ssd;  // fall back to SSD
+            } else {
+                return false;  // host-only mode and host is full
+            }
+        }
+    }
+
+    // ---- Feasibility under contention. ----
+    FlowSchedule evict_flow = bandwidth_.planEvict(p.startNs, size,
+                                                   dest);
+    TimeNs deadline = p.endNs - params_.prefetchSafetyNs;
+    TimeNs pf_latest =
+        bandwidth_.latestPrefetchStart(deadline, size, dest);
+    if (pf_latest <= evict_flow.complete) {
+        // The round trip cannot be fully hidden any more. When the
+        // program is bandwidth-bound this is true for *all* the
+        // remaining excess; planned-but-late streaming still beats
+        // demand faulting and allocator thrash, so commit with the
+        // prefetch as late as possible: it will arrive past its
+        // deadline (contention), but it must not return earlier
+        // than necessary and re-inflate memory pressure.
+        pf_latest = std::max(
+            evict_flow.complete + 1,
+            deadline - bandwidth_.prefetchDuration(size, dest));
+    }
+
+    // ---- Commit. ----
+    ScheduledMigration m;
+    m.periodIndex = pi;
+    m.tensor = p.tensor;
+    m.bytes = size;
+    m.dest = dest;
+    m.evictStart = evict_flow.start;
+    m.evictComplete = evict_flow.complete;
+    m.prefetchLatest = pf_latest;
+    m.prefetchStart = pf_latest;
+    FlowSchedule pf_flow =
+        bandwidth_.planPrefetch(pf_latest, size, dest);
+    m.prefetchComplete = pf_flow.complete;
+    m.prefetchDuration = pf_flow.duration();
+    m.wrapsIteration = p.wrapsIteration;
+
+    out->pressure.add(m.evictComplete, m.prefetchStart,
+                      -static_cast<double>(size));
+    bandwidth_.reserveEvict(evict_flow, size, dest);
+    bandwidth_.reservePrefetch(pf_flow, size, dest);
+    if (dest == MemLoc::Host) {
+        hostMemUse_.add(p.startNs, p.endNs,
+                        static_cast<double>(size));
+        out->bytesToHost += size;
+    } else {
+        out->bytesToSsd += size;
+    }
+    out->migrations.push_back(m);
+    return true;
+}
+
 EvictionSchedule
 EvictionScheduler::run()
 {
@@ -67,6 +155,41 @@ EvictionScheduler::run()
     out.initialPeakBytes =
         static_cast<Bytes>(out.pressure.maxValue());
 
+    std::vector<bool> committed(periods.size(), false);
+
+    // Warm-start replay: re-validate the previous schedule's picks
+    // against the new vitality analysis and commit the ones that are
+    // still beneficial. Period indices line up when the topology is
+    // unchanged (same model, different batch/capacity); entries that
+    // no longer match or no longer help are simply skipped.
+    if (params_.warmStart != nullptr) {
+        for (const ScheduledMigration& wm : params_.warmStart->migrations) {
+            if (out.pressure.maxValue() <= cap)
+                break;
+            std::size_t pi = wm.periodIndex;
+            if (pi >= periods.size() || periods[pi].tensor != wm.tensor)
+                continue;  // topology drifted; not the same period
+            const InactivePeriod& p = periods[pi];
+            const Tensor& t = vitality_.trace().tensor(p.tensor);
+            if (t.bytes < params_.minTensorBytes ||
+                p.lengthNs() < params_.minPeriodNs)
+                continue;
+            double s = scorePeriod(pi, out.pressure, cap, nullptr,
+                                   nullptr);
+            ++out.evaluations;
+            if (s <= 0.0)
+                continue;
+            if (tryCommit(pi, host_cap, &out))
+                committed[pi] = true;
+        }
+    }
+
+    // When the replayed schedule already brings pressure under
+    // capacity, the greedy search has nothing to do — skip seeding
+    // the candidate heap entirely (the warm start's whole point).
+    const bool search = params_.warmStart == nullptr ||
+                        out.pressure.maxValue() > cap;
+
     // Seed the lazy-greedy heap with optimistic scores.
     auto cmp = [](const Candidate& a, const Candidate& b) {
         return a.staleScore < b.staleScore;
@@ -74,20 +197,23 @@ EvictionScheduler::run()
     std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)>
         heap(cmp);
 
-    for (std::size_t i = 0; i < periods.size(); ++i) {
-        const InactivePeriod& p = periods[i];
-        const Tensor& t = vitality_.trace().tensor(p.tensor);
-        if (t.bytes < params_.minTensorBytes)
-            continue;
-        if (p.lengthNs() < params_.minPeriodNs)
-            continue;
-        double s = scorePeriod(i, out.pressure, cap, nullptr, nullptr);
-        ++out.evaluations;
-        if (s > 0.0)
-            heap.push(Candidate{i, s});
+    if (search) {
+        for (std::size_t i = 0; i < periods.size(); ++i) {
+            if (committed[i])
+                continue;  // already replayed from the warm start
+            const InactivePeriod& p = periods[i];
+            const Tensor& t = vitality_.trace().tensor(p.tensor);
+            if (t.bytes < params_.minTensorBytes)
+                continue;
+            if (p.lengthNs() < params_.minPeriodNs)
+                continue;
+            double s = scorePeriod(i, out.pressure, cap, nullptr,
+                                   nullptr);
+            ++out.evaluations;
+            if (s > 0.0)
+                heap.push(Candidate{i, s});
+        }
     }
-
-    std::vector<bool> committed(periods.size(), false);
 
     while (!heap.empty()) {
         if (out.pressure.maxValue() <= cap)
@@ -111,89 +237,8 @@ EvictionScheduler::run()
             continue;
         }
 
-        const InactivePeriod& p = periods[top.periodIndex];
-        const Tensor& t = vitality_.trace().tensor(p.tensor);
-        const Bytes size = t.bytes;
-
-        // ---- Destination choice (Algorithm 1 lines 7-17). ----
-        // SSD first for capacity; divert to host when the flash path is
-        // under pressure in either the eviction window or the planned
-        // prefetch window (a tensor written to the SSD must also come
-        // *back* through the saturated read path in time).
-        TimeNs pf_ssd = std::max(
-            p.startNs,
-            p.endNs - bandwidth_.prefetchDuration(size, MemLoc::Ssd) -
-                params_.prefetchSafetyNs);
-        MemLoc dest = MemLoc::Ssd;
-        if (!params_.allowSsd) {
-            dest = MemLoc::Host;
-        } else if (params_.allowHost &&
-                   (bandwidth_.ssdEvictSaturated(p.startNs, size) ||
-                    bandwidth_.ssdPrefetchSaturated(pf_ssd, size))) {
-            dest = MemLoc::Host;
-        }
-        if (dest == MemLoc::Host) {
-            // Host staging must have room for the whole inactive period.
-            double host_peak =
-                hostMemUse_.maxOver(p.startNs, p.endNs) +
-                static_cast<double>(size);
-            if (host_peak > host_cap) {
-                if (params_.allowSsd) {
-                    dest = MemLoc::Ssd;  // fall back to SSD
-                } else {
-                    continue;  // host-only mode and host is full
-                }
-            }
-        }
-
-        // ---- Feasibility under contention. ----
-        FlowSchedule evict_flow = bandwidth_.planEvict(p.startNs, size,
-                                                       dest);
-        TimeNs deadline = p.endNs - params_.prefetchSafetyNs;
-        TimeNs pf_latest =
-            bandwidth_.latestPrefetchStart(deadline, size, dest);
-        if (pf_latest <= evict_flow.complete) {
-            // The round trip cannot be fully hidden any more. When the
-            // program is bandwidth-bound this is true for *all* the
-            // remaining excess; planned-but-late streaming still beats
-            // demand faulting and allocator thrash, so commit with the
-            // prefetch as late as possible: it will arrive past its
-            // deadline (contention), but it must not return earlier
-            // than necessary and re-inflate memory pressure.
-            pf_latest = std::max(
-                evict_flow.complete + 1,
-                deadline - bandwidth_.prefetchDuration(size, dest));
-        }
-
-        // ---- Commit. ----
-        ScheduledMigration m;
-        m.periodIndex = top.periodIndex;
-        m.tensor = p.tensor;
-        m.bytes = size;
-        m.dest = dest;
-        m.evictStart = evict_flow.start;
-        m.evictComplete = evict_flow.complete;
-        m.prefetchLatest = pf_latest;
-        m.prefetchStart = pf_latest;
-        FlowSchedule pf_flow =
-            bandwidth_.planPrefetch(pf_latest, size, dest);
-        m.prefetchComplete = pf_flow.complete;
-        m.prefetchDuration = pf_flow.duration();
-        m.wrapsIteration = p.wrapsIteration;
-        committed[top.periodIndex] = true;
-
-        out.pressure.add(m.evictComplete, m.prefetchStart,
-                         -static_cast<double>(size));
-        bandwidth_.reserveEvict(evict_flow, size, dest);
-        bandwidth_.reservePrefetch(pf_flow, size, dest);
-        if (dest == MemLoc::Host) {
-            hostMemUse_.add(p.startNs, p.endNs,
-                            static_cast<double>(size));
-            out.bytesToHost += size;
-        } else {
-            out.bytesToSsd += size;
-        }
-        out.migrations.push_back(m);
+        if (tryCommit(top.periodIndex, host_cap, &out))
+            committed[top.periodIndex] = true;
     }
 
     out.finalPeakBytes = static_cast<Bytes>(out.pressure.maxValue());

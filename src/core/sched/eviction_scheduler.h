@@ -35,6 +35,8 @@
 
 namespace g10 {
 
+struct EvictionSchedule;
+
 /** Tunables for the eviction pass. */
 struct EvictionSchedulerParams
 {
@@ -58,6 +60,19 @@ struct EvictionSchedulerParams
      * belongs to the OS/framework).
      */
     double hostMemFraction = 1.0;
+
+    /**
+     * Optional warm start for incremental re-planning (TENSILE-style):
+     * a schedule previously compiled for the *same model topology* at a
+     * different batch size or capacity knob. Its (tensor, period) picks
+     * are re-validated against the new vitality analysis and committed
+     * first; the greedy search then only runs for whatever pressure
+     * remains — when the replayed picks already fit under capacity the
+     * O(P log P) search is skipped entirely. Borrowed pointer; the
+     * schedule must outlive run(). nullptr = cold compile (bit-identical
+     * to the pre-warm-start behavior).
+     */
+    const EvictionSchedule* warmStart = nullptr;
 };
 
 /** Output of the eviction pass (prefetches still at their latest time). */
@@ -110,6 +125,14 @@ class EvictionScheduler
     double scorePeriod(std::size_t pi, const StepFunction& pressure,
                        double cap, TimeNs* evict_complete,
                        TimeNs* prefetch_latest) const;
+
+    /**
+     * Choose a destination, check feasibility, and commit period @p pi
+     * (Algorithm 1 lines 7-17 plus the bandwidth/pressure updates).
+     * @return false when no destination has room (nothing committed)
+     */
+    bool tryCommit(std::size_t pi, double host_cap,
+                   EvictionSchedule* out);
 
     const VitalityAnalysis& vitality_;
     SystemConfig config_;

@@ -154,4 +154,16 @@ ExperimentEngine::runMixes(const std::vector<WorkloadMix>& mixes)
     return results;
 }
 
+std::vector<DesignInstance>
+ExperimentEngine::compileDesignsOnTrace(
+    const KernelTrace& trace, const SystemConfig& sys,
+    const std::vector<std::string>& designs)
+{
+    std::vector<DesignInstance> out(designs.size());
+    parallelFor(designs.size(), [&](std::size_t i) {
+        out[i] = PolicyRegistry::instance().make(designs[i], trace, sys);
+    });
+    return out;
+}
+
 }  // namespace g10

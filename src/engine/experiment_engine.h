@@ -84,6 +84,19 @@ class ExperimentEngine
     std::vector<MixResult>
     runMixes(const std::vector<WorkloadMix>& mixes);
 
+    /**
+     * Instantiate every design in @p designs for one (trace, platform)
+     * pair across the pool — the G10-family entries each run their
+     * compile pipeline (compileG10Plan), which is independent per
+     * design and whose plans are read-only after build, so grid sweeps
+     * and serving engines can compile plans concurrently. Results in
+     * input order, bit-identical regardless of worker count.
+     */
+    std::vector<DesignInstance>
+    compileDesignsOnTrace(const KernelTrace& trace,
+                          const SystemConfig& sys,
+                          const std::vector<std::string>& designs);
+
   private:
     void workerLoop();
 

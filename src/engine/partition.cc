@@ -1,0 +1,71 @@
+#include "partition.h"
+
+#include "common/logging.h"
+
+namespace g10 {
+
+SystemConfig
+partitionShare(const SystemConfig& whole, double fraction)
+{
+    SystemConfig part = whole;
+    part.gpuMemBytes = static_cast<Bytes>(
+        static_cast<double>(whole.gpuMemBytes) * fraction);
+    part.hostMemBytes = static_cast<Bytes>(
+        static_cast<double>(whole.hostMemBytes) * fraction);
+    return part;
+}
+
+PartitionManager::PartitionManager(const SystemConfig& whole, int slots)
+    : whole_(whole)
+{
+    if (slots < 1)
+        fatal("PartitionManager: slots must be >= 1, got %d", slots);
+    inUse_.assign(static_cast<std::size_t>(slots), false);
+    free_ = slots;
+    slotSys_ = partitionShare(
+        whole_, 1.0 / static_cast<double>(slots));
+}
+
+PartitionManager::Lease
+PartitionManager::acquire()
+{
+    return acquireWeighted(1.0 / static_cast<double>(slots()));
+}
+
+PartitionManager::Lease
+PartitionManager::acquireWeighted(double fraction)
+{
+    if (free_ == 0)
+        panic("PartitionManager: no free partition slot "
+              "(%d leased); admission control must gate acquire()",
+              slots());
+    for (std::size_t i = 0; i < inUse_.size(); ++i) {
+        if (inUse_[i])
+            continue;
+        inUse_[i] = true;
+        --free_;
+        ++granted_;
+        Lease l;
+        l.slot = static_cast<int>(i);
+        l.sys = partitionShare(whole_, fraction);
+        return l;
+    }
+    panic("PartitionManager: free count %d but no free slot", free_);
+}
+
+void
+PartitionManager::release(Lease* lease)
+{
+    if (lease == nullptr || !lease->active())
+        panic("PartitionManager: releasing an inactive lease");
+    auto i = static_cast<std::size_t>(lease->slot);
+    if (i >= inUse_.size() || !inUse_[i])
+        panic("PartitionManager: double release of slot %d",
+              lease->slot);
+    inUse_[i] = false;
+    ++free_;
+    ++reclaimed_;
+    lease->slot = -1;
+}
+
+}  // namespace g10

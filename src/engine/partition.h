@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GPU/host memory partition leases for jobs sharing one machine.
+ *
+ * A PartitionManager carves one SystemConfig into per-job partitions
+ * and tracks which of them are out on lease. Two sizing modes:
+ *
+ *  - slot leases (acquire()): the machine is divided into `slots`
+ *    equal partitions. The serving engine leases a slot when a job is
+ *    admitted and reclaims it on departure, so a node with churn keeps
+ *    handing the same partition geometry to successive jobs (which is
+ *    what makes compiled plans reusable across arrivals).
+ *  - weighted leases (acquireWeighted()): each lease takes an explicit
+ *    fraction of the machine. The multi-tenant engine uses this for
+ *    its memWeight-proportional split.
+ *
+ * Only GPU and host memory are partitioned; the PCIe fabric and the
+ * SSD stay fully shared (that is the experiment). Leases must be
+ * released back; the manager panics on over-subscription and double
+ * release so engine bugs surface immediately.
+ */
+
+#ifndef G10_ENGINE_PARTITION_H
+#define G10_ENGINE_PARTITION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/system_config.h"
+
+namespace g10 {
+
+/**
+ * A share of @p whole: the same platform with GPU/host memory scaled
+ * to @p fraction (capacities only; bandwidths, latencies, and the SSD
+ * are untouched). This is the one place partition arithmetic lives so
+ * every engine splits memory identically.
+ */
+SystemConfig partitionShare(const SystemConfig& whole, double fraction);
+
+/** Tracks leases of one machine's memory partitions. */
+class PartitionManager
+{
+  public:
+    /** One leased partition; returned to the manager via release(). */
+    struct Lease
+    {
+        int slot = -1;      ///< manager-internal slot id
+        SystemConfig sys;   ///< the partition's platform view
+
+        bool active() const { return slot >= 0; }
+    };
+
+    /**
+     * @param whole the shared machine (already scaled)
+     * @param slots number of concurrent leases (>= 1)
+     */
+    PartitionManager(const SystemConfig& whole, int slots);
+
+    /** Number of partitions the machine is divided into. */
+    int slots() const { return static_cast<int>(inUse_.size()); }
+
+    /** Partitions not currently out on lease. */
+    int freeSlots() const { return free_; }
+
+    bool hasFree() const { return free_ > 0; }
+
+    /** The platform view an equal-slot lease grants (1/slots each). */
+    const SystemConfig& slotSystem() const { return slotSys_; }
+
+    /** Lease one equal slot; panics when none is free. */
+    Lease acquire();
+
+    /**
+     * Lease @p fraction of the machine (weighted mode). Occupies one
+     * slot; the caller is responsible for fractions summing to <= 1.
+     */
+    Lease acquireWeighted(double fraction);
+
+    /** Reclaim @p lease (panics on double release); resets it. */
+    void release(Lease* lease);
+
+    /** Total leases handed out / reclaimed (for tests and reports). */
+    std::uint64_t granted() const { return granted_; }
+    std::uint64_t reclaimed() const { return reclaimed_; }
+
+  private:
+    SystemConfig whole_;
+    SystemConfig slotSys_;
+    std::vector<bool> inUse_;
+    int free_ = 0;
+    std::uint64_t granted_ = 0;
+    std::uint64_t reclaimed_ = 0;
+};
+
+}  // namespace g10
+
+#endif  // G10_ENGINE_PARTITION_H

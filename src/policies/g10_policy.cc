@@ -24,31 +24,37 @@ G10Policy::capacityEvictDest(SimRuntime& rt, TensorId t)
 }
 
 std::unique_ptr<G10Policy>
-makeG10(const KernelTrace& trace, const SystemConfig& config)
+makeG10(const KernelTrace& trace, const SystemConfig& config,
+        const EvictionSchedule* warm_start)
 {
     G10CompilerOptions opt;
     opt.eviction.allowSsd = true;
     opt.eviction.allowHost = true;
+    opt.eviction.warmStart = warm_start;
     return std::make_unique<G10Policy>(
         "G10", compileG10Plan(trace, config, opt));
 }
 
 std::unique_ptr<G10Policy>
-makeG10Gds(const KernelTrace& trace, const SystemConfig& config)
+makeG10Gds(const KernelTrace& trace, const SystemConfig& config,
+           const EvictionSchedule* warm_start)
 {
     G10CompilerOptions opt;
     opt.eviction.allowSsd = true;
     opt.eviction.allowHost = false;
+    opt.eviction.warmStart = warm_start;
     return std::make_unique<G10Policy>(
         "G10-GDS", compileG10Plan(trace, config, opt));
 }
 
 std::unique_ptr<G10Policy>
-makeG10Host(const KernelTrace& trace, const SystemConfig& config)
+makeG10Host(const KernelTrace& trace, const SystemConfig& config,
+            const EvictionSchedule* warm_start)
 {
     G10CompilerOptions opt;
     opt.eviction.allowSsd = true;
     opt.eviction.allowHost = true;
+    opt.eviction.warmStart = warm_start;
     return std::make_unique<G10Policy>(
         "G10-Host", compileG10Plan(trace, config, opt));
 }

@@ -51,17 +51,31 @@ class G10Policy : public Policy
     CompiledPlan plan_;
 };
 
-/** Compile + wrap the full G10 design. */
+/**
+ * Compile + wrap the full G10 design.
+ *
+ * @param warm_start optional EvictionSchedule from a previous compile of
+ *        the same model topology (different batch size / capacity knob):
+ *        replayed as a warm start so re-planning skips most of the
+ *        greedy search (see EvictionSchedulerParams::warmStart). The
+ *        schedule only needs to live until this call returns.
+ */
 std::unique_ptr<G10Policy> makeG10(const KernelTrace& trace,
-                                   const SystemConfig& config);
+                                   const SystemConfig& config,
+                                   const EvictionSchedule* warm_start =
+                                       nullptr);
 
 /** G10 with GPU<->SSD migrations only. */
 std::unique_ptr<G10Policy> makeG10Gds(const KernelTrace& trace,
-                                      const SystemConfig& config);
+                                      const SystemConfig& config,
+                                      const EvictionSchedule* warm_start =
+                                          nullptr);
 
 /** G10 with host staging but without the UVM extension. */
 std::unique_ptr<G10Policy> makeG10Host(const KernelTrace& trace,
-                                       const SystemConfig& config);
+                                       const SystemConfig& config,
+                                       const EvictionSchedule* warm_start =
+                                           nullptr);
 
 }  // namespace g10
 

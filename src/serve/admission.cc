@@ -1,0 +1,101 @@
+#include "admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace g10 {
+
+const char*
+admitPolicyName(AdmitPolicy policy)
+{
+    switch (policy) {
+      case AdmitPolicy::Fifo: return "fifo";
+      case AdmitPolicy::Sjf: return "sjf";
+      case AdmitPolicy::Priority: return "priority";
+    }
+    return "?";
+}
+
+bool
+admitPolicyFromName(const std::string& name, AdmitPolicy* out)
+{
+    if (name == "fifo")
+        *out = AdmitPolicy::Fifo;
+    else if (name == "sjf")
+        *out = AdmitPolicy::Sjf;
+    else if (name == "priority")
+        *out = AdmitPolicy::Priority;
+    else
+        return false;
+    return true;
+}
+
+AdmissionQueue::AdmissionQueue(AdmitPolicy policy, std::size_t capacity,
+                               TimeNs starvation_ns)
+    : policy_(policy), capacity_(capacity), starvationNs_(starvation_ns)
+{
+}
+
+bool
+AdmissionQueue::offer(QueuedJob job)
+{
+    if (q_.size() >= capacity_)
+        return false;
+    job.seq = nextSeq_++;
+    q_.push_back(job);
+    maxDepth_ = std::max(maxDepth_, q_.size());
+    return true;
+}
+
+QueuedJob
+AdmissionQueue::pop(TimeNs now)
+{
+    if (q_.empty())
+        panic("AdmissionQueue::pop on an empty queue");
+
+    // FIFO choice: the smallest sequence number (also the starvation
+    // fallback and every policy's tie-break direction).
+    std::size_t fifo = 0;
+    for (std::size_t i = 1; i < q_.size(); ++i)
+        if (q_[i].seq < q_[fifo].seq)
+            fifo = i;
+
+    std::size_t pick = fifo;
+    switch (policy_) {
+      case AdmitPolicy::Fifo:
+        break;
+      case AdmitPolicy::Sjf:
+        for (std::size_t i = 0; i < q_.size(); ++i) {
+            const QueuedJob& a = q_[i];
+            const QueuedJob& b = q_[pick];
+            if (a.serviceEstNs < b.serviceEstNs ||
+                (a.serviceEstNs == b.serviceEstNs && a.seq < b.seq))
+                pick = i;
+        }
+        break;
+      case AdmitPolicy::Priority: {
+        for (std::size_t i = 0; i < q_.size(); ++i) {
+            const QueuedJob& a = q_[i];
+            const QueuedJob& b = q_[pick];
+            if (a.priority > b.priority ||
+                (a.priority == b.priority && a.seq < b.seq))
+                pick = i;
+        }
+        // Starvation guard: when the oldest waiter has exceeded the
+        // window, it goes next no matter what priorities say.
+        if (starvationNs_ > 0 && pick != fifo &&
+            now - q_[fifo].arrivalNs > starvationNs_) {
+            pick = fifo;
+            ++promotions_;
+        }
+        break;
+      }
+    }
+
+    QueuedJob out = q_[pick];
+    q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(pick));
+    return out;
+}
+
+}  // namespace g10

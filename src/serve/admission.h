@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded admission queue for the serving simulator.
+ *
+ * Requests that arrive while every partition slot is leased wait here;
+ * when the queue itself is full the request is rejected (load
+ * shedding — the open-loop source does not slow down). Three pluggable
+ * ordering policies:
+ *
+ *  - FIFO: arrival order.
+ *  - SJF: shortest job first, keyed by the compiled plan's
+ *    ideal-timeline length × iterations (known at admission time
+ *    because plans compile per job class).
+ *  - Priority: highest JobSpec-style priority first, with a
+ *    starvation guard — once the oldest waiter has queued longer than
+ *    the guard window it is served next regardless of priority, so a
+ *    stream of high-priority arrivals cannot starve the tail.
+ *
+ * All ordering ties break by arrival sequence, so the queue is fully
+ * deterministic.
+ */
+
+#ifndef G10_SERVE_ADMISSION_H
+#define G10_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace g10 {
+
+/** Admission-ordering policies. */
+enum class AdmitPolicy
+{
+    Fifo,      ///< arrival order
+    Sjf,       ///< shortest compiled plan first
+    Priority,  ///< highest priority first + starvation guard
+};
+
+/** Display/CLI name ("fifo", "sjf", "priority"). */
+const char* admitPolicyName(AdmitPolicy policy);
+
+/** Parse an admission policy name; false on unknown input. */
+bool admitPolicyFromName(const std::string& name, AdmitPolicy* out);
+
+/** One request waiting for a partition slot. */
+struct QueuedJob
+{
+    std::size_t request = 0;   ///< request index in the cell
+    TimeNs arrivalNs = 0;
+    TimeNs serviceEstNs = 0;   ///< compiled plan length × iterations
+    int priority = 1;
+
+    /** Arrival sequence; assigned by offer() (tie-break key). */
+    std::uint64_t seq = 0;
+};
+
+/** The bounded wait queue; see file header for the policies. */
+class AdmissionQueue
+{
+  public:
+    /**
+     * @param policy        ordering discipline
+     * @param capacity      max jobs waiting; offers beyond are rejected
+     * @param starvation_ns Priority guard window; <= 0 disables it
+     */
+    AdmissionQueue(AdmitPolicy policy, std::size_t capacity,
+                   TimeNs starvation_ns);
+
+    /**
+     * Enqueue @p job (its seq is assigned here).
+     * @return false when the queue is full — the request is rejected
+     */
+    bool offer(QueuedJob job);
+
+    /** Remove and return the policy's next job; panics when empty. */
+    QueuedJob pop(TimeNs now);
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** High-water mark of the queue depth. */
+    std::size_t maxDepth() const { return maxDepth_; }
+
+    /** Pops where the starvation guard overrode the priority order. */
+    std::uint64_t starvationPromotions() const { return promotions_; }
+
+  private:
+    AdmitPolicy policy_;
+    std::size_t capacity_;
+    TimeNs starvationNs_;
+
+    // Small (bounded by capacity); linear selection keeps the policy
+    // logic obvious and the order fully deterministic.
+    std::vector<QueuedJob> q_;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t maxDepth_ = 0;
+    std::uint64_t promotions_ = 0;
+};
+
+}  // namespace g10
+
+#endif  // G10_SERVE_ADMISSION_H

@@ -1,0 +1,192 @@
+#include "arrival.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/parse_util.h"
+
+namespace g10 {
+
+const char*
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::Trace: return "trace";
+    }
+    return "?";
+}
+
+bool
+arrivalKindFromName(const std::string& name, ArrivalKind* out)
+{
+    if (name == "poisson")
+        *out = ArrivalKind::Poisson;
+    else if (name == "bursty")
+        *out = ArrivalKind::Bursty;
+    else if (name == "trace")
+        *out = ArrivalKind::Trace;
+    else
+        return false;
+    return true;
+}
+
+double
+unitInterval(std::mt19937_64& engine)
+{
+    // Top 53 bits of one draw, shifted into (0, 1]: the +1 excludes 0
+    // so -log(u) is always finite. mt19937_64's output sequence is
+    // fully specified by the standard, so this is portable.
+    return static_cast<double>((engine() >> 11) + 1) * 0x1p-53;
+}
+
+std::vector<TimeNs>
+generateArrivals(const ArrivalSpec& spec, double rate_per_sec,
+                 int count, std::uint64_t seed)
+{
+    if (spec.kind == ArrivalKind::Trace)
+        fatal("generateArrivals: trace arrivals replay the parsed "
+              "file; they are not generated");
+    if (rate_per_sec <= 0.0)
+        fatal("arrival rate must be > 0, got %g", rate_per_sec);
+    if (count < 1)
+        fatal("arrival count must be >= 1, got %d", count);
+    if (spec.kind == ArrivalKind::Bursty &&
+        (spec.burstOnSec <= 0.0 || spec.burstOffSec < 0.0))
+        fatal("bursty arrivals need burst_on > 0 and burst_off >= 0");
+
+    std::mt19937_64 engine(seed);
+    std::vector<TimeNs> out;
+    out.reserve(static_cast<std::size_t>(count));
+
+    // Exponential inter-arrival gaps accumulate on the process's
+    // *active* clock; Bursty then maps active time onto the wall
+    // clock by inserting the OFF windows.
+    double active_sec = 0.0;
+    for (int i = 0; i < count; ++i) {
+        active_sec += -std::log(unitInterval(engine)) / rate_per_sec;
+        double wall_sec = active_sec;
+        if (spec.kind == ArrivalKind::Bursty) {
+            double cycles = std::floor(active_sec / spec.burstOnSec);
+            wall_sec = cycles * (spec.burstOnSec + spec.burstOffSec) +
+                       (active_sec - cycles * spec.burstOnSec);
+        }
+        out.push_back(static_cast<TimeNs>(wall_sec * 1e9));
+    }
+    return out;
+}
+
+namespace {
+
+/** Parse a double attribute; fatal with location on malformed input. */
+double
+parseDoubleAt(const std::string& v, const std::string& path,
+              std::size_t line, const char* what)
+{
+    double out = 0.0;
+    if (!parseDoubleStrict(v, &out))
+        fatal("%s:%zu: %s needs a number, got '%s'", path.c_str(), line,
+              what, v.c_str());
+    return out;
+}
+
+/** Parse one "req = <arrival_ms> <Model> k=v ..." payload. */
+TraceRequest
+parseReqLine(const std::string& payload, const std::string& path,
+             std::size_t line)
+{
+    std::stringstream ss(payload);
+    std::string time_tok, model_name;
+    if (!(ss >> time_tok >> model_name))
+        fatal("%s:%zu: 'req =' needs '<arrival_ms> <Model>'",
+              path.c_str(), line);
+
+    TraceRequest req;
+    double ms = parseDoubleAt(time_tok, path, line, "arrival time");
+    if (ms < 0.0)
+        fatal("%s:%zu: arrival time must be >= 0", path.c_str(), line);
+    req.arrivalNs =
+        static_cast<TimeNs>(ms * static_cast<double>(MSEC));
+    req.model = modelKindFromName(model_name);
+
+    std::string tok;
+    while (ss >> tok) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size())
+            fatal("%s:%zu: request attribute '%s' is not key=value",
+                  path.c_str(), line, tok.c_str());
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        long long n = 0;
+        if (!parseIntStrict(val, &n))
+            fatal("%s:%zu: '%s' needs an integer, got '%s'",
+                  path.c_str(), line, key.c_str(), val.c_str());
+        if (key == "batch") {
+            if (n < 1)
+                fatal("%s:%zu: batch must be >= 1", path.c_str(), line);
+            req.batchSize = static_cast<int>(n);
+        } else if (key == "iterations") {
+            if (n < 1)
+                fatal("%s:%zu: iterations must be >= 1", path.c_str(),
+                      line);
+            req.iterations = static_cast<int>(n);
+        } else if (key == "priority") {
+            if (n < 1 || n > 1000)
+                fatal("%s:%zu: priority must be in [1, 1000]",
+                      path.c_str(), line);
+            req.priority = static_cast<int>(n);
+        } else {
+            fatal("%s:%zu: unknown request attribute '%s' (expected "
+                  "batch, iterations, priority)",
+                  path.c_str(), line, key.c_str());
+        }
+    }
+    return req;
+}
+
+}  // namespace
+
+std::vector<TraceRequest>
+parseArrivalTrace(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open arrival trace '%s'", path.c_str());
+
+    std::vector<TraceRequest> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(f, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+
+        std::stringstream ss(line);
+        std::string key, eq;
+        if (!(ss >> key))
+            continue;  // blank / comment-only line
+        if (!(ss >> eq) || eq != "=")
+            fatal("%s:%zu: expected 'req = ...'", path.c_str(), lineno);
+        if (key != "req")
+            fatal("%s:%zu: unknown key '%s' (expected req)",
+                  path.c_str(), lineno, key.c_str());
+
+        std::string payload;
+        std::getline(ss, payload);
+        TraceRequest req = parseReqLine(payload, path, lineno);
+        if (!out.empty() && req.arrivalNs < out.back().arrivalNs)
+            fatal("%s:%zu: arrival times must be non-decreasing",
+                  path.c_str(), lineno);
+        out.push_back(req);
+    }
+
+    if (out.empty())
+        fatal("%s: arrival trace defines no requests", path.c_str());
+    return out;
+}
+
+}  // namespace g10

@@ -1,0 +1,529 @@
+#include "serve_sim.h"
+
+#include <algorithm>
+
+#include "common/event_queue.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "engine/partition.h"
+#include "policies/design_point.h"
+#include "policies/g10_policy.h"
+#include "policies/registry.h"
+#include "sim/runtime/sim_runtime.h"
+
+namespace g10 {
+
+namespace {
+
+/**
+ * The SJF key: length of the compiled plan's ideal timeline (one
+ * iteration of kernel durations + launch overhead) times the class's
+ * iteration count. Known before the job runs, identical for every
+ * design (plans share the ideal timeline).
+ */
+TimeNs
+serviceEstimate(const KernelTrace& trace, const SystemConfig& sys,
+                int iterations)
+{
+    TimeNs iter = 0;
+    for (std::size_t k = 0; k < trace.numKernels(); ++k)
+        iter += trace.kernel(static_cast<KernelId>(k)).durationNs +
+                sys.kernelLaunchOverheadNs;
+    return iter * iterations;
+}
+
+/** Warm-start plan cache: per model, the last compiled schedule
+ *  (whatever batch size it was compiled at — the replay re-validates
+ *  every pick against the new trace, so staleness is safe). */
+using PlanCache = std::map<int, EvictionSchedule>;
+
+/**
+ * Instantiate the cell's design for one admitted job. G10-family
+ * designs go through the warm-start path: the previous compile of the
+ * same model seeds the eviction scheduler (the serving win: churn
+ * re-plans in O(migrations) instead of O(periods log periods) when
+ * only the batch size changed). @p warm_out reports whether a warm
+ * start was used.
+ */
+DesignInstance
+makeServeInstance(const std::string& design, const KernelTrace& trace,
+                  const ServeJobClass& cls, const SystemConfig& sys,
+                  PlanCache* cache, bool* warm_out)
+{
+    const PolicyInfo& info = PolicyRegistry::instance().resolve(design);
+    const int tag = info.builtinTag;
+    const bool g10family =
+        tag == static_cast<int>(DesignPoint::G10) ||
+        tag == static_cast<int>(DesignPoint::G10Gds) ||
+        tag == static_cast<int>(DesignPoint::G10Host);
+    *warm_out = false;
+    if (!g10family)
+        return PolicyRegistry::instance().make(design, trace, sys);
+
+    const int model_key = static_cast<int>(cls.model);
+    const EvictionSchedule* warm = nullptr;
+    auto it = cache->find(model_key);
+    if (it != cache->end()) {
+        warm = &it->second;
+        *warm_out = true;
+    }
+
+    DesignInstance out;
+    if (tag == static_cast<int>(DesignPoint::G10)) {
+        out.policy = makeG10(trace, sys, warm);
+        out.uvmExtension = true;
+    } else if (tag == static_cast<int>(DesignPoint::G10Gds)) {
+        out.policy = makeG10Gds(trace, sys, warm);
+    } else {
+        out.policy = makeG10Host(trace, sys, warm);
+    }
+
+    const auto* gp = static_cast<const G10Policy*>(out.policy.get());
+    (*cache)[model_key] = gp->compiled().schedule;
+    return out;
+}
+
+/** Percentile of a Distribution as integer nanoseconds. */
+TimeNs
+pctNs(const Distribution& d, double p)
+{
+    return static_cast<TimeNs>(d.percentile(p));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// ServeSim: one (design, rate) cell
+// ---------------------------------------------------------------------
+
+ServeSim::ServeSim(const ServeSpec& spec, std::string design,
+                   double rate,
+                   const std::vector<KernelTrace>& traces,
+                   const std::vector<ServeJobClass>& classes,
+                   std::vector<ServeRequest> requests,
+                   const std::vector<ServeClassBaseline>& baselines)
+    : spec_(spec), design_(std::move(design)), rate_(rate),
+      traces_(traces), classes_(classes),
+      requests_(std::move(requests)), baselines_(baselines)
+{
+    if (traces_.size() != classes_.size())
+        panic("ServeSim: %zu traces for %zu classes", traces_.size(),
+              classes_.size());
+    if (baselines_.size() != classes_.size())
+        panic("ServeSim: %zu baselines for %zu classes",
+              baselines_.size(), classes_.size());
+    if (requests_.empty())
+        panic("ServeSim: no requests offered");
+}
+
+ServeCellResult
+ServeSim::run()
+{
+    ServeCellResult out;
+    out.design = design_;
+    out.designName = PolicyRegistry::instance().resolve(design_).name;
+    out.rate = rate_;
+    out.jobs.resize(requests_.size());
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+        out.jobs[i].request = i;
+        out.jobs[i].classIndex = requests_[i].classIndex;
+        out.jobs[i].arrivalNs = requests_[i].arrivalNs;
+    }
+
+    const SystemConfig scaled = spec_.sys.scaledDown(spec_.scaleDown);
+    PartitionManager partitions(scaled, spec_.slots);
+    SsdDevice ssd(scaled);
+    FabricChannels channels;
+    GpuComputeTimeline gpu;
+    SharedResources shared;
+    shared.ssd = &ssd;
+    shared.channels = &channels;
+    shared.gpu = &gpu;
+
+    AdmissionQueue queue(spec_.admit, spec_.queueCapacity,
+                         spec_.starvationNs);
+
+    // Per-class SJF keys (design-independent, so computed once).
+    std::vector<TimeNs> serviceEst(classes_.size(), 0);
+    for (std::size_t c = 0; c < classes_.size(); ++c)
+        serviceEst[c] = serviceEstimate(traces_[c], scaled,
+                                        classes_[c].iterations);
+
+    PlanCache planCache;
+
+    struct Active
+    {
+        std::size_t request = 0;
+        DesignInstance design;
+        std::unique_ptr<SimRuntime> rt;
+        PartitionManager::Lease lease;
+    };
+    std::vector<Active> active;
+    active.reserve(static_cast<std::size_t>(spec_.slots));
+
+    auto admit = [&](std::size_t req, TimeNs when) {
+        const ServeRequest& r = requests_[req];
+        const ServeJobClass& cls = classes_[r.classIndex];
+        Active a;
+        a.request = req;
+        a.lease = partitions.acquire();
+        bool warm = false;
+        a.design = makeServeInstance(design_, traces_[r.classIndex],
+                                     cls, a.lease.sys, &planCache,
+                                     &warm);
+        out.jobs[req].warmCompiled = warm;
+        if (warm)
+            ++out.metrics.warmCompiles;
+        else
+            ++out.metrics.coldCompiles;
+
+        RunConfig rc;
+        rc.sys = a.lease.sys;
+        rc.iterations = cls.iterations;
+        rc.uvmExtension = a.design.uvmExtension;
+        rc.seed = spec_.seed + req;
+        rc.startNs = when;
+        a.rt = std::make_unique<SimRuntime>(traces_[r.classIndex],
+                                            *a.design.policy, rc,
+                                            shared);
+        a.rt->start();
+        out.jobs[req].admitNs = when;
+        active.push_back(std::move(a));
+    };
+
+    auto drainQueue = [&](TimeNs now) {
+        while (partitions.hasFree() && !queue.empty()) {
+            QueuedJob qj = queue.pop(now);
+            admit(qj.request, std::max(now, qj.arrivalNs));
+        }
+    };
+
+    // Open-loop arrival injection: the whole offered sequence is
+    // known up front, so it goes into the event queue as one bulk
+    // batch (EventQueue::scheduleBatch's O(n) heap build).
+    EventQueue arrivals;
+    std::vector<std::size_t> arrivedNow;
+    {
+        std::vector<EventQueue::TimedCallback> batch;
+        batch.reserve(requests_.size());
+        for (std::size_t i = 0; i < requests_.size(); ++i)
+            batch.push_back({requests_[i].arrivalNs,
+                             [&arrivedNow, i] {
+                                 arrivedNow.push_back(i);
+                             }});
+        arrivals.scheduleBatch(std::move(batch));
+    }
+
+    // Main interleaving loop: either the next arrival is due before
+    // any active job's clock (process arrivals/admissions), or the
+    // active job furthest behind in time replays one kernel — the
+    // same deterministic furthest-behind discipline MultiTenantSim
+    // uses, extended with mid-run attach/detach.
+    while (!arrivals.empty() || !queue.empty() || !active.empty()) {
+        std::size_t minIdx = SIZE_MAX;
+        TimeNs minClock = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+            if (minIdx == SIZE_MAX || active[i].rt->now() < minClock) {
+                minClock = active[i].rt->now();
+                minIdx = i;
+            }
+        }
+
+        const TimeNs nextArr = arrivals.nextTime();
+        if (minIdx == SIZE_MAX || nextArr <= minClock) {
+            if (arrivals.empty())
+                panic("serve loop stalled: queued jobs but no "
+                      "arrivals and no active jobs");
+            arrivals.runUntil(nextArr);
+            for (std::size_t req : arrivedNow) {
+                const ServeRequest& r = requests_[req];
+                // A free slot admits immediately — simultaneous
+                // arrivals must not be shed off a full queue while
+                // partitions sit idle.
+                if (partitions.hasFree() && queue.empty()) {
+                    admit(req, r.arrivalNs);
+                    continue;
+                }
+                QueuedJob qj;
+                qj.request = req;
+                qj.arrivalNs = r.arrivalNs;
+                qj.serviceEstNs = serviceEst[r.classIndex];
+                qj.priority = classes_[r.classIndex].priority;
+                if (!queue.offer(qj))
+                    out.jobs[req].rejected = true;  // load shed
+            }
+            arrivedNow.clear();
+            drainQueue(nextArr);
+            continue;
+        }
+
+        Active& a = active[minIdx];
+        if (a.rt->stepKernel())
+            continue;
+
+        // Departure: finalize, record, release the partition lease
+        // and trim the job's SSD log space for the next arrival.
+        ExecStats st = a.rt->finalize();
+        ServeJobOutcome& o = out.jobs[a.request];
+        o.finishNs = a.rt->now();
+        o.failed = st.failed;
+        a.rt->releaseSsdLog();
+        partitions.release(&a.lease);
+        const TimeNs freedAt = a.rt->now();
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(minIdx));
+        drainQueue(freedAt);
+    }
+
+    // ---- SLO-centric metrics. ----
+    ServeMetrics& m = out.metrics;
+    m.offered = out.jobs.size();
+    Distribution queueDelay, latency, slowdown;
+    TimeNs firstArrival = requests_.front().arrivalNs;
+    TimeNs lastFinish = 0;
+    std::uint64_t sloMet = 0;
+    for (ServeJobOutcome& o : out.jobs) {
+        if (o.rejected) {
+            ++m.rejected;
+            continue;
+        }
+        ++m.admitted;
+        queueDelay.add(static_cast<double>(o.queueNs()));
+        m.queueMaxNs = std::max(m.queueMaxNs, o.queueNs());
+        if (o.failed) {
+            ++m.failed;
+            continue;
+        }
+        ++m.completed;
+        lastFinish = std::max(lastFinish, o.finishNs);
+        latency.add(static_cast<double>(o.latencyNs()));
+
+        const ServeClassBaseline& base = baselines_[o.classIndex];
+        if (!base.failed && base.unloadedNs > 0) {
+            o.slowdown = static_cast<double>(o.latencyNs()) /
+                         static_cast<double>(base.unloadedNs);
+            slowdown.add(o.slowdown);
+            o.sloMet = static_cast<double>(o.latencyNs()) <=
+                       spec_.sloFactor *
+                           static_cast<double>(base.unloadedNs);
+            if (o.sloMet)
+                ++sloMet;
+        }
+    }
+    if (queueDelay.count() > 0) {
+        m.queueP50Ns = pctNs(queueDelay, 0.50);
+        m.queueP95Ns = pctNs(queueDelay, 0.95);
+        m.queueP99Ns = pctNs(queueDelay, 0.99);
+        m.queueMeanNs = queueDelay.mean();
+    }
+    if (latency.count() > 0) {
+        m.latencyP50Ns = pctNs(latency, 0.50);
+        m.latencyP95Ns = pctNs(latency, 0.95);
+        m.latencyP99Ns = pctNs(latency, 0.99);
+        m.latencyMeanNs = latency.mean();
+    }
+    if (slowdown.count() > 0) {
+        m.slowdownMean = slowdown.mean();
+        m.slowdownP95 = slowdown.percentile(0.95);
+    }
+    m.sloAttainment = m.offered > 0
+        ? static_cast<double>(sloMet) / static_cast<double>(m.offered)
+        : 0.0;
+    if (lastFinish > firstArrival) {
+        m.makespanNs = lastFinish - firstArrival;
+        m.throughputRps = static_cast<double>(m.completed) /
+                          (static_cast<double>(m.makespanNs) / SEC);
+        m.gpuUtilization = static_cast<double>(gpu.busyNs) /
+                           static_cast<double>(m.makespanNs);
+    }
+    m.maxQueueDepth = queue.maxDepth();
+    m.starvationPromotions = queue.starvationPromotions();
+    out.ssd = ssd.stats();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ServeSweep: the designs × rates grid
+// ---------------------------------------------------------------------
+
+ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
+{
+    if (spec_.designs.empty())
+        fatal("serve sweep needs at least one design");
+    if (spec_.rates.empty())
+        fatal("serve sweep needs at least one arrival rate");
+    if (spec_.slots < 1)
+        fatal("serve sweep needs slots >= 1");
+    for (const std::string& d : spec_.designs)
+        PolicyRegistry::instance().resolve(d);  // fatal on unknown
+
+    if (spec_.arrival.kind == ArrivalKind::Trace) {
+        // Job classes are derived from the trace: one per distinct
+        // (model, batch, iterations, priority) request shape.
+        traceReqs_ = parseArrivalTrace(spec_.arrival.tracePath);
+        for (TraceRequest& tr : traceReqs_) {
+            if (tr.batchSize <= 0)
+                tr.batchSize = paperBatchSize(tr.model);
+            std::size_t ci = classes_.size();
+            for (std::size_t c = 0; c < classes_.size(); ++c) {
+                if (classes_[c].model == tr.model &&
+                    classes_[c].batchSize == tr.batchSize &&
+                    classes_[c].iterations == tr.iterations &&
+                    classes_[c].priority == tr.priority) {
+                    ci = c;
+                    break;
+                }
+            }
+            if (ci == classes_.size()) {
+                ServeJobClass cls;
+                cls.model = tr.model;
+                cls.batchSize = tr.batchSize;
+                cls.iterations = tr.iterations;
+                cls.priority = tr.priority;
+                cls.name = std::string(modelName(tr.model)) + "-" +
+                           std::to_string(tr.batchSize);
+                classes_.push_back(cls);
+            }
+            traceClass_.push_back(ci);
+        }
+    } else {
+        if (spec_.classes.empty())
+            fatal("serve sweep needs at least one job class");
+        classes_ = spec_.classes;
+        for (ServeJobClass& cls : classes_) {
+            if (cls.batchSize <= 0)
+                cls.batchSize = paperBatchSize(cls.model);
+            if (cls.name.empty())
+                cls.name = std::string(modelName(cls.model)) + "-" +
+                           std::to_string(cls.batchSize);
+        }
+    }
+
+    traces_.reserve(classes_.size());
+    for (const ServeJobClass& cls : classes_)
+        traces_.push_back(buildModelScaled(cls.model, cls.batchSize,
+                                           spec_.scaleDown));
+}
+
+std::vector<ServeRequest>
+ServeSweep::requestsForRate(std::size_t ri) const
+{
+    const double rate = spec_.rates[ri];
+    std::vector<ServeRequest> out;
+    if (spec_.arrival.kind == ArrivalKind::Trace) {
+        // The rate is a replay-speed multiplier over the trace; class
+        // indices were resolved once at construction.
+        out.reserve(traceReqs_.size());
+        for (std::size_t i = 0; i < traceReqs_.size(); ++i) {
+            ServeRequest r;
+            r.arrivalNs = static_cast<TimeNs>(
+                static_cast<double>(traceReqs_[i].arrivalNs) / rate);
+            r.classIndex = traceClass_[i];
+            out.push_back(r);
+        }
+        return out;
+    }
+
+    std::vector<TimeNs> times = generateArrivals(
+        spec_.arrival, rate, spec_.requests, spec_.seed);
+    // Class picks draw from their own engine so the class sequence is
+    // identical at every rate (cells differ only in arrival spacing).
+    std::mt19937_64 picks(spec_.seed + 1);
+    double wsum = 0.0;
+    for (const ServeJobClass& cls : classes_)
+        wsum += cls.weight;
+    out.reserve(times.size());
+    for (TimeNs t : times) {
+        double u = unitInterval(picks) * wsum;
+        double cum = 0.0;
+        std::size_t ci = classes_.size() - 1;
+        for (std::size_t c = 0; c < classes_.size(); ++c) {
+            cum += classes_[c].weight;
+            if (u <= cum) {
+                ci = c;
+                break;
+            }
+        }
+        ServeRequest r;
+        r.arrivalNs = t;
+        r.classIndex = ci;
+        out.push_back(r);
+    }
+    return out;
+}
+
+bool
+ServeSweepResult::allSucceeded() const
+{
+    for (const ServeCellResult& cell : cells)
+        if (cell.metrics.failed > 0)
+            return false;
+    return true;
+}
+
+ServeSweepResult
+ServeSweep::run(ExperimentEngine& engine)
+{
+    ServeSweepResult out;
+    out.spec = spec_;
+    for (const ServeJobClass& cls : classes_)
+        out.classNames.push_back(cls.name);
+
+    const SystemConfig scaled = spec_.sys.scaledDown(spec_.scaleDown);
+    const SystemConfig slotSys = partitionShare(
+        scaled, 1.0 / static_cast<double>(spec_.slots));
+
+    // Unloaded baselines: every (design, class) pair alone on one
+    // idle partition slot — the latency reference the SLO and
+    // slowdown metrics are defined against. Per class, all designs'
+    // plans compile concurrently across the pool, then each replays.
+    const std::size_t nd = spec_.designs.size();
+    const std::size_t nc = classes_.size();
+    out.baselines.assign(nd, std::vector<ServeClassBaseline>(nc));
+    for (std::size_t c = 0; c < nc; ++c) {
+        std::vector<DesignInstance> designs =
+            engine.compileDesignsOnTrace(traces_[c], slotSys,
+                                         spec_.designs);
+        engine.parallelFor(nd, [&](std::size_t d) {
+            RunConfig rc;
+            rc.sys = slotSys;
+            rc.iterations = classes_[c].iterations;
+            rc.uvmExtension = designs[d].uvmExtension;
+            rc.seed = spec_.seed;
+            SimRuntime rt(traces_[c], *designs[d].policy, rc);
+            ExecStats st = rt.run();
+            out.baselines[d][c].unloadedNs = rt.now();
+            out.baselines[d][c].failed = st.failed;
+        });
+    }
+
+    // The offered sequences, one per rate (shared by every design:
+    // cells of one rate differ only in the design under test).
+    const std::size_t nr = spec_.rates.size();
+    std::vector<std::vector<ServeRequest>> requestsByRate(nr);
+    for (std::size_t r = 0; r < nr; ++r)
+        requestsByRate[r] = requestsForRate(r);
+
+    // The grid: every design at every offered rate, design-major.
+    out.cells.resize(nd * nr);
+    engine.parallelFor(nd * nr, [&](std::size_t i) {
+        const std::size_t d = i / nr;
+        const std::size_t r = i % nr;
+        ServeSim sim(spec_, spec_.designs[d], spec_.rates[r], traces_,
+                     classes_, requestsByRate[r], out.baselines[d]);
+        out.cells[i] = sim.run();
+    });
+
+    // Sustained-throughput capacity per design: the highest offered
+    // rate whose cell stayed within the bounded queue (no rejections)
+    // and had no failures.
+    out.sustainedRate.assign(nd, 0.0);
+    for (std::size_t d = 0; d < nd; ++d)
+        for (std::size_t r = 0; r < nr; ++r)
+            if (out.cells[d * nr + r].sustained())
+                out.sustainedRate[d] = std::max(
+                    out.sustainedRate[d], spec_.rates[r]);
+    return out;
+}
+
+}  // namespace g10

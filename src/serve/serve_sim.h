@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Open-loop serving simulator: a G10-managed GPU+SSD node absorbing
+ * sustained request traffic with dynamic job churn.
+ *
+ * Where MultiTenantSim runs a fixed mix to completion, ServeSim models
+ * a *service*: requests arrive over time from a seeded open-loop
+ * process, wait in a bounded admission queue when every partition slot
+ * is leased, lease a slot + compile their migration plan on admission
+ * (warm-starting from the previous plan of the same model when only
+ * the batch size differs), share the GPU / PCIe fabric / SSD with the
+ * other active jobs at kernel granularity, and on departure release
+ * their partition and trim their SSD log space for the next arrival.
+ *
+ * ServeSweep runs the cross product of designs × offered arrival rates
+ * — each cell an independent deterministic simulation — and derives
+ * SLO-centric metrics: queueing delay and completion-latency
+ * percentiles (p50/p95/p99), per-request slowdown vs. the unloaded
+ * latency, SLO-attainment fraction, the sustained-throughput capacity
+ * (max offered rate with a bounded queue, i.e. zero rejections), and
+ * consolidated SSD write amplification under churn. Results are
+ * bit-identical for a given (spec, seed) regardless of worker count.
+ */
+
+#ifndef G10_SERVE_SERVE_SIM_H
+#define G10_SERVE_SERVE_SIM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/experiment_engine.h"
+#include "graph/trace.h"
+#include "serve/serve_spec.h"
+#include "sim/ssd/ssd_device.h"
+
+namespace g10 {
+
+/** One offered request, after arrival generation / trace replay. */
+struct ServeRequest
+{
+    TimeNs arrivalNs = 0;
+    std::size_t classIndex = 0;
+};
+
+/** Fate of one request inside a cell. */
+struct ServeJobOutcome
+{
+    std::size_t request = 0;    ///< index into the cell's request list
+    std::size_t classIndex = 0;
+    TimeNs arrivalNs = 0;
+    TimeNs admitNs = -1;        ///< -1 when rejected
+    TimeNs finishNs = -1;       ///< -1 when rejected
+    bool rejected = false;      ///< admission queue was full
+    bool failed = false;        ///< ran but failed (e.g. hard OOM)
+    bool warmCompiled = false;  ///< plan compile used a warm start
+
+    /** Queueing delay (admission - arrival); 0 when rejected. */
+    TimeNs queueNs() const
+    {
+        return admitNs >= 0 ? admitNs - arrivalNs : 0;
+    }
+
+    /** Completion latency (finish - arrival); 0 unless completed. */
+    TimeNs latencyNs() const
+    {
+        return finishNs >= 0 ? finishNs - arrivalNs : 0;
+    }
+
+    /** latency / unloaded class latency; 0 unless completed. */
+    double slowdown = 0.0;
+
+    /** Completed within sloFactor × the unloaded latency. */
+    bool sloMet = false;
+};
+
+/** Aggregated SLO-centric metrics of one cell. */
+struct ServeMetrics
+{
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;  ///< admitted and did not fail
+    std::uint64_t failed = 0;
+
+    // Queueing delay over admitted requests.
+    TimeNs queueP50Ns = 0, queueP95Ns = 0, queueP99Ns = 0;
+    TimeNs queueMaxNs = 0;
+    double queueMeanNs = 0.0;
+
+    // Completion latency over completed requests.
+    TimeNs latencyP50Ns = 0, latencyP95Ns = 0, latencyP99Ns = 0;
+    double latencyMeanNs = 0.0;
+
+    // Slowdown vs. unloaded latency, over completed requests.
+    double slowdownMean = 0.0;
+    double slowdownP95 = 0.0;
+
+    /** Fraction of *offered* requests that met their SLO. */
+    double sloAttainment = 0.0;
+
+    /** Completed requests per second of makespan. */
+    double throughputRps = 0.0;
+
+    TimeNs makespanNs = 0;       ///< last finish - first arrival
+    double gpuUtilization = 0.0;
+
+    std::size_t maxQueueDepth = 0;
+    std::uint64_t starvationPromotions = 0;
+    std::uint64_t coldCompiles = 0;
+    std::uint64_t warmCompiles = 0;
+};
+
+/** One (design, rate) cell of the sweep. */
+struct ServeCellResult
+{
+    std::string design;      ///< registry key, e.g. "g10"
+    std::string designName;  ///< display name, e.g. "G10"
+    double rate = 0.0;       ///< offered rate (or trace multiplier)
+
+    std::vector<ServeJobOutcome> jobs;
+    ServeMetrics metrics;
+
+    /** Wear of the cell's shared SSD (consolidated WAF under churn). */
+    SsdStats ssd;
+
+    /**
+     * Open-loop stability: every offered request was admitted (the
+     * bounded queue never overflowed) and none failed.
+     */
+    bool sustained() const
+    {
+        return metrics.rejected == 0 && metrics.failed == 0;
+    }
+};
+
+/** Unloaded reference latency of one (class, design) pair. */
+struct ServeClassBaseline
+{
+    TimeNs unloadedNs = 0;  ///< end-to-end on one idle partition slot
+    bool failed = false;
+};
+
+/** Whole-sweep outcome (what g10serve reports). */
+struct ServeSweepResult
+{
+    ServeSpec spec;
+
+    /** Display names of the job classes, by class index. */
+    std::vector<std::string> classNames;
+
+    /** Unloaded latencies, design-major: [design][class]. */
+    std::vector<std::vector<ServeClassBaseline>> baselines;
+
+    /** Cells, design-major: designs[i] × rates[j] at i*rates+j. */
+    std::vector<ServeCellResult> cells;
+
+    /**
+     * Per design: the highest tested rate every offered request was
+     * served at (sustained() cell), 0 when even the lowest rate
+     * overflowed the queue.
+     */
+    std::vector<double> sustainedRate;
+
+    /** True when no cell had failed (crashed) jobs. Rejections are
+     *  load shedding, not failures, and do not clear this. */
+    bool allSucceeded() const;
+};
+
+/** Simulates one (design, rate) cell; see ServeSweep for the grid. */
+class ServeSim
+{
+  public:
+    /**
+     * @param spec      scenario (slots, queue, SLO, platform)
+     * @param design    registry key of the design under test
+     * @param rate      offered rate / trace multiplier of this cell
+     * @param traces    per-class traces (index-matched to classes)
+     * @param classes   job classes (resolved, including trace-derived)
+     * @param requests  the offered request sequence for this rate
+     * @param baselines per-class unloaded latencies for this design
+     */
+    ServeSim(const ServeSpec& spec, std::string design, double rate,
+             const std::vector<KernelTrace>& traces,
+             const std::vector<ServeJobClass>& classes,
+             std::vector<ServeRequest> requests,
+             const std::vector<ServeClassBaseline>& baselines);
+
+    ServeCellResult run();
+
+  private:
+    const ServeSpec& spec_;
+    std::string design_;
+    double rate_;
+    const std::vector<KernelTrace>& traces_;
+    const std::vector<ServeJobClass>& classes_;
+    std::vector<ServeRequest> requests_;
+    const std::vector<ServeClassBaseline>& baselines_;
+};
+
+/** Runs the designs × rates grid of a ServeSpec. */
+class ServeSweep
+{
+  public:
+    explicit ServeSweep(const ServeSpec& spec);
+
+    /**
+     * Run every cell through @p engine's pool. Cells are independent
+     * deterministic simulations, so the result is bit-identical
+     * regardless of the pool size; cells come back in grid order.
+     */
+    ServeSweepResult run(ExperimentEngine& engine);
+
+  private:
+    ServeSpec spec_;
+    std::vector<ServeJobClass> classes_;   ///< resolved classes
+    std::vector<KernelTrace> traces_;      ///< per-class, scaled
+    std::vector<TraceRequest> traceReqs_;  ///< ArrivalKind::Trace only
+    std::vector<std::size_t> traceClass_;  ///< class of each trace req
+
+    /** The offered request sequence for rate index @p ri. */
+    std::vector<ServeRequest> requestsForRate(std::size_t ri) const;
+};
+
+}  // namespace g10
+
+#endif  // G10_SERVE_SERVE_SIM_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-scenario description: the job classes a node serves, the
+ * arrival process that offers them, the admission policy and partition
+ * slot count, the SLO definition, and the two sweep axes (designs ×
+ * arrival rates) — plus a strict `key = value` serve-file parser for
+ * the g10serve CLI, following the mix-file format conventions.
+ */
+
+#ifndef G10_SERVE_SERVE_SPEC_H
+#define G10_SERVE_SERVE_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/system_config.h"
+#include "common/types.h"
+#include "models/model_zoo.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+
+namespace g10 {
+
+/**
+ * One class of requests the node serves (a model fine-tuning /
+ * training job shape users submit repeatedly).
+ */
+struct ServeJobClass
+{
+    /** Display name; defaults to "<model>-<batch>". */
+    std::string name;
+
+    ModelKind model = ModelKind::ResNet152;
+
+    /** Paper-scale batch size; 0 = the model's Fig. 11 batch. */
+    int batchSize = 0;
+
+    /** Training iterations per request. */
+    int iterations = 1;
+
+    /** Admission priority (AdmitPolicy::Priority). */
+    int priority = 1;
+
+    /** Relative share of the arrival mix (probability weight). */
+    double weight = 1.0;
+};
+
+/** Everything one serving experiment needs. */
+struct ServeSpec
+{
+    /** Platform before scaling (Table 2 defaults). */
+    SystemConfig sys;
+
+    /** Divide batches and capacities by this factor (1 = paper scale). */
+    unsigned scaleDown = 16;
+
+    /** Base RNG seed (arrivals, class picks, per-job perturbations). */
+    std::uint64_t seed = 42;
+
+    /** Concurrent partition slots (jobs actively sharing the GPU). */
+    int slots = 2;
+
+    /** Admission queue bound; arrivals beyond it are rejected. */
+    std::size_t queueCapacity = 8;
+
+    AdmitPolicy admit = AdmitPolicy::Fifo;
+
+    /** Priority starvation-guard window; <= 0 disables the guard. */
+    TimeNs starvationNs = 500 * MSEC;
+
+    /**
+     * A request meets its SLO when its completion latency (finish -
+     * arrival) is within sloFactor × its class's unloaded latency (the
+     * same job alone on one partition slot).
+     */
+    double sloFactor = 3.0;
+
+    /** Requests offered per cell (Poisson/Bursty). */
+    int requests = 32;
+
+    ArrivalSpec arrival;
+
+    /**
+     * Sweep axis: offered arrival rates in requests/second
+     * (Poisson/Bursty). For trace arrivals each value is a time-scale
+     * multiplier instead: rate 2 replays the trace twice as fast.
+     */
+    std::vector<double> rates;
+
+    /** Sweep axis: memory-management designs, by registry name. */
+    std::vector<std::string> designs;
+
+    /** Job classes (Poisson/Bursty; trace files carry their own). */
+    std::vector<ServeJobClass> classes;
+};
+
+/**
+ * Parse a serve file. Unknown keys, malformed values, and inconsistent
+ * scenarios are fatal (exit 1) with file/line diagnostics. Format:
+ *
+ *   # scenario-level keys
+ *   scale       = 32          # 1/N platform scale
+ *   seed        = 42
+ *   slots       = 2           # concurrent partition slots
+ *   queue       = 8           # admission queue bound
+ *   admission   = fifo        # fifo | sjf | priority
+ *   starvation_ms = 500       # priority starvation guard (0 = off)
+ *   slo_factor  = 3           # SLO = factor x unloaded latency
+ *   requests    = 32          # offered requests per cell
+ *   arrival     = poisson     # poisson | bursty | trace
+ *   burst_on_ms / burst_off_ms = <bursty windows>
+ *   trace       = <file.arr>  # arrival = trace
+ *   rates       = 5,10,20     # requests/s sweep (trace: multipliers)
+ *   designs     = baseuvm,deepum,g10
+ *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps = <platform knobs>
+ *
+ *   # one line per class: "class = <Model> key=value ..."
+ *   class = ResNet152 batch=256 weight=2
+ *   class = BERT iterations=2 priority=4
+ */
+ServeSpec parseServeFile(const std::string& path);
+
+/**
+ * The built-in demo scenario (g10serve --demo and the CI smoke run):
+ * two ResNet batches + BERT under Poisson traffic, three designs at
+ * three rates, at platform scale 1/@p scale.
+ */
+ServeSpec demoServeSpec(unsigned scale);
+
+}  // namespace g10
+
+#endif  // G10_SERVE_SERVE_SPEC_H

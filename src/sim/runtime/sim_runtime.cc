@@ -575,6 +575,18 @@ SimRuntime::finalize()
     return stats_;
 }
 
+void
+SimRuntime::releaseSsdLog()
+{
+    for (TensorRt& tr : tensors_) {
+        if (tr.ssdLogical == UINT64_MAX)
+            continue;
+        ssd_->freeLogical(tr.ssdLogical, tr.footprint);
+        tr.ssdLogical = UINT64_MAX;
+        tr.awaySsdBytes = 0;
+    }
+}
+
 ExecStats
 SimRuntime::run()
 {

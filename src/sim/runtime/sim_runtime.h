@@ -114,6 +114,16 @@ class SimRuntime
     /** Finalize and return statistics; call after finished(). */
     ExecStats finalize();
 
+    /**
+     * Detach the job from the (possibly shared) platform after
+     * finalize(): trims every tensor's SSD log allocation so the
+     * flash space becomes garbage-collectable for later arrivals
+     * (no-op on regions never allocated). The serving engine calls
+     * this when a job departs mid-simulation; single-job runs that
+     * own their SsdDevice never need to.
+     */
+    void releaseSsdLog();
+
     // ---- Services for policies -------------------------------------
 
     const KernelTrace& trace() const { return *trace_; }

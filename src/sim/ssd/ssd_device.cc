@@ -33,6 +33,21 @@ SsdDevice::allocLogical(Bytes bytes)
     return first;
 }
 
+void
+SsdDevice::freeLogical(std::uint64_t logical_page, Bytes bytes)
+{
+    std::uint64_t pages =
+        (bytes + geom_.flashPageBytes - 1) / geom_.flashPageBytes;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        auto it = logicalToBlock_.find(logical_page + i);
+        if (it == logicalToBlock_.end())
+            continue;  // never written (or already trimmed)
+        if (blockValid_[it->second] > 0)
+            --blockValid_[it->second];
+        logicalToBlock_.erase(it);
+    }
+}
+
 TimeNs
 SsdDevice::serviceWrite(std::uint64_t logical_page, Bytes bytes)
 {

@@ -79,6 +79,18 @@ class SsdDevice
     /** Allocate a run of logical pages for @p bytes; returns first page. */
     std::uint64_t allocLogical(Bytes bytes);
 
+    /**
+     * Trim: discard the logical pages [@p logical_page, +@p bytes).
+     * Their physical copies (if any) become invalid immediately, so
+     * garbage collection can erase the blocks holding them — this is
+     * how a departing job's log space becomes reusable. Pages never
+     * written are skipped; trimming is free (host-side metadata only).
+     */
+    void freeLogical(std::uint64_t logical_page, Bytes bytes);
+
+    /** Logical pages currently holding valid (mapped) data. */
+    std::uint64_t validPages() const { return logicalToBlock_.size(); }
+
     const SsdStats& stats() const { return stats_; }
     const Geometry& geometry() const { return geom_; }
 

@@ -118,6 +118,105 @@ TEST(EventQueue, DispatchNeverCopiesCallbacks)
     EXPECT_EQ(CopyCountingCallback::copies, 0);
 }
 
+TEST(EventQueue, ScheduleBatchRunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventQueue::TimedCallback> batch;
+    for (int i : {30, 10, 50, 20, 40})
+        batch.push_back({i, [&order, i] { order.push_back(i); }});
+    eq.scheduleBatch(std::move(batch));
+    EXPECT_EQ(eq.size(), 5u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueue, ScheduleBatchTiesKeepBatchOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventQueue::TimedCallback> batch;
+    for (int i = 0; i < 16; ++i)
+        batch.push_back({7, [&order, i] { order.push_back(i); }});
+    eq.scheduleBatch(std::move(batch));
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleBatchInterleavesWithIndividualEvents)
+{
+    // A batch behaves exactly like the equivalent schedule() calls:
+    // earlier individually-scheduled events win same-timestamp ties.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] { order.push_back(1); });
+    std::vector<EventQueue::TimedCallback> batch;
+    batch.push_back({20, [&] { order.push_back(2); }});
+    batch.push_back({10, [&] { order.push_back(0); }});
+    eq.scheduleBatch(std::move(batch));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleBatchEmptyIsANoop)
+{
+    EventQueue eq;
+    eq.scheduleBatch({});
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DrainToExtractsWithoutExecuting)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (TimeNs t : {30, 10, 20, 40})
+        eq.schedule(t, [&] { ++fired; });
+
+    std::vector<EventQueue::TimedCallback> out;
+    EXPECT_EQ(eq.drainTo(25, &out), 2u);
+    EXPECT_EQ(fired, 0);  // drained, not run
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].when, 10);
+    EXPECT_EQ(out[1].when, 20);
+    EXPECT_EQ(eq.size(), 2u);
+    EXPECT_EQ(eq.now(), 0);  // drain does not advance time
+
+    // The drained callbacks still work, and the rest still runs.
+    for (auto& tc : out)
+        tc.cb();
+    EXPECT_EQ(fired, 2);
+    eq.run();
+    EXPECT_EQ(fired, 4);
+}
+
+TEST(EventQueue, DrainAllEmptiesTheQueueInOrder)
+{
+    EventQueue eq;
+    std::vector<EventQueue::TimedCallback> batch;
+    for (int i : {5, 3, 9, 1})
+        batch.push_back({i, [] {}});
+    eq.scheduleBatch(std::move(batch));
+
+    std::vector<EventQueue::TimedCallback> out;
+    EXPECT_EQ(eq.drainAll(&out), 4u);
+    EXPECT_TRUE(eq.empty());
+    ASSERT_EQ(out.size(), 4u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].when, out[i].when);
+    EXPECT_EQ(eq.drainAll(&out), 0u);
+}
+
+TEST(EventQueueDeath, BatchSchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    std::vector<EventQueue::TimedCallback> batch;
+    batch.push_back({50, [] {}});
+    EXPECT_DEATH(eq.scheduleBatch(std::move(batch)), "past");
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

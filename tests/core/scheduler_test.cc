@@ -174,6 +174,100 @@ TEST_F(EvictionSchedulerTest, SmallTensorsAreIgnored)
     EXPECT_TRUE(out.migrations.empty());
 }
 
+TEST_F(EvictionSchedulerTest, WarmStartFromOwnScheduleSkipsTheSearch)
+{
+    // Re-planning with the schedule the cold compile produced: every
+    // replayed pick is still beneficial, pressure drops under (or as
+    // far under as the cold run got it), and the greedy search is
+    // skipped — evaluations collapse from O(periods) to O(migrations).
+    EvictionScheduler cold(vit_, sys_);
+    EvictionSchedule base = cold.run();
+    ASSERT_FALSE(base.migrations.empty());
+
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionScheduler warm(vit_, sys_, p);
+    EvictionSchedule re = warm.run();
+
+    EXPECT_FALSE(re.migrations.empty());
+    EXPECT_LE(re.finalPeakBytes, base.finalPeakBytes + 16 * MiB);
+    // Fits iff the cold compile fit (same stopping criterion).
+    EXPECT_EQ(re.finalPeakBytes <= sys_.gpuMemBytes + 16 * MiB,
+              base.finalPeakBytes <= sys_.gpuMemBytes + 16 * MiB);
+    EXPECT_LT(re.evaluations, base.evaluations);
+}
+
+TEST_F(EvictionSchedulerTest, WarmStartAcrossBatchSizesIsUsable)
+{
+    // Same topology at double the tensor sizes (a batch-size change):
+    // the old picks replay against the new vitality analysis and the
+    // greedy pass only mops up the residual pressure.
+    EvictionScheduler cold(vit_, sys_);
+    EvictionSchedule base = cold.run();
+
+    KernelTrace big = test::makeFwdBwdTrace(16, 32 * MiB, 8 * MSEC);
+    VitalityAnalysis vit_big(big, sys_.kernelLaunchOverheadNs);
+    ASSERT_EQ(vit_big.periods().size(), vit_.periods().size());
+
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionScheduler warm(vit_big, sys_, p);
+    EvictionSchedule re = warm.run();
+
+    EvictionScheduler fresh(vit_big, sys_);
+    EvictionSchedule scratch = fresh.run();
+
+    EXPECT_FALSE(re.migrations.empty());
+    // The warm-started plan must be as effective as compiling from
+    // scratch (both run the same stopping criterion), within one
+    // tensor of residual.
+    EXPECT_LE(re.finalPeakBytes, scratch.finalPeakBytes + 32 * MiB);
+}
+
+TEST_F(EvictionSchedulerTest, WarmStartIsDeterministic)
+{
+    EvictionScheduler cold(vit_, sys_);
+    EvictionSchedule base = cold.run();
+
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule a = EvictionScheduler(vit_, sys_, p).run();
+    EvictionSchedule b = EvictionScheduler(vit_, sys_, p).run();
+
+    ASSERT_EQ(a.migrations.size(), b.migrations.size());
+    for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+        EXPECT_EQ(a.migrations[i].periodIndex,
+                  b.migrations[i].periodIndex);
+        EXPECT_EQ(a.migrations[i].dest, b.migrations[i].dest);
+        EXPECT_EQ(a.migrations[i].evictStart,
+                  b.migrations[i].evictStart);
+        EXPECT_EQ(a.migrations[i].prefetchComplete,
+                  b.migrations[i].prefetchComplete);
+    }
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.finalPeakBytes, b.finalPeakBytes);
+}
+
+TEST(EvictionScheduler, WarmStartFromMismatchedTopologyIsIgnored)
+{
+    // A schedule from a different model shape must not poison the
+    // compile: unmatchable picks are skipped and the greedy search
+    // still produces a working schedule.
+    SystemConfig s = sys();
+    KernelTrace small = test::makeFwdBwdTrace(4, 16 * MiB, 2 * MSEC);
+    VitalityAnalysis vit_small(small, s.kernelLaunchOverheadNs);
+    EvictionSchedule base = EvictionScheduler(vit_small, s).run();
+
+    KernelTrace other = test::makeFwdBwdTrace(16, 16 * MiB, 4 * MSEC);
+    VitalityAnalysis vit_other(other, s.kernelLaunchOverheadNs);
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule re = EvictionScheduler(vit_other, s, p).run();
+    EvictionSchedule scratch = EvictionScheduler(vit_other, s).run();
+    EXPECT_LE(re.finalPeakBytes, scratch.finalPeakBytes + 16 * MiB);
+    EXPECT_FALSE(re.migrations.empty());
+}
+
 TEST(EvictionScheduler, NoWorkWhenModelFits)
 {
     KernelTrace t = test::makeFwdBwdTrace(3, 1 * MiB, 1 * MSEC);

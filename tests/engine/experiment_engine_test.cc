@@ -135,5 +135,48 @@ TEST(ExperimentEngine, MixGridIsDeterministicAcrossPoolSizes)
     EXPECT_EQ(s[0].makespanNs, s[1].makespanNs);
 }
 
+TEST(ExperimentEngine, ParallelDesignCompileIsDeterministic)
+{
+    // compileG10Plan is independent per design and plans are read-only
+    // after build: compiling a design set through pools of different
+    // sizes must produce plans whose replays are bit-identical.
+    KernelTrace trace = test::makeFwdBwdTrace(24, 6 * MiB, 500 * USEC);
+    SystemConfig sys = test::tinySystem();
+    const std::vector<std::string> designs = {"ideal", "baseuvm",
+                                              "deepum", "g10gds", "g10"};
+
+    ExperimentEngine serial(1);
+    ExperimentEngine pooled(4);
+    std::vector<DesignInstance> s =
+        serial.compileDesignsOnTrace(trace, sys, designs);
+    std::vector<DesignInstance> p =
+        pooled.compileDesignsOnTrace(trace, sys, designs);
+
+    ASSERT_EQ(s.size(), designs.size());
+    ASSERT_EQ(p.size(), designs.size());
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        ASSERT_NE(s[i].policy, nullptr) << designs[i];
+        ASSERT_NE(p[i].policy, nullptr) << designs[i];
+        // Results come back in input order...
+        EXPECT_STREQ(s[i].policy->name(), p[i].policy->name())
+            << designs[i];
+        EXPECT_EQ(s[i].uvmExtension, p[i].uvmExtension) << designs[i];
+
+        // ...and replaying each compiled plan gives identical stats.
+        RunConfig rc;
+        rc.sys = sys;
+        rc.uvmExtension = s[i].uvmExtension;
+        ExecStats ss = simulate(trace, *s[i].policy, rc);
+        rc.uvmExtension = p[i].uvmExtension;
+        ExecStats ps = simulate(trace, *p[i].policy, rc);
+        EXPECT_EQ(ss.failed, ps.failed) << designs[i];
+        EXPECT_EQ(ss.measuredIterationNs, ps.measuredIterationNs)
+            << designs[i];
+        EXPECT_EQ(ss.totalStallNs, ps.totalStallNs) << designs[i];
+        EXPECT_EQ(ss.traffic.totalToGpu(), ps.traffic.totalToGpu())
+            << designs[i];
+    }
+}
+
 }  // namespace
 }  // namespace g10

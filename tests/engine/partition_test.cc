@@ -1,0 +1,99 @@
+/** @file Unit tests for the memory partition lease manager. */
+
+#include <gtest/gtest.h>
+
+#include "engine/partition.h"
+#include "tests/test_util.h"
+
+namespace g10 {
+namespace {
+
+TEST(PartitionShare, ScalesOnlyMemoryCapacities)
+{
+    SystemConfig whole = test::tinySystem();
+    SystemConfig half = partitionShare(whole, 0.5);
+    EXPECT_EQ(half.gpuMemBytes, whole.gpuMemBytes / 2);
+    EXPECT_EQ(half.hostMemBytes, whole.hostMemBytes / 2);
+    // Shared resources are untouched: same SSD, link, latencies.
+    EXPECT_EQ(half.ssdCapacityBytes, whole.ssdCapacityBytes);
+    EXPECT_DOUBLE_EQ(half.pcieGBps, whole.pcieGBps);
+    EXPECT_DOUBLE_EQ(half.ssdReadGBps, whole.ssdReadGBps);
+    EXPECT_EQ(half.pageBytes, whole.pageBytes);
+}
+
+TEST(PartitionManager, SlotLeaseLifecycle)
+{
+    PartitionManager pm(test::tinySystem(), 2);
+    EXPECT_EQ(pm.slots(), 2);
+    EXPECT_EQ(pm.freeSlots(), 2);
+
+    PartitionManager::Lease a = pm.acquire();
+    PartitionManager::Lease b = pm.acquire();
+    EXPECT_TRUE(a.active());
+    EXPECT_TRUE(b.active());
+    EXPECT_NE(a.slot, b.slot);
+    EXPECT_FALSE(pm.hasFree());
+    EXPECT_EQ(a.sys.gpuMemBytes, pm.slotSystem().gpuMemBytes);
+
+    pm.release(&a);
+    EXPECT_FALSE(a.active());
+    EXPECT_EQ(pm.freeSlots(), 1);
+
+    // A reclaimed slot is immediately leasable again (churn).
+    PartitionManager::Lease c = pm.acquire();
+    EXPECT_TRUE(c.active());
+    EXPECT_FALSE(pm.hasFree());
+    pm.release(&b);
+    pm.release(&c);
+    EXPECT_EQ(pm.freeSlots(), 2);
+    EXPECT_EQ(pm.granted(), 3u);
+    EXPECT_EQ(pm.reclaimed(), 3u);
+}
+
+TEST(PartitionManager, SlotSystemSplitsEqually)
+{
+    SystemConfig whole = test::tinySystem();
+    PartitionManager pm(whole, 4);
+    EXPECT_EQ(pm.slotSystem().gpuMemBytes, whole.gpuMemBytes / 4);
+    EXPECT_EQ(pm.slotSystem().hostMemBytes, whole.hostMemBytes / 4);
+}
+
+TEST(PartitionManager, WeightedLeaseMatchesPartitionShare)
+{
+    SystemConfig whole = test::tinySystem();
+    PartitionManager pm(whole, 2);
+    PartitionManager::Lease big = pm.acquireWeighted(0.75);
+    PartitionManager::Lease small = pm.acquireWeighted(0.25);
+    EXPECT_EQ(big.sys.gpuMemBytes,
+              partitionShare(whole, 0.75).gpuMemBytes);
+    EXPECT_EQ(small.sys.hostMemBytes,
+              partitionShare(whole, 0.25).hostMemBytes);
+    pm.release(&big);
+    pm.release(&small);
+}
+
+TEST(PartitionManagerDeath, OverSubscriptionPanics)
+{
+    PartitionManager pm(test::tinySystem(), 1);
+    PartitionManager::Lease a = pm.acquire();
+    EXPECT_DEATH(pm.acquire(), "no free partition");
+    pm.release(&a);
+}
+
+TEST(PartitionManagerDeath, DoubleReleasePanics)
+{
+    PartitionManager pm(test::tinySystem(), 1);
+    PartitionManager::Lease a = pm.acquire();
+    PartitionManager::Lease copy = a;
+    pm.release(&a);
+    EXPECT_DEATH(pm.release(&copy), "double release");
+}
+
+TEST(PartitionManagerDeath, ZeroSlotsIsFatal)
+{
+    EXPECT_EXIT(PartitionManager(test::tinySystem(), 0),
+                ::testing::ExitedWithCode(1), "slots");
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,129 @@
+/** @file Unit tests for the bounded admission queue. */
+
+#include <gtest/gtest.h>
+
+#include "serve/admission.h"
+
+namespace g10 {
+namespace {
+
+QueuedJob
+job(std::size_t request, TimeNs arrival, TimeNs est = 0, int prio = 1)
+{
+    QueuedJob j;
+    j.request = request;
+    j.arrivalNs = arrival;
+    j.serviceEstNs = est;
+    j.priority = prio;
+    return j;
+}
+
+TEST(AdmissionQueue, FifoPopsInArrivalOrder)
+{
+    AdmissionQueue q(AdmitPolicy::Fifo, 8, 0);
+    q.offer(job(0, 10));
+    q.offer(job(1, 20));
+    q.offer(job(2, 30));
+    EXPECT_EQ(q.pop(100).request, 0u);
+    EXPECT_EQ(q.pop(100).request, 1u);
+    EXPECT_EQ(q.pop(100).request, 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueue, CapacityBoundsAndHighWaterMark)
+{
+    AdmissionQueue q(AdmitPolicy::Fifo, 2, 0);
+    EXPECT_TRUE(q.offer(job(0, 1)));
+    EXPECT_TRUE(q.offer(job(1, 2)));
+    EXPECT_FALSE(q.offer(job(2, 3)));  // full: rejected
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.maxDepth(), 2u);
+    q.pop(10);
+    EXPECT_TRUE(q.offer(job(3, 4)));  // space again after a pop
+    EXPECT_EQ(q.maxDepth(), 2u);
+}
+
+TEST(AdmissionQueue, ZeroCapacityRejectsEverything)
+{
+    AdmissionQueue q(AdmitPolicy::Fifo, 0, 0);
+    EXPECT_FALSE(q.offer(job(0, 1)));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueue, SjfPicksShortestEstimate)
+{
+    AdmissionQueue q(AdmitPolicy::Sjf, 8, 0);
+    q.offer(job(0, 1, 300));
+    q.offer(job(1, 2, 100));
+    q.offer(job(2, 3, 200));
+    EXPECT_EQ(q.pop(10).request, 1u);
+    EXPECT_EQ(q.pop(10).request, 2u);
+    EXPECT_EQ(q.pop(10).request, 0u);
+}
+
+TEST(AdmissionQueue, SjfTiesBreakByArrival)
+{
+    AdmissionQueue q(AdmitPolicy::Sjf, 8, 0);
+    q.offer(job(0, 1, 100));
+    q.offer(job(1, 2, 100));
+    EXPECT_EQ(q.pop(10).request, 0u);
+    EXPECT_EQ(q.pop(10).request, 1u);
+}
+
+TEST(AdmissionQueue, PriorityPicksHighestFirst)
+{
+    AdmissionQueue q(AdmitPolicy::Priority, 8, 0);
+    q.offer(job(0, 1, 0, 1));
+    q.offer(job(1, 2, 0, 5));
+    q.offer(job(2, 3, 0, 3));
+    EXPECT_EQ(q.pop(10).request, 1u);
+    EXPECT_EQ(q.pop(10).request, 2u);
+    EXPECT_EQ(q.pop(10).request, 0u);
+    EXPECT_EQ(q.starvationPromotions(), 0u);
+}
+
+TEST(AdmissionQueue, StarvationGuardPromotesTheOldestWaiter)
+{
+    // Guard window 100 ns: once the priority-1 job has waited longer,
+    // it must go ahead of any later high-priority arrival.
+    AdmissionQueue q(AdmitPolicy::Priority, 8, 100);
+    q.offer(job(0, 0, 0, 1));    // low priority, arrives first
+    q.offer(job(1, 50, 0, 9));   // high priority
+    q.offer(job(2, 60, 0, 9));   // high priority
+    // Not starved yet at t=90: priority order wins.
+    EXPECT_EQ(q.pop(90).request, 1u);
+    // At t=200 job 0 has waited 200 > 100: promoted over job 2.
+    EXPECT_EQ(q.pop(200).request, 0u);
+    EXPECT_EQ(q.starvationPromotions(), 1u);
+    EXPECT_EQ(q.pop(200).request, 2u);
+}
+
+TEST(AdmissionQueue, StarvationGuardDisabledWhenZero)
+{
+    AdmissionQueue q(AdmitPolicy::Priority, 8, 0);
+    q.offer(job(0, 0, 0, 1));
+    q.offer(job(1, 50, 0, 9));
+    EXPECT_EQ(q.pop(1000000).request, 1u);  // never promoted
+    EXPECT_EQ(q.starvationPromotions(), 0u);
+}
+
+TEST(AdmissionQueueDeath, PopOnEmptyPanics)
+{
+    AdmissionQueue q(AdmitPolicy::Fifo, 4, 0);
+    EXPECT_DEATH(q.pop(0), "empty");
+}
+
+TEST(AdmissionQueue, PolicyNamesRoundTrip)
+{
+    for (AdmitPolicy p : {AdmitPolicy::Fifo, AdmitPolicy::Sjf,
+                          AdmitPolicy::Priority}) {
+        AdmitPolicy back = AdmitPolicy::Fifo;
+        EXPECT_TRUE(admitPolicyFromName(admitPolicyName(p), &back));
+        EXPECT_EQ(back, p);
+    }
+    AdmitPolicy out;
+    EXPECT_FALSE(admitPolicyFromName("lifo", &out));
+}
+
+}  // namespace
+}  // namespace g10

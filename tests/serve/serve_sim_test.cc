@@ -1,0 +1,281 @@
+/** @file Integration tests for the open-loop serving simulator. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/report.h"
+#include "serve/serve_sim.h"
+
+namespace g10 {
+namespace {
+
+/** A small, fast scenario: two ResNet batches + BERT at 1/64 scale
+ *  (at 1/128 a BERT slot partition genuinely OOMs — covered by
+ *  HardOomSurfacesAsFailedJobs below). */
+ServeSpec
+tinySpec()
+{
+    ServeSpec spec = demoServeSpec(64);
+    spec.requests = 10;
+    spec.rates = {0.5};
+    spec.designs = {"g10"};
+    return spec;
+}
+
+/** Serialize a sweep result to a string (deep-compare helper). */
+std::string
+toJson(const ServeSweepResult& r)
+{
+    std::ostringstream os;
+    writeServeResultJson(os, r);
+    return os.str();
+}
+
+TEST(ServeSim, ConservationAndChurn)
+{
+    ServeSpec spec = tinySpec();
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+
+    ASSERT_EQ(res.cells.size(), 1u);
+    const ServeCellResult& cell = res.cells[0];
+    const ServeMetrics& m = cell.metrics;
+
+    EXPECT_EQ(m.offered, 10u);
+    EXPECT_EQ(m.admitted + m.rejected, m.offered);
+    EXPECT_EQ(m.completed + m.failed, m.admitted);
+    // More jobs completed than the node has slots: real churn —
+    // partitions and SSD log space were reclaimed and re-leased.
+    EXPECT_GT(m.completed,
+              static_cast<std::uint64_t>(spec.slots));
+
+    for (const ServeJobOutcome& o : cell.jobs) {
+        if (o.rejected)
+            continue;
+        EXPECT_GE(o.admitNs, o.arrivalNs);
+        EXPECT_GT(o.finishNs, o.admitNs);
+        EXPECT_GE(o.latencyNs(), o.queueNs());
+    }
+}
+
+TEST(ServeSim, UnloadedRequestsMeetTheSlo)
+{
+    // At a rate far below capacity every request runs essentially
+    // alone: slowdown stays near 1 and the SLO (3x unloaded) holds.
+    ServeSpec spec = tinySpec();
+    spec.rates = {0.05};
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+
+    const ServeCellResult& cell = res.cells[0];
+    EXPECT_TRUE(cell.sustained());
+    EXPECT_DOUBLE_EQ(cell.metrics.sloAttainment, 1.0);
+    for (const ServeJobOutcome& o : cell.jobs) {
+        ASSERT_FALSE(o.rejected);
+        EXPECT_TRUE(o.sloMet);
+        // Near the unloaded latency. Warm-started plans may beat the
+        // cold-compiled baseline slightly, so the floor is loose.
+        EXPECT_GE(o.slowdown, 0.8);
+        EXPECT_LE(o.slowdown, spec.sloFactor);
+    }
+    EXPECT_EQ(res.sustainedRate[0], 0.05);
+}
+
+TEST(ServeSim, OverloadShedsLoadAndClearsSustainedRate)
+{
+    ServeSpec spec = tinySpec();
+    spec.queueCapacity = 1;
+    spec.rates = {1000.0};  // far beyond capacity
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+
+    const ServeCellResult& cell = res.cells[0];
+    EXPECT_GT(cell.metrics.rejected, 0u);
+    EXPECT_FALSE(cell.sustained());
+    EXPECT_EQ(res.sustainedRate[0], 0.0);
+    // Rejections are load shedding, not failures.
+    EXPECT_TRUE(res.allSucceeded());
+    // Shed requests never held a slot: bounded queue, bounded work.
+    EXPECT_LE(cell.metrics.maxQueueDepth, spec.queueCapacity);
+}
+
+TEST(ServeSim, WarmStartReplansG10AcrossBatchSizes)
+{
+    // The demo classes include ResNet152 at two batch sizes: after
+    // the first compile of each model, every further G10 admission
+    // warm-starts from the cached schedule.
+    ServeSpec spec = tinySpec();
+    spec.designs = {"g10", "baseuvm"};
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+
+    const ServeCellResult& g10cell = res.cells[0];
+    const ServeCellResult& uvmcell = res.cells[1];
+    EXPECT_GT(g10cell.metrics.warmCompiles, 0u);
+    EXPECT_EQ(g10cell.metrics.warmCompiles +
+                  g10cell.metrics.coldCompiles,
+              g10cell.metrics.admitted);
+    // Non-G10 designs have no compile pipeline to warm-start.
+    EXPECT_EQ(uvmcell.metrics.warmCompiles, 0u);
+}
+
+TEST(ServeSim, SweepIsBitIdenticalAcrossPoolSizes)
+{
+    ServeSpec spec = tinySpec();
+    spec.designs = {"baseuvm", "g10"};
+    spec.rates = {0.5, 50.0};
+
+    ExperimentEngine serial(1);
+    ExperimentEngine pooled(4);
+    ServeSweepResult a = ServeSweep(spec).run(serial);
+    ServeSweepResult b = ServeSweep(spec).run(pooled);
+
+    // The serialized documents (every metric, every job outcome that
+    // feeds them) must match byte for byte.
+    EXPECT_EQ(toJson(a), toJson(b));
+}
+
+TEST(ServeSim, HigherLoadNeverImprovesAttainment)
+{
+    ServeSpec spec = tinySpec();
+    spec.rates = {0.05, 5.0};
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(2);
+    ServeSweepResult res = sweep.run(engine);
+
+    ASSERT_EQ(res.cells.size(), 2u);
+    EXPECT_GE(res.cells[0].metrics.sloAttainment,
+              res.cells[1].metrics.sloAttainment);
+    EXPECT_LE(res.cells[0].metrics.queueP95Ns,
+              res.cells[1].metrics.queueP95Ns);
+}
+
+TEST(ServeSim, HardOomSurfacesAsFailedJobs)
+{
+    // At 1/128 scale a BERT job's working set genuinely exceeds its
+    // 160 MiB slot partition: the run fails, the failure is reported
+    // per job and in the aggregate, and the slot is still reclaimed
+    // (later arrivals run).
+    ServeSpec spec;
+    spec.scaleDown = 128;
+    spec.slots = 2;
+    spec.requests = 4;
+    spec.rates = {0.2};
+    spec.designs = {"g10"};
+    ServeJobClass bert;
+    bert.model = ModelKind::BertBase;
+    spec.classes = {bert};
+
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+
+    const ServeMetrics& m = res.cells[0].metrics;
+    EXPECT_EQ(m.offered, 4u);
+    EXPECT_EQ(m.failed, 4u);  // every BERT request OOMs
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_FALSE(res.cells[0].sustained());
+    EXPECT_FALSE(res.allSucceeded());
+    EXPECT_EQ(res.sustainedRate[0], 0.0);
+}
+
+TEST(ServeSim, TraceArrivalsReplayEndToEnd)
+{
+    std::string path = ::testing::TempDir() + "g10_serve_trace_" +
+                       std::to_string(::getpid()) + ".arr";
+    {
+        std::ofstream f(path);
+        f << "req = 0 ResNet152 batch=512\n"
+             "req = 5 ResNet152 batch=256\n"
+             "req = 10 ResNet152 batch=512\n"
+             "req = 400 ResNet152 batch=256\n";
+    }
+
+    ServeSpec spec;
+    spec.scaleDown = 128;
+    spec.slots = 2;
+    spec.designs = {"g10"};
+    spec.rates = {1.0, 2.0};  // trace replay multipliers
+    spec.arrival.kind = ArrivalKind::Trace;
+    spec.arrival.tracePath = path;
+
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+    std::remove(path.c_str());
+
+    // Classes derive from the trace's distinct request shapes.
+    ASSERT_EQ(res.classNames.size(), 2u);
+    ASSERT_EQ(res.cells.size(), 2u);
+    for (const ServeCellResult& cell : res.cells)
+        EXPECT_EQ(cell.metrics.offered, 4u);
+
+    // Rate multiplier 2 replays the same trace twice as fast.
+    EXPECT_EQ(res.cells[0].jobs[3].arrivalNs, 400 * MSEC);
+    EXPECT_EQ(res.cells[1].jobs[3].arrivalNs, 200 * MSEC);
+}
+
+TEST(ServeSim, SimultaneousArrivalsFillIdleSlotsBeforeShedding)
+{
+    // Four requests land at the same instant on an idle node with two
+    // slots and a one-deep queue: two admit directly, one queues, and
+    // exactly one is shed. (Regression: all four used to be offered
+    // to the queue first, shedding requests while slots sat idle.)
+    std::string path = ::testing::TempDir() + "g10_serve_burst_" +
+                       std::to_string(::getpid()) + ".arr";
+    {
+        std::ofstream f(path);
+        for (int i = 0; i < 4; ++i)
+            f << "req = 10 ResNet152 batch=256\n";
+    }
+
+    ServeSpec spec;
+    spec.scaleDown = 64;
+    spec.slots = 2;
+    spec.queueCapacity = 1;
+    spec.designs = {"g10"};
+    spec.rates = {1.0};
+    spec.arrival.kind = ArrivalKind::Trace;
+    spec.arrival.tracePath = path;
+
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+    std::remove(path.c_str());
+
+    const ServeMetrics& m = res.cells[0].metrics;
+    EXPECT_EQ(m.offered, 4u);
+    EXPECT_EQ(m.admitted, 3u);
+    EXPECT_EQ(m.rejected, 1u);
+    // The two direct admissions started at the arrival instant.
+    EXPECT_EQ(res.cells[0].jobs[0].queueNs(), 0);
+    EXPECT_EQ(res.cells[0].jobs[1].queueNs(), 0);
+    EXPECT_GT(res.cells[0].jobs[2].queueNs(), 0);
+}
+
+TEST(ServeSim, PriorityAdmissionStillServesEveryone)
+{
+    ServeSpec spec = tinySpec();
+    spec.admit = AdmitPolicy::Priority;
+    spec.starvationNs = 10 * MSEC;
+    spec.rates = {5.0};  // force queueing so ordering matters
+    ServeSweep sweep(spec);
+    ExperimentEngine engine(1);
+    ServeSweepResult res = sweep.run(engine);
+    const ServeMetrics& m = res.cells[0].metrics;
+    EXPECT_EQ(m.completed + m.failed + m.rejected, m.offered);
+    EXPECT_EQ(m.failed, 0u);
+}
+
+}  // namespace
+}  // namespace g10

@@ -103,6 +103,69 @@ TEST(SsdDevice, LifetimeMatchesPaperArithmetic)
     EXPECT_NEAR(years, 3.7, 0.2);
 }
 
+TEST(SsdDevice, FreeLogicalInvalidatesPages)
+{
+    SystemConfig s = smallSsdSys();
+    SsdDevice ssd(s);
+    auto lp = ssd.allocLogical(4 * MiB);
+    ssd.serviceWrite(lp, 4 * MiB);
+    std::uint64_t pages = 4 * MiB / (64 * KiB);
+    EXPECT_EQ(ssd.validPages(), pages);
+    ssd.freeLogical(lp, 4 * MiB);
+    EXPECT_EQ(ssd.validPages(), 0u);
+    // Trimming is host metadata only: no wear, no GC, no frees yet.
+    EXPECT_EQ(ssd.stats().blockErases, 0u);
+}
+
+TEST(SsdDevice, FreeLogicalOfUnwrittenRegionIsANoop)
+{
+    SystemConfig s = smallSsdSys();
+    SsdDevice ssd(s);
+    auto lp = ssd.allocLogical(8 * MiB);
+    ssd.freeLogical(lp, 8 * MiB);  // never written
+    EXPECT_EQ(ssd.validPages(), 0u);
+    EXPECT_EQ(ssd.freePages(), ssd.totalPages());
+}
+
+TEST(SsdDevice, TrimmedSpaceIsReclaimedUnderJobChurn)
+{
+    // Serving-style churn: each "job" allocates a region larger than
+    // half the device, writes it, departs (trim). With trim, GC can
+    // erase the departed jobs' blocks and the device survives many
+    // generations; without it the accumulated valid pages would
+    // exceed physical capacity and the write path would die.
+    SystemConfig s = smallSsdSys();  // 256 MiB device
+    SsdDevice ssd(s);
+    for (int gen = 0; gen < 8; ++gen) {
+        auto lp = ssd.allocLogical(160 * MiB);
+        ssd.serviceWrite(lp, 160 * MiB);
+        ssd.freeLogical(lp, 160 * MiB);
+    }
+    EXPECT_GT(ssd.stats().gcRuns, 0u);
+    EXPECT_GT(ssd.stats().blockErases, 0u);
+    EXPECT_EQ(ssd.validPages(), 0u);
+    // Dead pages relocate for free, so write amplification stays
+    // modest even though the log wrapped several times.
+    EXPECT_LT(ssd.stats().waf(), 2.0);
+}
+
+TEST(SsdDeviceDeath, LeakedLogicalSpaceEventuallyFillsTheDevice)
+{
+    // The regression freeLogical() fixes: without trim, departed
+    // jobs' pages stay valid forever and churn overruns capacity.
+    SystemConfig s = smallSsdSys();
+    SsdDevice ssd(s);
+    EXPECT_EXIT(
+        {
+            for (int gen = 0; gen < 8; ++gen) {
+                auto lp = ssd.allocLogical(160 * MiB);
+                ssd.serviceWrite(lp, 160 * MiB);
+                // no freeLogical: space leaks
+            }
+        },
+        ::testing::ExitedWithCode(1), "SSD is full");
+}
+
 TEST(SsdDevice, AllocLogicalAdvances)
 {
     SystemConfig s = smallSsdSys();
