@@ -135,21 +135,31 @@ writeEntry(JsonWriter& w, const StageTimes& st)
     w.endObject();
 }
 
-/** The served-load scenario: one demo sweep, timed end to end. */
+/** The served-load scenario: one demo sweep, timed end to end. Run
+ *  once with static slots (the tracked baseline) and once with
+ *  ondemand elastic partitions (capacity resizes, splits, warm
+ *  replans across capacity changes). */
 struct ServeTimes
 {
     std::size_t cells = 0;
     std::size_t offered = 0;
     std::uint64_t warmCompiles = 0;
     std::uint64_t coldCompiles = 0;
+    std::uint64_t resizes = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t replans = 0;
+    std::uint64_t resizeWarmHits = 0;
+    std::uint64_t warmReplayed = 0;
+    std::uint64_t warmDropped = 0;
     double runMs = 0.0;
 };
 
 ServeTimes
-timeServedLoad(unsigned scale, int reps)
+timeServedLoad(unsigned scale, int reps, PartitionPolicy policy)
 {
     ServeTimes out;
     ServeSpec spec = demoServeSpec(scale);
+    spec.partitionPolicy = policy;
     ServeSweepResult res;
     out.runMs = bestMs(reps, [&] {
         ServeSweep sweep(spec);
@@ -163,6 +173,12 @@ timeServedLoad(unsigned scale, int reps)
         out.offered += c.metrics.offered;
         out.warmCompiles += c.metrics.warmCompiles;
         out.coldCompiles += c.metrics.coldCompiles;
+        out.resizes += c.metrics.resizes;
+        out.splits += c.metrics.splits;
+        out.replans += c.metrics.replans;
+        out.resizeWarmHits += c.metrics.resizeWarmHits;
+        out.warmReplayed += c.metrics.warmReplayedMigrations;
+        out.warmDropped += c.metrics.warmDroppedMigrations;
     }
     return out;
 }
@@ -175,7 +191,97 @@ writeServeEntry(JsonWriter& w, const ServeTimes& st)
     w.field("offered_requests", static_cast<std::uint64_t>(st.offered));
     w.field("warm_compiles", st.warmCompiles);
     w.field("cold_compiles", st.coldCompiles);
+    w.field("resizes", st.resizes);
+    w.field("splits", st.splits);
+    w.field("replans", st.replans);
+    w.field("resize_warm_hits", st.resizeWarmHits);
+    w.field("warm_replayed_migrations", st.warmReplayed);
+    w.field("warm_dropped_migrations", st.warmDropped);
     w.field("sweep_ms", st.runMs);
+    w.endObject();
+}
+
+/**
+ * Elastic-vs-static sustained capacity: auto-bisect the throughput
+ * knee of the demo mix per design under static slots and under
+ * ondemand elastic partitions; the tracked deliverable is the
+ * capacity gain (elastic knee / static knee).
+ */
+struct CapacityTimes
+{
+    std::vector<std::string> designs;
+    std::vector<double> staticKnee;
+    std::vector<double> elasticKnee;
+    std::vector<std::uint64_t> staticProbes;
+    std::vector<std::uint64_t> elasticProbes;
+    std::uint64_t resizes = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t resizeWarmHits = 0;
+    double searchMs = 0.0;
+};
+
+CapacityTimes
+timeElasticCapacity(unsigned scale)
+{
+    CapacityTimes out;
+    ServeSpec spec = demoServeSpec(scale);
+    spec.designs = {"baseuvm", "g10"};
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateProbes = 14;
+    out.designs = spec.designs;
+
+    out.searchMs = bestMs(1, [&] {
+        spec.partitionPolicy = PartitionPolicy::Static;
+        ExperimentEngine engine;
+        ServeSweepResult st = ServeSweep(spec).run(engine);
+        out.staticKnee = st.sustainedRate;
+        out.staticProbes = st.rateProbes;
+
+        spec.partitionPolicy = PartitionPolicy::OnDemand;
+        ServeSweepResult el = ServeSweep(spec).run(engine);
+        out.elasticKnee = el.sustainedRate;
+        out.elasticProbes = el.rateProbes;
+        for (const ServeCellResult& c : el.cells) {
+            out.resizes += c.metrics.resizes;
+            out.splits += c.metrics.splits;
+            out.resizeWarmHits += c.metrics.resizeWarmHits;
+        }
+    });
+    return out;
+}
+
+void
+writeCapacityEntry(JsonWriter& w, const CapacityTimes& ct)
+{
+    w.beginObject();
+    w.field("elastic_policy", "ondemand");
+    w.key("designs").beginArray();
+    for (const std::string& d : ct.designs)
+        w.value(d);
+    w.endArray();
+    w.key("static_knee_rps").beginArray();
+    for (double k : ct.staticKnee)
+        w.value(k);
+    w.endArray();
+    w.key("elastic_knee_rps").beginArray();
+    for (double k : ct.elasticKnee)
+        w.value(k);
+    w.endArray();
+    w.key("capacity_gain").beginArray();
+    for (std::size_t d = 0; d < ct.designs.size(); ++d)
+        w.value(ct.staticKnee[d] > 0.0
+                    ? ct.elasticKnee[d] / ct.staticKnee[d]
+                    : 0.0);
+    w.endArray();
+    w.key("probes").beginArray();
+    for (std::size_t d = 0; d < ct.designs.size(); ++d)
+        w.value(ct.staticProbes[d] + ct.elasticProbes[d]);
+    w.endArray();
+    w.field("elastic_resizes", ct.resizes);
+    w.field("elastic_splits", ct.splits);
+    w.field("resize_warm_hits", ct.resizeWarmHits);
+    w.field("search_ms", ct.searchMs);
     w.endObject();
 }
 
@@ -213,10 +319,21 @@ main(int argc, char** argv)
         timeWorkload(ModelKind::ResNet152, 1, reps, {"g10"});
 
     // Served load: the g10serve demo sweep (3 designs x 3 rates of
-    // open-loop traffic with churn and warm-started re-compiles).
+    // open-loop traffic with churn and warm-started re-compiles),
+    // once under static slots and once under ondemand elastic
+    // partitions (resizes, splits, warm replans across capacities).
     std::cerr << "perf trajectory: served load (demo sweep, 1/"
               << scale << " scale)\n";
-    ServeTimes served = timeServedLoad(scale, reps);
+    ServeTimes served =
+        timeServedLoad(scale, reps, PartitionPolicy::Static);
+    ServeTimes servedElastic =
+        timeServedLoad(scale, reps, PartitionPolicy::OnDemand);
+
+    // The capacity deliverable: elastic vs static sustained-
+    // throughput knee on the demo mix (auto-bisected).
+    std::cerr << "perf trajectory: elastic capacity knee search (1/"
+              << scale << " scale)\n";
+    CapacityTimes capacity = timeElasticCapacity(scale);
 
     std::ofstream os(out_path);
     if (!os) {
@@ -233,6 +350,10 @@ main(int argc, char** argv)
         writeEntry(w, headline);
         w.key("served_load");
         writeServeEntry(w, served);
+        w.key("served_load_elastic");
+        writeServeEntry(w, servedElastic);
+        w.key("elastic_capacity");
+        writeCapacityEntry(w, capacity);
         w.key("workloads").beginArray();
         for (const StageTimes& st : entries)
             writeEntry(w, st);

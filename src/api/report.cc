@@ -214,6 +214,13 @@ writeServeSpecJson(JsonWriter& w, const ServeSweepResult& r)
     w.field("scale_down", static_cast<std::uint64_t>(s.scaleDown));
     w.field("seed", static_cast<std::uint64_t>(s.seed));
     w.field("slots", static_cast<std::int64_t>(s.slots));
+    w.field("partition_policy",
+            partitionPolicyName(s.partitionPolicy));
+    if (s.partitionPolicy != PartitionPolicy::Static) {
+        w.field("resize_hysteresis", s.resizeHysteresis);
+        w.field("max_active",
+                static_cast<std::int64_t>(s.resolvedMaxActive()));
+    }
     w.field("queue_capacity",
             static_cast<std::uint64_t>(s.queueCapacity));
     w.field("admission", admitPolicyName(s.admit));
@@ -228,6 +235,14 @@ writeServeSpecJson(JsonWriter& w, const ServeSweepResult& r)
         w.field("trace", s.arrival.tracePath);
     else
         w.field("requests", static_cast<std::int64_t>(s.requests));
+    w.field("rate_search", s.ratesAuto ? "auto" : "list");
+    if (s.ratesAuto) {
+        w.field("rate_lo", s.resolvedRateLo());
+        if (s.rateHi > 0.0)
+            w.field("rate_hi", s.rateHi);
+        w.field("rate_probes",
+                static_cast<std::int64_t>(s.rateProbes));
+    }
     w.key("rates");
     w.beginArray();
     for (double r2 : s.rates)
@@ -291,6 +306,19 @@ writeServeCellJson(JsonWriter& w, const ServeCellResult& cell)
     w.field("starvation_promotions", m.starvationPromotions);
     w.field("cold_compiles", m.coldCompiles);
     w.field("warm_compiles", m.warmCompiles);
+    w.key("elastic");
+    w.beginObject();
+    w.field("resizes", m.resizes);
+    w.field("shrinks", m.resizeShrinks);
+    w.field("grows", m.resizeGrows);
+    w.field("splits", m.splits);
+    w.field("replans", m.replans);
+    w.field("resize_warm_hits", m.resizeWarmHits);
+    w.field("warm_replayed_migrations", m.warmReplayedMigrations);
+    w.field("warm_dropped_migrations", m.warmDroppedMigrations);
+    w.field("resize_evicted_gb",
+            static_cast<double>(m.resizeEvictedBytes) / 1e9);
+    w.endObject();
     w.key("ssd");
     writeSsdJson(w, cell.ssd);
     w.endObject();
@@ -437,6 +465,8 @@ writeServeResultJson(std::ostream& os, const ServeSweepResult& result)
         w.beginObject();
         w.field("design", result.spec.designs[d]);
         w.field("sustained_rate_per_s", result.sustainedRate[d]);
+        if (d < result.rateProbes.size())
+            w.field("probes", result.rateProbes[d]);
         w.endObject();
     }
     w.endArray();
@@ -493,7 +523,8 @@ serveCellsTable(const ServeSweepResult& result)
     Table t("served load (designs x offered rates)");
     t.setHeader({"design", "rate", "ok", "offered", "rej", "fail",
                  "queue_p95_ms", "lat_p50_ms", "lat_p95_ms",
-                 "lat_p99_ms", "slo", "tput_rps", "waf"});
+                 "lat_p99_ms", "slo", "tput_rps", "resz", "rwarm",
+                 "waf"});
     for (const ServeCellResult& c : result.cells) {
         const ServeMetrics& m = c.metrics;
         t.addRowOf(c.designName.c_str(), c.rate,
@@ -505,7 +536,10 @@ serveCellsTable(const ServeSweepResult& result)
                    milliseconds(m.latencyP50Ns),
                    milliseconds(m.latencyP95Ns),
                    milliseconds(m.latencyP99Ns), m.sloAttainment,
-                   m.throughputRps, c.ssd.waf());
+                   m.throughputRps,
+                   static_cast<unsigned long long>(m.resizes),
+                   static_cast<unsigned long long>(m.resizeWarmHits),
+                   c.ssd.waf());
     }
     return t;
 }
@@ -513,11 +547,25 @@ serveCellsTable(const ServeSweepResult& result)
 Table
 serveCapacityTable(const ServeSweepResult& result)
 {
-    Table t("sustained-throughput capacity (max rate, bounded queue)");
-    t.setHeader({"design", "sustained_rate_per_s"});
-    for (std::size_t d = 0; d < result.sustainedRate.size(); ++d)
-        t.addRowOf(result.spec.designs[d].c_str(),
-                   result.sustainedRate[d]);
+    const bool probed = !result.rateProbes.empty();
+    Table t(probed
+                ? "sustained-throughput capacity (bisected knee)"
+                : "sustained-throughput capacity (max rate, bounded "
+                  "queue)");
+    if (probed)
+        t.setHeader({"design", "sustained_rate_per_s", "probes"});
+    else
+        t.setHeader({"design", "sustained_rate_per_s"});
+    for (std::size_t d = 0; d < result.sustainedRate.size(); ++d) {
+        if (probed)
+            t.addRowOf(result.spec.designs[d].c_str(),
+                       result.sustainedRate[d],
+                       static_cast<unsigned long long>(
+                           result.rateProbes[d]));
+        else
+            t.addRowOf(result.spec.designs[d].c_str(),
+                       result.sustainedRate[d]);
+    }
     return t;
 }
 

@@ -154,33 +154,56 @@ EvictionScheduler::run()
     out.pressure = vitality_.memoryPressure();
     out.initialPeakBytes =
         static_cast<Bytes>(out.pressure.maxValue());
+    out.scheduledForGpuBytes = config_.gpuMemBytes;
 
     std::vector<bool> committed(periods.size(), false);
 
     // Warm-start replay: re-validate the previous schedule's picks
-    // against the new vitality analysis and commit the ones that are
-    // still beneficial. Period indices line up when the topology is
-    // unchanged (same model, different batch/capacity); entries that
-    // no longer match or no longer help are simply skipped.
+    // against the new vitality analysis and capacity, committing the
+    // ones that are still beneficial. Period indices line up when the
+    // topology is unchanged (same model, different batch or partition
+    // capacity). A capacity shrink leaves every pick beneficial (more
+    // pressure sits above the lower cap); a capacity grow makes a
+    // tail of them unnecessary — the replay stops as soon as pressure
+    // fits and drops the rest. Entries that no longer match the
+    // topology or no longer help are dropped individually. Either
+    // way, the greedy search below only runs for whatever pressure
+    // the delta left uncovered.
     if (params_.warmStart != nullptr) {
-        for (const ScheduledMigration& wm : params_.warmStart->migrations) {
-            if (out.pressure.maxValue() <= cap)
+        const auto& prior = params_.warmStart->migrations;
+        for (std::size_t wi = 0; wi < prior.size(); ++wi) {
+            const ScheduledMigration& wm = prior[wi];
+            if (out.pressure.maxValue() <= cap) {
+                // Capacity grew past the remaining picks' benefit.
+                out.warmDropped += prior.size() - wi;
                 break;
+            }
             std::size_t pi = wm.periodIndex;
-            if (pi >= periods.size() || periods[pi].tensor != wm.tensor)
-                continue;  // topology drifted; not the same period
+            if (pi >= periods.size() ||
+                periods[pi].tensor != wm.tensor) {
+                ++out.warmDropped;  // topology drifted
+                continue;
+            }
             const InactivePeriod& p = periods[pi];
             const Tensor& t = vitality_.trace().tensor(p.tensor);
             if (t.bytes < params_.minTensorBytes ||
-                p.lengthNs() < params_.minPeriodNs)
+                p.lengthNs() < params_.minPeriodNs) {
+                ++out.warmDropped;
                 continue;
+            }
             double s = scorePeriod(pi, out.pressure, cap, nullptr,
                                    nullptr);
             ++out.evaluations;
-            if (s <= 0.0)
+            if (s <= 0.0) {
+                ++out.warmDropped;
                 continue;
-            if (tryCommit(pi, host_cap, &out))
+            }
+            if (tryCommit(pi, host_cap, &out)) {
                 committed[pi] = true;
+                ++out.warmReplayed;
+            } else {
+                ++out.warmDropped;
+            }
         }
     }
 

@@ -64,13 +64,19 @@ struct EvictionSchedulerParams
     /**
      * Optional warm start for incremental re-planning (TENSILE-style):
      * a schedule previously compiled for the *same model topology* at a
-     * different batch size or capacity knob. Its (tensor, period) picks
-     * are re-validated against the new vitality analysis and committed
-     * first; the greedy search then only runs for whatever pressure
-     * remains — when the replayed picks already fit under capacity the
-     * O(P log P) search is skipped entirely. Borrowed pointer; the
-     * schedule must outlive run(). nullptr = cold compile (bit-identical
-     * to the pre-warm-start behavior).
+     * different batch size or GPU capacity (elastic partition resizes
+     * replay a schedule compiled at capacity C against capacity C′).
+     * Its (tensor, period) picks are re-validated against the new
+     * vitality analysis and committed first; the greedy search then
+     * only runs for the pressure the capacity/topology delta left
+     * uncovered — when the replayed picks already fit under capacity
+     * the O(P log P) search is skipped entirely. On a shrink (C′ < C)
+     * every prior pick stays beneficial and replays; on a grow
+     * (C′ > C) the replay stops as soon as pressure fits and the
+     * now-unnecessary tail is dropped. The replay outcome is reported
+     * in EvictionSchedule::{warmReplayed, warmDropped}. Borrowed
+     * pointer; the schedule must outlive run(). nullptr = cold compile
+     * (bit-identical to the pre-warm-start behavior).
      */
     const EvictionSchedule* warmStart = nullptr;
 };
@@ -95,6 +101,26 @@ struct EvictionSchedule
 
     /** Number of candidate evaluations (for complexity tests). */
     std::uint64_t evaluations = 0;
+
+    /** GPU capacity this schedule was compiled against (the C in a
+     *  later "replay at C′" warm start). */
+    Bytes scheduledForGpuBytes = 0;
+
+    /** Warm-start replay outcome: prior picks recommitted vs. prior
+     *  picks the capacity/topology delta invalidated or made
+     *  unnecessary. Both zero on cold compiles. */
+    std::uint64_t warmReplayed = 0;
+    std::uint64_t warmDropped = 0;
+
+    /** Fraction of the prior schedule that replayed (0 when cold). */
+    double warmHitRate() const
+    {
+        const std::uint64_t total = warmReplayed + warmDropped;
+        return total > 0
+            ? static_cast<double>(warmReplayed) /
+                  static_cast<double>(total)
+            : 0.0;
+    }
 };
 
 /** Runs Algorithm 1 over one iteration's vitality analysis. */

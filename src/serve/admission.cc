@@ -48,11 +48,10 @@ AdmissionQueue::offer(QueuedJob job)
     return true;
 }
 
-QueuedJob
-AdmissionQueue::pop(TimeNs now)
+std::size_t
+AdmissionQueue::selectIndex(TimeNs now, bool* promoted) const
 {
-    if (q_.empty())
-        panic("AdmissionQueue::pop on an empty queue");
+    *promoted = false;
 
     // FIFO choice: the smallest sequence number (also the starvation
     // fallback and every policy's tie-break direction).
@@ -87,15 +86,35 @@ AdmissionQueue::pop(TimeNs now)
         if (starvationNs_ > 0 && pick != fifo &&
             now - q_[fifo].arrivalNs > starvationNs_) {
             pick = fifo;
-            ++promotions_;
+            *promoted = true;
         }
         break;
       }
     }
+    return pick;
+}
 
+QueuedJob
+AdmissionQueue::pop(TimeNs now)
+{
+    if (q_.empty())
+        panic("AdmissionQueue::pop on an empty queue");
+    bool promoted = false;
+    std::size_t pick = selectIndex(now, &promoted);
+    if (promoted)
+        ++promotions_;
     QueuedJob out = q_[pick];
     q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(pick));
     return out;
+}
+
+const QueuedJob&
+AdmissionQueue::peek(TimeNs now) const
+{
+    if (q_.empty())
+        panic("AdmissionQueue::peek on an empty queue");
+    bool promoted = false;
+    return q_[selectIndex(now, &promoted)];
 }
 
 }  // namespace g10

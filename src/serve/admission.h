@@ -78,6 +78,13 @@ class AdmissionQueue
     /** Remove and return the policy's next job; panics when empty. */
     QueuedJob pop(TimeNs now);
 
+    /**
+     * The job pop(@p now) would return, without removing it (the
+     * serving engine gates admission on the head job's capacity
+     * needs under elastic partitions). Panics when empty.
+     */
+    const QueuedJob& peek(TimeNs now) const;
+
     bool empty() const { return q_.empty(); }
     std::size_t size() const { return q_.size(); }
     std::size_t capacity() const { return capacity_; }
@@ -89,6 +96,10 @@ class AdmissionQueue
     std::uint64_t starvationPromotions() const { return promotions_; }
 
   private:
+    /** The index pop()/peek() select; *promoted reports whether the
+     *  starvation guard overrode the priority order. */
+    std::size_t selectIndex(TimeNs now, bool* promoted) const;
+
     AdmitPolicy policy_;
     std::size_t capacity_;
     TimeNs starvationNs_;

@@ -33,31 +33,58 @@ serviceEstimate(const KernelTrace& trace, const SystemConfig& sys,
 }
 
 /** Warm-start plan cache: per model, the last compiled schedule
- *  (whatever batch size it was compiled at — the replay re-validates
- *  every pick against the new trace, so staleness is safe). */
+ *  (whatever batch size or partition capacity it was compiled at —
+ *  the replay re-validates every pick against the new trace and
+ *  capacity, so staleness is safe). */
 using PlanCache = std::map<int, EvictionSchedule>;
+
+/** G10-family membership (the designs with a compile pipeline). */
+bool
+g10FamilyTag(const std::string& design, int* tag_out)
+{
+    const PolicyInfo& info = PolicyRegistry::instance().resolve(design);
+    *tag_out = info.builtinTag;
+    return *tag_out == static_cast<int>(DesignPoint::G10) ||
+           *tag_out == static_cast<int>(DesignPoint::G10Gds) ||
+           *tag_out == static_cast<int>(DesignPoint::G10Host);
+}
+
+/** Compile one G10-family design, optionally warm-started. */
+std::unique_ptr<G10Policy>
+compileFamily(int tag, const KernelTrace& trace,
+              const SystemConfig& sys, const EvictionSchedule* warm)
+{
+    if (tag == static_cast<int>(DesignPoint::G10))
+        return makeG10(trace, sys, warm);
+    if (tag == static_cast<int>(DesignPoint::G10Gds))
+        return makeG10Gds(trace, sys, warm);
+    return makeG10Host(trace, sys, warm);
+}
+
+/** What an admission-time compile did (feeds the cell metrics). */
+struct CompileOutcome
+{
+    bool warm = false;             ///< seeded by a cached schedule
+    bool capacityCrossed = false;  ///< seed compiled at a different cap
+    std::uint64_t replayed = 0;    ///< prior picks recommitted
+    std::uint64_t dropped = 0;     ///< prior picks invalidated
+};
 
 /**
  * Instantiate the cell's design for one admitted job. G10-family
  * designs go through the warm-start path: the previous compile of the
  * same model seeds the eviction scheduler (the serving win: churn
  * re-plans in O(migrations) instead of O(periods log periods) when
- * only the batch size changed). @p warm_out reports whether a warm
- * start was used.
+ * only the batch size or the partition capacity changed).
  */
 DesignInstance
 makeServeInstance(const std::string& design, const KernelTrace& trace,
                   const ServeJobClass& cls, const SystemConfig& sys,
-                  PlanCache* cache, bool* warm_out)
+                  PlanCache* cache, CompileOutcome* oc)
 {
-    const PolicyInfo& info = PolicyRegistry::instance().resolve(design);
-    const int tag = info.builtinTag;
-    const bool g10family =
-        tag == static_cast<int>(DesignPoint::G10) ||
-        tag == static_cast<int>(DesignPoint::G10Gds) ||
-        tag == static_cast<int>(DesignPoint::G10Host);
-    *warm_out = false;
-    if (!g10family)
+    int tag = 0;
+    *oc = CompileOutcome{};
+    if (!g10FamilyTag(design, &tag))
         return PolicyRegistry::instance().make(design, trace, sys);
 
     const int model_key = static_cast<int>(cls.model);
@@ -65,21 +92,19 @@ makeServeInstance(const std::string& design, const KernelTrace& trace,
     auto it = cache->find(model_key);
     if (it != cache->end()) {
         warm = &it->second;
-        *warm_out = true;
+        oc->warm = true;
+        oc->capacityCrossed =
+            it->second.scheduledForGpuBytes != sys.gpuMemBytes;
     }
 
     DesignInstance out;
-    if (tag == static_cast<int>(DesignPoint::G10)) {
-        out.policy = makeG10(trace, sys, warm);
-        out.uvmExtension = true;
-    } else if (tag == static_cast<int>(DesignPoint::G10Gds)) {
-        out.policy = makeG10Gds(trace, sys, warm);
-    } else {
-        out.policy = makeG10Host(trace, sys, warm);
-    }
-
-    const auto* gp = static_cast<const G10Policy*>(out.policy.get());
-    (*cache)[model_key] = gp->compiled().schedule;
+    std::unique_ptr<G10Policy> policy =
+        compileFamily(tag, trace, sys, warm);
+    oc->replayed = policy->compiled().schedule.warmReplayed;
+    oc->dropped = policy->compiled().schedule.warmDropped;
+    out.uvmExtension = tag == static_cast<int>(DesignPoint::G10);
+    (*cache)[model_key] = policy->compiled().schedule;
+    out.policy = std::move(policy);
     return out;
 }
 
@@ -88,6 +113,28 @@ TimeNs
 pctNs(const Distribution& d, double p)
 {
     return static_cast<TimeNs>(d.percentile(p));
+}
+
+/**
+ * The largest single-kernel working set of @p trace (page-rounded).
+ * This is exactly what the runtime's OOM guard pins: a lease below it
+ * is guaranteed to fail, so the elastic policies never shrink a job's
+ * capacity under this floor (plus headroom for in-flight transfers).
+ */
+Bytes
+maxKernelWorkingSet(const KernelTrace& trace, Bytes page)
+{
+    Bytes best = 0;
+    for (std::size_t k = 0; k < trace.numKernels(); ++k) {
+        Bytes sum = 0;
+        for (TensorId t :
+             trace.kernel(static_cast<KernelId>(k)).allTensors()) {
+            const Bytes b = trace.tensor(t).bytes;
+            sum += (b + page - 1) / page * page;
+        }
+        best = std::max(best, sum);
+    }
+    return best;
 }
 
 }  // namespace
@@ -100,14 +147,18 @@ ServeSim::ServeSim(const ServeSpec& spec, std::string design,
                    double rate,
                    const std::vector<KernelTrace>& traces,
                    const std::vector<ServeJobClass>& classes,
+                   const std::vector<Bytes>& minGpu,
                    std::vector<ServeRequest> requests,
                    const std::vector<ServeClassBaseline>& baselines)
     : spec_(spec), design_(std::move(design)), rate_(rate),
-      traces_(traces), classes_(classes),
+      traces_(traces), classes_(classes), minGpu_(minGpu),
       requests_(std::move(requests)), baselines_(baselines)
 {
     if (traces_.size() != classes_.size())
         panic("ServeSim: %zu traces for %zu classes", traces_.size(),
+              classes_.size());
+    if (minGpu_.size() != classes_.size())
+        panic("ServeSim: %zu floors for %zu classes", minGpu_.size(),
               classes_.size());
     if (baselines_.size() != classes_.size())
         panic("ServeSim: %zu baselines for %zu classes",
@@ -129,9 +180,28 @@ ServeSim::run()
         out.jobs[i].classIndex = requests_[i].classIndex;
         out.jobs[i].arrivalNs = requests_[i].arrivalNs;
     }
+    ServeMetrics& m = out.metrics;
 
     const SystemConfig scaled = spec_.sys.scaledDown(spec_.scaleDown);
+    const PartitionPolicy ppol = spec_.partitionPolicy;
+    const int maxActive = spec_.resolvedMaxActive();
+    const double hysteresis = spec_.resizeHysteresis;
     PartitionManager partitions(scaled, spec_.slots);
+    const Bytes totalGpu = partitions.totalGpuBytes();
+    const Bytes totalHost = partitions.totalHostBytes();
+    const Bytes slotGpu = partitions.slotSystem().gpuMemBytes;
+    const Bytes slotHost = partitions.slotSystem().hostMemBytes;
+
+    // Host staging follows the GPU share so a lease is one fraction
+    // of the machine, not two independent knobs.
+    auto hostFor = [&](Bytes gpu) -> Bytes {
+        if (totalGpu == 0)
+            return 0;
+        return static_cast<Bytes>(
+            static_cast<double>(totalHost) *
+            (static_cast<double>(gpu) / static_cast<double>(totalGpu)));
+    };
+
     SsdDevice ssd(scaled);
     FabricChannels channels;
     GpuComputeTimeline gpu;
@@ -149,33 +219,262 @@ ServeSim::run()
         serviceEst[c] = serviceEstimate(traces_[c], scaled,
                                         classes_[c].iterations);
 
+    // Per-class capacity floors (computed once per sweep): clamped to
+    // the whole machine so a class too big for the node is still
+    // admitted alone and fails with the explicit hard OOM — exactly
+    // the static policy's semantics — instead of waiting forever.
+    std::vector<Bytes> minGpu(minGpu_.size(), 0);
+    for (std::size_t c = 0; c < minGpu_.size(); ++c)
+        minGpu[c] = std::min(minGpu_[c], totalGpu);
+
     PlanCache planCache;
 
     struct Active
     {
         std::size_t request = 0;
+        std::size_t classIndex = 0;
+        bool g10family = false;
+        int familyTag = 0;
         DesignInstance design;
         std::unique_ptr<SimRuntime> rt;
         PartitionManager::Lease lease;
     };
     std::vector<Active> active;
-    active.reserve(static_cast<std::size_t>(spec_.slots));
+    active.reserve(static_cast<std::size_t>(maxActive));
+
+    // ---- Elastic capacity machinery ------------------------------
+
+    // After any capacity change, G10-family jobs replan: recompile
+    // the migration schedule at the new budget, warm-started from the
+    // schedule the job is currently replaying, and swap it in. The
+    // scheduler replays the picks the capacity delta left valid and
+    // only re-runs its greedy search on the uncovered pressure.
+    auto replanAfterResize = [&](Active& a) {
+        if (!a.g10family)
+            return;
+        const auto* gp =
+            static_cast<const G10Policy*>(a.design.policy.get());
+        const EvictionSchedule& prior = gp->compiled().schedule;
+        std::unique_ptr<G10Policy> np = compileFamily(
+            a.familyTag, traces_[a.classIndex], a.lease.sys, &prior);
+        const EvictionSchedule& ns = np->compiled().schedule;
+        ++m.replans;
+        m.warmReplayedMigrations += ns.warmReplayed;
+        m.warmDroppedMigrations += ns.warmDropped;
+        if (ns.warmReplayed > 0)
+            ++m.resizeWarmHits;
+        planCache[static_cast<int>(classes_[a.classIndex].model)] = ns;
+        a.rt->setPolicy(*np);
+        a.design.policy = std::move(np);
+    };
+
+    // Post-change bookkeeping shared by the resize and split paths:
+    // push the lease's new budget into the runtime (eager eviction
+    // down to the new watermark), count the work, warm-replan.
+    auto applyBudget = [&](Active& a, bool shrink) {
+        SimRuntime::ResizeOutcome ro = a.rt->resizeMemoryBudget(
+            a.lease.sys.gpuMemBytes, a.lease.sys.hostMemBytes);
+        ++m.resizes;
+        if (shrink)
+            ++m.resizeShrinks;
+        else
+            ++m.resizeGrows;
+        m.resizeEvictedBytes += ro.evictedBytes;
+        replanAfterResize(a);
+    };
+
+    // One live job's capacity change: manager accounting, then the
+    // shared budget/replan bookkeeping.
+    auto resizeActive = [&](Active& a, Bytes gpuBytes) {
+        const Bytes cur = a.lease.sys.gpuMemBytes;
+        if (gpuBytes == cur)
+            return;
+        partitions.resize(&a.lease, gpuBytes, hostFor(gpuBytes));
+        applyBudget(a, gpuBytes < cur);
+    };
+
+    // Floor of one live job's lease (never shrink below this).
+    auto floorOf = [&](const Active& a) -> Bytes {
+        return minGpu[a.classIndex];
+    };
+
+    // The proportional policy's post-admission size of incumbent
+    // @p o when the active set grows to @p count jobs: the equal
+    // share, raised to the job's floor, but never *grown* at
+    // admission time (growth is departure-driven and hysteresis
+    // gated).
+    auto proportionalTarget = [&](const Active& o,
+                                  std::size_t count) -> Bytes {
+        const Bytes tgt =
+            std::max(totalGpu / static_cast<Bytes>(count),
+                     floorOf(o));
+        return std::min(o.lease.sys.gpuMemBytes, tgt);
+    };
+
+    // The ondemand policy's split victim for a @p need-byte arrival:
+    // the largest live lease that can donate half while both halves
+    // stay viable (donor above its floor, grant at least half a slot
+    // and above the arrival's floor). nullptr = no viable donor.
+    auto splitVictim = [&](Bytes need) -> Active* {
+        Active* best = nullptr;
+        for (Active& o : active) {
+            const Bytes cur = o.lease.sys.gpuMemBytes;
+            const Bytes carve = static_cast<Bytes>(
+                static_cast<double>(cur) * 0.5);
+            if (carve < need || carve < slotGpu / 2 ||
+                cur - carve < floorOf(o))
+                continue;
+            if (best == nullptr ||
+                cur > best->lease.sys.gpuMemBytes)
+                best = &o;
+        }
+        return best;
+    };
+
+    // Admission gate per policy, for a request of class @p cls.
+    // Static gates on free slots; the elastic policies gate on the
+    // concurrency cap and on whether a floor-respecting grant exists.
+    // OnDemand's ordinary admissions take whole slots from the pool —
+    // splitting live leases is an *overload* escape valve (see
+    // splitAdmitHead below), because at moderate load a short wait
+    // for a full slot beats running everyone at half capacity.
+    auto canAdmit = [&](std::size_t cls) -> bool {
+        if (ppol == PartitionPolicy::Static)
+            return partitions.hasFree();
+        if (static_cast<int>(active.size()) >= maxActive)
+            return false;
+        if (ppol == PartitionPolicy::Proportional) {
+            // Capacity left after every incumbent shrinks to its
+            // post-admission share must cover the arrival's floor.
+            const std::size_t count = active.size() + 1;
+            Bytes leased = 0;
+            for (const Active& o : active)
+                leased += proportionalTarget(o, count);
+            const Bytes free =
+                totalGpu > leased ? totalGpu - leased : 0;
+            const Bytes grant = std::min(
+                free, std::max(totalGpu / count, minGpu[cls]));
+            return grant >= minGpu[cls] && grant > 0;
+        }
+        return partitions.freeGpuBytes() >= slotGpu &&
+               partitions.freeHostBytes() >= slotHost;
+    };
+
+    // Lease capacity for a new admission under the cell's policy.
+    auto leaseForAdmission = [&](Active& a) {
+        switch (ppol) {
+          case PartitionPolicy::Static:
+            a.lease = partitions.acquire();
+            return;
+          case PartitionPolicy::Proportional: {
+            // Equal share of the whole machine across the active set:
+            // shrink every incumbent above its post-admission share
+            // (mandatory — hysteresis only defers growth), then grant
+            // the arrival its share.
+            const std::size_t count = active.size() + 1;
+            for (Active& o : active) {
+                const Bytes tgt = proportionalTarget(o, count);
+                if (o.lease.sys.gpuMemBytes > tgt)
+                    resizeActive(o, tgt);
+            }
+            const Bytes grant = std::min(
+                partitions.freeGpuBytes(),
+                std::max(totalGpu / static_cast<Bytes>(count),
+                         minGpu[a.classIndex]));
+            const Bytes grantHost =
+                std::min(hostFor(grant), partitions.freeHostBytes());
+            a.lease = partitions.acquireBytes(grant, grantHost);
+            return;
+          }
+          case PartitionPolicy::OnDemand: {
+            // A full static-slot grant while the pool has one; then
+            // split the largest viable live lease in half (canAdmit()
+            // guarantees a donor exists).
+            if (partitions.freeGpuBytes() >= slotGpu &&
+                partitions.freeHostBytes() >= slotHost) {
+                a.lease = partitions.acquireBytes(slotGpu, slotHost);
+                return;
+            }
+            Active* big = splitVictim(
+                std::max(minGpu[a.classIndex], slotGpu / 2));
+            if (big == nullptr)
+                panic("ondemand admission with no viable donor");
+            a.lease = partitions.split(&big->lease, 0.5);
+            ++m.splits;
+            applyBudget(*big, true);
+            return;
+          }
+        }
+    };
+
+    // After a departure (and after the queue drained into the freed
+    // capacity), grow the survivors back. Growth is hysteresis-gated
+    // so lease geometry does not thrash under churn.
+    auto redistributeAfterDeparture = [&]() {
+        if (ppol == PartitionPolicy::Static || active.empty())
+            return;
+        if (ppol == PartitionPolicy::Proportional) {
+            const Bytes tgt =
+                totalGpu / static_cast<Bytes>(active.size());
+            for (Active& o : active) {
+                const Bytes cur = o.lease.sys.gpuMemBytes;
+                if (cur >= tgt)
+                    continue;
+                const Bytes grow =
+                    std::min(tgt - cur, partitions.freeGpuBytes());
+                if (grow == 0 ||
+                    static_cast<double>(grow) <
+                        hysteresis * static_cast<double>(cur))
+                    continue;
+                resizeActive(o, cur + grow);
+            }
+            return;
+        }
+        // OnDemand: top the smallest leases back up toward a full
+        // slot, smallest first (they gain the most per byte).
+        while (true) {
+            Active* small = nullptr;
+            for (Active& o : active)
+                if (o.lease.sys.gpuMemBytes < slotGpu &&
+                    (small == nullptr ||
+                     o.lease.sys.gpuMemBytes <
+                         small->lease.sys.gpuMemBytes))
+                    small = &o;
+            if (small == nullptr)
+                break;
+            const Bytes cur = small->lease.sys.gpuMemBytes;
+            const Bytes grow =
+                std::min(slotGpu - cur, partitions.freeGpuBytes());
+            if (grow == 0 ||
+                static_cast<double>(grow) <
+                    hysteresis * static_cast<double>(cur))
+                break;
+            resizeActive(*small, cur + grow);
+        }
+    };
 
     auto admit = [&](std::size_t req, TimeNs when) {
         const ServeRequest& r = requests_[req];
         const ServeJobClass& cls = classes_[r.classIndex];
         Active a;
         a.request = req;
-        a.lease = partitions.acquire();
-        bool warm = false;
+        a.classIndex = r.classIndex;
+        a.g10family = g10FamilyTag(design_, &a.familyTag);
+        leaseForAdmission(a);
+        CompileOutcome oc;
         a.design = makeServeInstance(design_, traces_[r.classIndex],
                                      cls, a.lease.sys, &planCache,
-                                     &warm);
-        out.jobs[req].warmCompiled = warm;
-        if (warm)
-            ++out.metrics.warmCompiles;
-        else
-            ++out.metrics.coldCompiles;
+                                     &oc);
+        out.jobs[req].warmCompiled = oc.warm;
+        if (oc.warm) {
+            ++m.warmCompiles;
+            if (oc.capacityCrossed && oc.replayed > 0)
+                ++m.resizeWarmHits;
+        } else {
+            ++m.coldCompiles;
+        }
+        m.warmReplayedMigrations += oc.replayed;
+        m.warmDroppedMigrations += oc.dropped;
 
         RunConfig rc;
         rc.sys = a.lease.sys;
@@ -192,7 +491,12 @@ ServeSim::run()
     };
 
     auto drainQueue = [&](TimeNs now) {
-        while (partitions.hasFree() && !queue.empty()) {
+        // Gate on the job the policy would pop next (no bypass: a
+        // large head holds the line, as in the slot-mode behavior).
+        while (!queue.empty()) {
+            const QueuedJob& head = queue.peek(now);
+            if (!canAdmit(requests_[head.request].classIndex))
+                break;
             QueuedJob qj = queue.pop(now);
             admit(qj.request, std::max(now, qj.arrivalNs));
         }
@@ -237,10 +541,10 @@ ServeSim::run()
             arrivals.runUntil(nextArr);
             for (std::size_t req : arrivedNow) {
                 const ServeRequest& r = requests_[req];
-                // A free slot admits immediately — simultaneous
+                // Free capacity admits immediately — simultaneous
                 // arrivals must not be shed off a full queue while
                 // partitions sit idle.
-                if (partitions.hasFree() && queue.empty()) {
+                if (queue.empty() && canAdmit(r.classIndex)) {
                     admit(req, r.arrivalNs);
                     continue;
                 }
@@ -249,7 +553,38 @@ ServeSim::run()
                 qj.arrivalNs = r.arrivalNs;
                 qj.serviceEstNs = serviceEst[r.classIndex];
                 qj.priority = classes_[r.classIndex].priority;
-                if (!queue.offer(qj))
+                if (queue.offer(qj))
+                    continue;
+                // Queue full. OnDemand's overload escape valve: split
+                // a live lease for the policy's next waiter instead
+                // of shedding the newcomer — trading per-job speed
+                // for not rejecting under pressure.
+                bool rescued = false;
+                if (ppol == PartitionPolicy::OnDemand &&
+                    static_cast<int>(active.size()) < maxActive) {
+                    if (!queue.empty()) {
+                        const QueuedJob& head =
+                            queue.peek(r.arrivalNs);
+                        const std::size_t hcls =
+                            requests_[head.request].classIndex;
+                        if (splitVictim(std::max(minGpu[hcls],
+                                                 slotGpu / 2)) !=
+                            nullptr) {
+                            QueuedJob hj = queue.pop(r.arrivalNs);
+                            admit(hj.request,
+                                  std::max(r.arrivalNs,
+                                           hj.arrivalNs));
+                            rescued = queue.offer(qj);
+                        }
+                    } else if (splitVictim(std::max(
+                                   minGpu[r.classIndex],
+                                   slotGpu / 2)) != nullptr) {
+                        // Zero-capacity queue: split for the arrival.
+                        admit(req, r.arrivalNs);
+                        rescued = true;
+                    }
+                }
+                if (!rescued)
                     out.jobs[req].rejected = true;  // load shed
             }
             arrivedNow.clear();
@@ -273,10 +608,10 @@ ServeSim::run()
         active.erase(active.begin() +
                      static_cast<std::ptrdiff_t>(minIdx));
         drainQueue(freedAt);
+        redistributeAfterDeparture();
     }
 
     // ---- SLO-centric metrics. ----
-    ServeMetrics& m = out.metrics;
     m.offered = out.jobs.size();
     Distribution queueDelay, latency, slowdown;
     TimeNs firstArrival = requests_.front().arrivalNs;
@@ -350,10 +685,13 @@ ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
 {
     if (spec_.designs.empty())
         fatal("serve sweep needs at least one design");
-    if (spec_.rates.empty())
-        fatal("serve sweep needs at least one arrival rate");
+    if (spec_.rates.empty() && !spec_.ratesAuto)
+        fatal("serve sweep needs at least one arrival rate (or "
+              "rates = auto)");
     if (spec_.slots < 1)
         fatal("serve sweep needs slots >= 1");
+    if (spec_.resolvedMaxActive() < spec_.slots)
+        fatal("serve sweep needs max_active >= slots");
     for (const std::string& d : spec_.designs)
         PolicyRegistry::instance().resolve(d);  // fatal on unknown
 
@@ -403,12 +741,22 @@ ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
     for (const ServeJobClass& cls : classes_)
         traces_.push_back(buildModelScaled(cls.model, cls.batchSize,
                                            spec_.scaleDown));
+
+    // Per-class elastic capacity floors, once per sweep: the largest
+    // kernel working set (+12.5% headroom for in-flight transfers) —
+    // a lease below it is guaranteed to hit the hard-OOM path, so
+    // the elastic policies never shrink or grant under it.
+    const Bytes page = spec_.sys.scaledDown(spec_.scaleDown).pageBytes;
+    minGpu_.reserve(traces_.size());
+    for (const KernelTrace& t : traces_) {
+        const Bytes ws = maxKernelWorkingSet(t, page);
+        minGpu_.push_back(ws + ws / 8);
+    }
 }
 
 std::vector<ServeRequest>
-ServeSweep::requestsForRate(std::size_t ri) const
+ServeSweep::requestsAtRate(double rate) const
 {
-    const double rate = spec_.rates[ri];
     std::vector<ServeRequest> out;
     if (spec_.arrival.kind == ArrivalKind::Trace) {
         // The rate is a replay-speed multiplier over the trace; class
@@ -461,25 +809,21 @@ ServeSweepResult::allSucceeded() const
     return true;
 }
 
-ServeSweepResult
-ServeSweep::run(ExperimentEngine& engine)
+std::vector<std::vector<ServeClassBaseline>>
+ServeSweep::computeBaselines(ExperimentEngine& engine) const
 {
-    ServeSweepResult out;
-    out.spec = spec_;
-    for (const ServeJobClass& cls : classes_)
-        out.classNames.push_back(cls.name);
-
+    // Unloaded baselines: every (design, class) pair alone on one
+    // idle *static* partition slot — the latency reference the SLO
+    // and slowdown metrics are defined against, shared by every
+    // partition policy so elastic results stay comparable to static.
     const SystemConfig scaled = spec_.sys.scaledDown(spec_.scaleDown);
     const SystemConfig slotSys = partitionShare(
         scaled, 1.0 / static_cast<double>(spec_.slots));
 
-    // Unloaded baselines: every (design, class) pair alone on one
-    // idle partition slot — the latency reference the SLO and
-    // slowdown metrics are defined against. Per class, all designs'
-    // plans compile concurrently across the pool, then each replays.
     const std::size_t nd = spec_.designs.size();
     const std::size_t nc = classes_.size();
-    out.baselines.assign(nd, std::vector<ServeClassBaseline>(nc));
+    std::vector<std::vector<ServeClassBaseline>> baselines(
+        nd, std::vector<ServeClassBaseline>(nc));
     for (std::size_t c = 0; c < nc; ++c) {
         std::vector<DesignInstance> designs =
             engine.compileDesignsOnTrace(traces_[c], slotSys,
@@ -492,17 +836,97 @@ ServeSweep::run(ExperimentEngine& engine)
             rc.seed = spec_.seed;
             SimRuntime rt(traces_[c], *designs[d].policy, rc);
             ExecStats st = rt.run();
-            out.baselines[d][c].unloadedNs = rt.now();
-            out.baselines[d][c].failed = st.failed;
+            baselines[d][c].unloadedNs = rt.now();
+            baselines[d][c].failed = st.failed;
         });
+    }
+    return baselines;
+}
+
+void
+ServeSweep::runAutoRates(ExperimentEngine& engine,
+                         ServeSweepResult* out)
+{
+    const std::size_t nd = spec_.designs.size();
+    std::vector<std::vector<ServeCellResult>> cellsByDesign(nd);
+    out->sustainedRate.assign(nd, 0.0);
+    out->rateProbes.assign(nd, 0);
+
+    // Each design bisects independently (deterministic, probe order
+    // recorded in its cells); designs fan out across the pool.
+    engine.parallelFor(nd, [&](std::size_t d) {
+        const int budget = spec_.rateProbes;
+        int used = 0;
+        double lo = 0.0;  // highest rate known sustained
+        double hi = 0.0;  // lowest rate known overloaded (0 = none)
+
+        auto probe = [&](double rate) -> bool {
+            ServeSim sim(spec_, spec_.designs[d], rate, traces_,
+                         classes_, minGpu_, requestsAtRate(rate),
+                         out->baselines[d]);
+            cellsByDesign[d].push_back(sim.run());
+            ++used;
+            return cellsByDesign[d].back().sustained();
+        };
+
+        // Phase 1: grow geometrically until the bounded queue sheds
+        // (or a ceiling/budget stops the search). The first probe
+        // already respects the rate_hi ceiling.
+        double r = spec_.resolvedRateLo();
+        while (used < budget) {
+            if (probe(r)) {
+                lo = r;
+                if (spec_.rateHi > 0.0 && r >= spec_.rateHi)
+                    break;  // sustained at the ceiling
+                r *= 4.0;
+                if (spec_.rateHi > 0.0)
+                    r = std::min(r, spec_.rateHi);
+            } else {
+                hi = r;
+                break;
+            }
+        }
+
+        // Phase 2: bisect the bracket down to ~5% of the knee.
+        while (used < budget && hi > 0.0 && hi - lo > 0.05 * hi) {
+            const double mid = 0.5 * (lo + hi);
+            if (probe(mid))
+                lo = mid;
+            else
+                hi = mid;
+        }
+
+        out->sustainedRate[d] = lo;
+        out->rateProbes[d] = static_cast<std::uint64_t>(used);
+    });
+
+    for (std::size_t d = 0; d < nd; ++d)
+        for (ServeCellResult& cell : cellsByDesign[d])
+            out->cells.push_back(std::move(cell));
+}
+
+ServeSweepResult
+ServeSweep::run(ExperimentEngine& engine)
+{
+    ServeSweepResult out;
+    out.spec = spec_;
+    for (const ServeJobClass& cls : classes_)
+        out.classNames.push_back(cls.name);
+
+    out.baselines = computeBaselines(engine);
+
+    if (spec_.ratesAuto) {
+        runAutoRates(engine, &out);
+        return out;
     }
 
     // The offered sequences, one per rate (shared by every design:
     // cells of one rate differ only in the design under test).
+    const std::size_t nd = spec_.designs.size();
     const std::size_t nr = spec_.rates.size();
     std::vector<std::vector<ServeRequest>> requestsByRate(nr);
     for (std::size_t r = 0; r < nr; ++r)
-        requestsByRate[r] = requestsForRate(r);
+        requestsByRate[r] = requestsAtRate(spec_.rates[r]);
 
     // The grid: every design at every offered rate, design-major.
     out.cells.resize(nd * nr);
@@ -510,7 +934,8 @@ ServeSweep::run(ExperimentEngine& engine)
         const std::size_t d = i / nr;
         const std::size_t r = i % nr;
         ServeSim sim(spec_, spec_.designs[d], spec_.rates[r], traces_,
-                     classes_, requestsByRate[r], out.baselines[d]);
+                     classes_, minGpu_, requestsByRate[r],
+                     out.baselines[d]);
         out.cells[i] = sim.run();
     });
 

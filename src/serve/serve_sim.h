@@ -5,21 +5,34 @@
  *
  * Where MultiTenantSim runs a fixed mix to completion, ServeSim models
  * a *service*: requests arrive over time from a seeded open-loop
- * process, wait in a bounded admission queue when every partition slot
- * is leased, lease a slot + compile their migration plan on admission
- * (warm-starting from the previous plan of the same model when only
- * the batch size differs), share the GPU / PCIe fabric / SSD with the
- * other active jobs at kernel granularity, and on departure release
- * their partition and trim their SSD log space for the next arrival.
+ * process, wait in a bounded admission queue when the node is full,
+ * lease a memory partition + compile their migration plan on admission
+ * (warm-starting from the previous plan of the same model when the
+ * batch size or partition capacity differs), share the GPU / PCIe
+ * fabric / SSD with the other active jobs at kernel granularity, and
+ * on departure release their partition and trim their SSD log space
+ * for the next arrival.
+ *
+ * Partitions are *elastic* (ServeSpec::partitionPolicy): instead of
+ * leasing one of N fixed equal slots, the proportional policy keeps
+ * every active job at an equal share of the whole machine (a lone job
+ * gets all of it), and the ondemand policy splits live leases in half
+ * under arrival pressure and merges capacity back with hysteresis on
+ * departure. Capacity changes flow through
+ * SimRuntime::resizeMemoryBudget() (evicting down to the new
+ * watermark through the migration machinery) and trigger a warm
+ * replan of the job's migration schedule at the new capacity.
  *
  * ServeSweep runs the cross product of designs × offered arrival rates
  * — each cell an independent deterministic simulation — and derives
  * SLO-centric metrics: queueing delay and completion-latency
  * percentiles (p50/p95/p99), per-request slowdown vs. the unloaded
  * latency, SLO-attainment fraction, the sustained-throughput capacity
- * (max offered rate with a bounded queue, i.e. zero rejections), and
- * consolidated SSD write amplification under churn. Results are
- * bit-identical for a given (spec, seed) regardless of worker count.
+ * (max offered rate with a bounded queue, i.e. zero rejections; with
+ * `rates = auto` a per-design bisection finds this knee instead of
+ * sweeping a hand-guessed axis), and consolidated SSD write
+ * amplification under churn. Results are bit-identical for a given
+ * (spec, seed) regardless of worker count.
  */
 
 #ifndef G10_SERVE_SERVE_SIM_H
@@ -110,6 +123,34 @@ struct ServeMetrics
     std::uint64_t starvationPromotions = 0;
     std::uint64_t coldCompiles = 0;
     std::uint64_t warmCompiles = 0;
+
+    // ---- Elastic-partition activity (all zero under Static) --------
+
+    /** Lease capacity changes applied to live jobs. */
+    std::uint64_t resizes = 0;
+    std::uint64_t resizeShrinks = 0;
+    std::uint64_t resizeGrows = 0;
+
+    /** Admissions that split a live lease (OnDemand). */
+    std::uint64_t splits = 0;
+
+    /** GPU bytes shrinks drained out of live jobs. */
+    Bytes resizeEvictedBytes = 0;
+
+    /** Mid-run plan recompiles triggered by a capacity resize. */
+    std::uint64_t replans = 0;
+
+    /**
+     * Warm starts that crossed a capacity change: mid-run replans
+     * that reused prior picks, plus admission compiles seeded by a
+     * schedule compiled at a different GPU capacity.
+     */
+    std::uint64_t resizeWarmHits = 0;
+
+    /** Prior-schedule picks recommitted / invalidated across all
+     *  warm-started compiles of the cell (scheduler replay stats). */
+    std::uint64_t warmReplayedMigrations = 0;
+    std::uint64_t warmDroppedMigrations = 0;
 };
 
 /** One (design, rate) cell of the sweep. */
@@ -159,9 +200,14 @@ struct ServeSweepResult
     /**
      * Per design: the highest tested rate every offered request was
      * served at (sustained() cell), 0 when even the lowest rate
-     * overflowed the queue.
+     * overflowed the queue. In auto mode (spec.ratesAuto) this is the
+     * bisected capacity knee.
      */
     std::vector<double> sustainedRate;
+
+    /** Per design: probes spent by the auto knee search (empty when
+     *  the spec carried an explicit rate axis). */
+    std::vector<std::uint64_t> rateProbes;
 
     /** True when no cell had failed (crashed) jobs. Rejections are
      *  load shedding, not failures, and do not clear this. */
@@ -178,12 +224,16 @@ class ServeSim
      * @param rate      offered rate / trace multiplier of this cell
      * @param traces    per-class traces (index-matched to classes)
      * @param classes   job classes (resolved, including trace-derived)
+     * @param minGpu    per-class elastic capacity floors (largest
+     *                  kernel working set + headroom; ServeSweep
+     *                  computes them once per sweep)
      * @param requests  the offered request sequence for this rate
      * @param baselines per-class unloaded latencies for this design
      */
     ServeSim(const ServeSpec& spec, std::string design, double rate,
              const std::vector<KernelTrace>& traces,
              const std::vector<ServeJobClass>& classes,
+             const std::vector<Bytes>& minGpu,
              std::vector<ServeRequest> requests,
              const std::vector<ServeClassBaseline>& baselines);
 
@@ -195,6 +245,7 @@ class ServeSim
     double rate_;
     const std::vector<KernelTrace>& traces_;
     const std::vector<ServeJobClass>& classes_;
+    const std::vector<Bytes>& minGpu_;
     std::vector<ServeRequest> requests_;
     const std::vector<ServeClassBaseline>& baselines_;
 };
@@ -216,11 +267,25 @@ class ServeSweep
     ServeSpec spec_;
     std::vector<ServeJobClass> classes_;   ///< resolved classes
     std::vector<KernelTrace> traces_;      ///< per-class, scaled
+    std::vector<Bytes> minGpu_;            ///< per-class floors
     std::vector<TraceRequest> traceReqs_;  ///< ArrivalKind::Trace only
     std::vector<std::size_t> traceClass_;  ///< class of each trace req
 
-    /** The offered request sequence for rate index @p ri. */
-    std::vector<ServeRequest> requestsForRate(std::size_t ri) const;
+    /** The offered request sequence at @p rate (req/s or trace
+     *  multiplier); identical class sequence at every rate. */
+    std::vector<ServeRequest> requestsAtRate(double rate) const;
+
+    /** Per-design unloaded baselines (the SLO reference). */
+    std::vector<std::vector<ServeClassBaseline>>
+    computeBaselines(ExperimentEngine& engine) const;
+
+    /**
+     * `rates = auto`: per design, grow the probe rate geometrically
+     * until the queue overflows, then bisect the bracket for the
+     * sustained-throughput knee. Cells record every probe in probe
+     * order; designs run concurrently across the pool.
+     */
+    void runAutoRates(ExperimentEngine& engine, ServeSweepResult* out);
 };
 
 }  // namespace g10

@@ -116,6 +116,34 @@ parseClassLine(const std::string& payload, const std::string& path,
 
 }  // namespace
 
+const char*
+partitionPolicyName(PartitionPolicy policy)
+{
+    switch (policy) {
+      case PartitionPolicy::Static:
+        return "static";
+      case PartitionPolicy::Proportional:
+        return "proportional";
+      case PartitionPolicy::OnDemand:
+        return "ondemand";
+    }
+    return "?";
+}
+
+bool
+partitionPolicyFromName(const std::string& name, PartitionPolicy* out)
+{
+    if (name == "static")
+        *out = PartitionPolicy::Static;
+    else if (name == "proportional")
+        *out = PartitionPolicy::Proportional;
+    else if (name == "ondemand")
+        *out = PartitionPolicy::OnDemand;
+    else
+        return false;
+    return true;
+}
+
 ServeSpec
 parseServeFile(const std::string& path)
 {
@@ -225,15 +253,53 @@ parseServeFile(const std::string& path)
         } else if (key == "trace") {
             spec.arrival.tracePath = value;
             have_trace_path = true;
+        } else if (key == "partition_policy") {
+            if (!partitionPolicyFromName(value, &spec.partitionPolicy))
+                fatal("%s:%zu: unknown partition_policy '%s' (static "
+                      "| proportional | ondemand)",
+                      path.c_str(), lineno, value.c_str());
+        } else if (key == "resize_hysteresis") {
+            spec.resizeHysteresis =
+                parseDouble(value, path, lineno, key);
+            if (spec.resizeHysteresis < 0.0 ||
+                spec.resizeHysteresis >= 1.0)
+                fatal("%s:%zu: resize_hysteresis must be in [0, 1)",
+                      path.c_str(), lineno);
+        } else if (key == "max_active") {
+            long long v = parseInt(value, path, lineno, key);
+            if (v < 0)
+                fatal("%s:%zu: max_active must be >= 0 (0 = derive)",
+                      path.c_str(), lineno);
+            spec.maxActive = static_cast<int>(v);
         } else if (key == "rates") {
-            for (const std::string& item :
-                 splitCommaList(value, path, lineno, key)) {
-                double r = parseDouble(item, path, lineno, key);
-                if (r <= 0.0)
-                    fatal("%s:%zu: rates must be > 0", path.c_str(),
-                          lineno);
-                spec.rates.push_back(r);
+            if (value == "auto") {
+                spec.ratesAuto = true;
+            } else {
+                for (const std::string& item :
+                     splitCommaList(value, path, lineno, key)) {
+                    double r = parseDouble(item, path, lineno, key);
+                    if (r <= 0.0)
+                        fatal("%s:%zu: rates must be > 0",
+                              path.c_str(), lineno);
+                    spec.rates.push_back(r);
+                }
             }
+        } else if (key == "rate_lo") {
+            spec.rateLo = parseDouble(value, path, lineno, key);
+            if (spec.rateLo <= 0.0)
+                fatal("%s:%zu: rate_lo must be > 0", path.c_str(),
+                      lineno);
+        } else if (key == "rate_hi") {
+            spec.rateHi = parseDouble(value, path, lineno, key);
+            if (spec.rateHi <= 0.0)
+                fatal("%s:%zu: rate_hi must be > 0", path.c_str(),
+                      lineno);
+        } else if (key == "rate_probes") {
+            long long v = parseInt(value, path, lineno, key);
+            if (v < 2)
+                fatal("%s:%zu: rate_probes must be >= 2", path.c_str(),
+                      lineno);
+            spec.rateProbes = static_cast<int>(v);
         } else if (key == "designs") {
             for (const std::string& item :
                  splitCommaList(value, path, lineno, key)) {
@@ -262,17 +328,25 @@ parseServeFile(const std::string& path)
             spec.sys.pcieGBps = parseDouble(value, path, lineno, key);
         } else {
             fatal("%s:%zu: unknown key '%s' (expected class, scale, "
-                  "seed, slots, queue, admission, starvation_ms, "
+                  "seed, slots, partition_policy, resize_hysteresis, "
+                  "max_active, queue, admission, starvation_ms, "
                   "slo_factor, requests, arrival, burst_on_ms, "
-                  "burst_off_ms, trace, rates, designs, gpu_mem_gb, "
-                  "host_mem_gb, ssd_gbps, pcie_gbps)",
+                  "burst_off_ms, trace, rates, rate_lo, rate_hi, "
+                  "rate_probes, designs, gpu_mem_gb, host_mem_gb, "
+                  "ssd_gbps, pcie_gbps)",
                   path.c_str(), lineno, key.c_str());
         }
     }
 
     // Cross-key consistency.
-    if (spec.rates.empty())
+    if (spec.rates.empty() && !spec.ratesAuto)
         fatal("%s: serve file needs 'rates = ...'", path.c_str());
+    if (spec.maxActive > 0 && spec.maxActive < spec.slots)
+        fatal("%s: max_active (%d) must be >= slots (%d)",
+              path.c_str(), spec.maxActive, spec.slots);
+    if (spec.rateLo > 0.0 && spec.rateHi > 0.0 &&
+        spec.rateHi < spec.rateLo)
+        fatal("%s: rate_hi must be >= rate_lo", path.c_str());
     if (spec.designs.empty())
         fatal("%s: serve file needs 'designs = ...'", path.c_str());
     if (spec.arrival.kind == ArrivalKind::Trace) {

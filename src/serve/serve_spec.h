@@ -46,6 +46,37 @@ struct ServeJobClass
     double weight = 1.0;
 };
 
+/**
+ * How the serving node divides its memory among concurrent jobs.
+ *
+ *  - Static: `slots` fixed equal partitions, leased and reclaimed
+ *    whole (the original behavior; compiled plans are maximally
+ *    reusable because every lease has the same geometry).
+ *  - Proportional: up to maxActive concurrent jobs share the whole
+ *    machine equally — each admission shrinks the incumbents to
+ *    1/(k+1) and each departure grows the survivors back (growth is
+ *    hysteresis-gated). A lone job gets the entire machine.
+ *  - OnDemand: arrivals take a static-slot-sized grant from the free
+ *    pool while one exists, then split the largest live lease in
+ *    half (never below half a slot); departures return capacity to
+ *    the pool and hysteresis-gated grows top the smallest leases
+ *    back up toward a full slot.
+ */
+enum class PartitionPolicy
+{
+    Static,
+    Proportional,
+    OnDemand,
+};
+
+/** CLI/file name of a partition policy ("static", "proportional",
+ *  "ondemand"). */
+const char* partitionPolicyName(PartitionPolicy policy);
+
+/** Parse a partition policy name; false on unknown input. */
+bool partitionPolicyFromName(const std::string& name,
+                             PartitionPolicy* out);
+
 /** Everything one serving experiment needs. */
 struct ServeSpec
 {
@@ -58,8 +89,38 @@ struct ServeSpec
     /** Base RNG seed (arrivals, class picks, per-job perturbations). */
     std::uint64_t seed = 42;
 
-    /** Concurrent partition slots (jobs actively sharing the GPU). */
+    /** Concurrent partition slots (jobs actively sharing the GPU).
+     *  Elastic policies use this as the equal-split reference size. */
     int slots = 2;
+
+    /** How capacity is divided among concurrent jobs. */
+    PartitionPolicy partitionPolicy = PartitionPolicy::Static;
+
+    /**
+     * Minimum relative capacity change that triggers a *growth*
+     * resize of a live job (elastic policies). Shrinks needed to
+     * admit an arrival are always applied; growth below the
+     * hysteresis is deferred so departures don't thrash leases.
+     */
+    double resizeHysteresis = 0.25;
+
+    /**
+     * Elastic concurrency cap: most jobs simultaneously holding a
+     * lease. 0 = derive (slots for proportional, 2*slots for
+     * ondemand; static always uses slots).
+     */
+    int maxActive = 0;
+
+    /** The cap after derivation (what the engine actually uses). */
+    int resolvedMaxActive() const
+    {
+        if (partitionPolicy == PartitionPolicy::Static)
+            return slots;
+        if (maxActive > 0)
+            return maxActive;
+        return partitionPolicy == PartitionPolicy::OnDemand ? 2 * slots
+                                                            : slots;
+    }
 
     /** Admission queue bound; arrivals beyond it are rejected. */
     std::size_t queueCapacity = 8;
@@ -85,8 +146,36 @@ struct ServeSpec
      * Sweep axis: offered arrival rates in requests/second
      * (Poisson/Bursty). For trace arrivals each value is a time-scale
      * multiplier instead: rate 2 replays the trace twice as fast.
+     * Empty iff ratesAuto (capacity-knee bisection).
      */
     std::vector<double> rates;
+
+    /**
+     * `rates = auto`: instead of sweeping a hand-guessed rate axis,
+     * bisect per design for the sustained-throughput knee — grow the
+     * probe rate geometrically until the bounded queue overflows,
+     * then bisect the bracket. sustainedRate becomes the knee.
+     */
+    bool ratesAuto = false;
+
+    /** First probe rate of the auto search; 0 = 0.05 req/s. */
+    double rateLo = 0.0;
+
+    /** Optional auto-search ceiling; 0 = unbounded (probe-limited). */
+    double rateHi = 0.0;
+
+    /** Max probes (cells) per design in auto mode. */
+    int rateProbes = 10;
+
+    /** The auto search's actual first probe rate: rateLo, defaulted,
+     *  and clamped under the rateHi ceiling when one is set. */
+    double resolvedRateLo() const
+    {
+        double lo = rateLo > 0.0 ? rateLo : 0.05;
+        if (rateHi > 0.0 && lo > rateHi)
+            lo = rateHi;
+        return lo;
+    }
 
     /** Sweep axis: memory-management designs, by registry name. */
     std::vector<std::string> designs;
@@ -103,6 +192,9 @@ struct ServeSpec
  *   scale       = 32          # 1/N platform scale
  *   seed        = 42
  *   slots       = 2           # concurrent partition slots
+ *   partition_policy = static # static | proportional | ondemand
+ *   resize_hysteresis = 0.25  # min relative growth worth a resize
+ *   max_active  = 4           # elastic concurrency cap (0 = derive)
  *   queue       = 8           # admission queue bound
  *   admission   = fifo        # fifo | sjf | priority
  *   starvation_ms = 500       # priority starvation guard (0 = off)
@@ -112,6 +204,9 @@ struct ServeSpec
  *   burst_on_ms / burst_off_ms = <bursty windows>
  *   trace       = <file.arr>  # arrival = trace
  *   rates       = 5,10,20     # requests/s sweep (trace: multipliers)
+ *   rates       = auto        # or: bisect for the capacity knee
+ *   rate_lo / rate_hi = <auto-search bracket (optional)>
+ *   rate_probes = 10          # max probes per design (auto mode)
  *   designs     = baseuvm,deepum,g10
  *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps = <platform knobs>
  *

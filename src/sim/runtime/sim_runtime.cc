@@ -208,7 +208,10 @@ SimRuntime::makeSpace(Bytes needed, TimeNs at, bool soft)
                                   lruSentinel_)],
                               lruNext_[static_cast<std::size_t>(
                                   lruSentinel_)]};
-    while (gpuFreeBytes() < needed) {
+    // The deficit form of `gpuFreeBytes() < needed` — equivalent when
+    // usage is under budget, and still correct while usage exceeds a
+    // freshly shrunk budget (resizeMemoryBudget drains with needed=0).
+    while (gpuUsedBytes_ + needed > config_.sys.gpuMemBytes) {
         // Prefer waiting for evictions already in flight.
         if (!pendingFrees_.empty()) {
             std::pop_heap(pendingFrees_.begin(), pendingFrees_.end(),
@@ -585,6 +588,51 @@ SimRuntime::releaseSsdLog()
         tr.ssdLogical = UINT64_MAX;
         tr.awaySsdBytes = 0;
     }
+}
+
+SimRuntime::ResizeOutcome
+SimRuntime::resizeMemoryBudget(Bytes gpuBytes, Bytes hostBytes)
+{
+    ResizeOutcome out;
+    out.effectiveNs = streamTime_;
+    if (policy_->infiniteMemory()) {
+        // The ideal baseline models unbounded GPU memory (the
+        // constructor inflated the budget); only the host staging
+        // budget tracks the lease.
+        config_.sys.hostMemBytes = hostBytes;
+        return out;
+    }
+    out.shrunk = gpuBytes < config_.sys.gpuMemBytes;
+    ++resizeCount_;
+    config_.sys.gpuMemBytes = gpuBytes;
+    // Host staging drains lazily: hostFreeBytes() saturates at zero,
+    // so while usage exceeds the shrunk budget new evictions overflow
+    // to the SSD and fetches bleed the staging area down.
+    config_.sys.hostMemBytes = hostBytes;
+    if (!started_ || stats_.failed || !out.shrunk)
+        return out;
+
+    // Eager drain to the new watermark through the same machinery
+    // capacity pressure uses: LRU victims, the policy's destination
+    // choice, and real DMA reservations on the fabric timelines.
+    drainPendingFrees(streamTime_);
+    if (gpuUsedBytes_ > gpuBytes) {
+        out.evictedBytes = gpuUsedBytes_ - gpuBytes;
+        resizeEvictedBytes_ += out.evictedBytes;
+        out.effectiveNs = makeSpace(0, streamTime_);
+    }
+    return out;
+}
+
+void
+SimRuntime::setPolicy(Policy& policy)
+{
+    if (policy.infiniteMemory() != policy_->infiniteMemory() ||
+        policy.demandPagingAllowed() != policy_->demandPagingAllowed())
+        panic("setPolicy: replacement policy changes the memory model "
+              "mid-run");
+    policy_ = &policy;
+    stats_.policyName = policy.name();
 }
 
 ExecStats

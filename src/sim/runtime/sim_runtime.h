@@ -124,6 +124,49 @@ class SimRuntime
      */
     void releaseSsdLog();
 
+    // ---- Dynamic memory budget (elastic partitions) ----------------
+
+    /** Outcome of one resizeMemoryBudget() call. */
+    struct ResizeOutcome
+    {
+        bool shrunk = false;      ///< GPU budget decreased
+        Bytes evictedBytes = 0;   ///< GPU bytes drained to fit
+        TimeNs effectiveNs = 0;   ///< when the new watermark holds
+    };
+
+    /**
+     * Change the job's memory capacity mid-run (the elastic-partition
+     * path: the serving engine resizes a live job's lease and tells
+     * its runtime here). Growth takes effect immediately. A GPU
+     * shrink eagerly evicts LRU victims through the existing
+     * migration machinery until residency fits under the new
+     * watermark — resident state is staged to host/SSD, never
+     * dropped; if the pinned working set cannot fit, the run fails
+     * explicitly (same contract as any other hard OOM). A host
+     * shrink drains lazily: staged bytes stay where they are, new
+     * evictions overflow to the SSD until usage falls under budget.
+     *
+     * Must be called between kernels (never from policy hooks). The
+     * ideal (infinite-memory) baseline only tracks the host budget.
+     */
+    ResizeOutcome resizeMemoryBudget(Bytes gpuBytes, Bytes hostBytes);
+
+    /** Budget changes applied so far (reported by the serve layer). */
+    std::uint64_t resizeCount() const { return resizeCount_; }
+
+    /** GPU bytes shrinks had to drain (cumulative). */
+    Bytes resizeEvictedBytes() const { return resizeEvictedBytes_; }
+
+    /**
+     * Swap the driving policy (elastic replanning: after a capacity
+     * resize the serving engine recompiles the migration plan at the
+     * new budget, warm-started from the old schedule, and installs it
+     * here). Must be called between kernels; the new policy must have
+     * the same memory model (demand paging / infinite memory) as the
+     * old one. The caller keeps ownership of both policies.
+     */
+    void setPolicy(Policy& policy);
+
     // ---- Services for policies -------------------------------------
 
     const KernelTrace& trace() const { return *trace_; }
@@ -174,16 +217,20 @@ class SimRuntime
     /** Pin @p t against capacity eviction until global kernel index. */
     void pinUntil(TensorId t, std::int64_t global_kernel);
 
-    /** GPU bytes not currently allocated. */
+    /** GPU bytes not currently allocated (0 while a shrink drains). */
     Bytes gpuFreeBytes() const
     {
-        return config_.sys.gpuMemBytes - gpuUsedBytes_;
+        return config_.sys.gpuMemBytes > gpuUsedBytes_
+            ? config_.sys.gpuMemBytes - gpuUsedBytes_
+            : 0;
     }
 
-    /** Host staging bytes still free. */
+    /** Host staging bytes still free (0 while a shrink drains). */
     Bytes hostFreeBytes() const
     {
-        return config_.sys.hostMemBytes - hostUsedBytes_;
+        return config_.sys.hostMemBytes > hostUsedBytes_
+            ? config_.sys.hostMemBytes - hostUsedBytes_
+            : 0;
     }
 
     /** Number of kernels in one iteration. */
@@ -293,6 +340,10 @@ class SimRuntime
     bool started_ = false;
     int iter_ = 0;
     std::size_t nextKernel_ = 0;
+
+    // Elastic-budget bookkeeping.
+    std::uint64_t resizeCount_ = 0;
+    Bytes resizeEvictedBytes_ = 0;
 
     // Stats under construction.
     ExecStats stats_;

@@ -376,5 +376,97 @@ TEST(G10Compiler, RealModelPlanFitsOrShrinksPeak)
     EXPECT_GT(plan.schedule.migrations.size(), 10u);
 }
 
+// ---- Warm start across capacity changes (elastic partitions) ----
+
+TEST_F(EvictionSchedulerTest, ScheduleRecordsItsCompileCapacity)
+{
+    EvictionSchedule cold = EvictionScheduler(vit_, sys_).run();
+    EXPECT_EQ(cold.scheduledForGpuBytes, sys_.gpuMemBytes);
+    EXPECT_EQ(cold.warmReplayed, 0u);
+    EXPECT_EQ(cold.warmDropped, 0u);
+    EXPECT_DOUBLE_EQ(cold.warmHitRate(), 0.0);
+}
+
+TEST_F(EvictionSchedulerTest, ShrunkCapacityReplaysEveryPriorPick)
+{
+    // C' < C: everything the prior schedule evicted still sits above
+    // the lower capacity, so the whole schedule replays and the
+    // greedy search only runs for the extra pressure the shrink
+    // exposed.
+    EvictionSchedule base = EvictionScheduler(vit_, sys_).run();
+    ASSERT_FALSE(base.migrations.empty());
+
+    SystemConfig shrunk = sys_;
+    shrunk.gpuMemBytes = sys_.gpuMemBytes / 2;
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule re = EvictionScheduler(vit_, shrunk, p).run();
+
+    EXPECT_EQ(re.scheduledForGpuBytes, shrunk.gpuMemBytes);
+    EXPECT_EQ(re.warmReplayed, base.migrations.size());
+    EXPECT_EQ(re.warmDropped, 0u);
+    EXPECT_DOUBLE_EQ(re.warmHitRate(), 1.0);
+    // The shrink exposes more pressure: at least the prior picks.
+    EXPECT_GE(re.migrations.size(), base.migrations.size());
+}
+
+TEST_F(EvictionSchedulerTest, GrownCapacityDropsTheUnneededTail)
+{
+    // C' > C (big enough that nothing sits above it): every prior
+    // pick is unnecessary; the replay stops immediately and the
+    // greedy search has nothing to do.
+    EvictionSchedule base = EvictionScheduler(vit_, sys_).run();
+    ASSERT_FALSE(base.migrations.empty());
+
+    SystemConfig grown = sys_;
+    grown.gpuMemBytes = 16 * GiB;  // fits the whole model
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule re = EvictionScheduler(vit_, grown, p).run();
+
+    EXPECT_TRUE(re.migrations.empty());
+    EXPECT_EQ(re.warmReplayed, 0u);
+    EXPECT_EQ(re.warmDropped, base.migrations.size());
+    EXPECT_DOUBLE_EQ(re.warmHitRate(), 0.0);
+    // Zero greedy evaluations beyond the (empty) replay: the search
+    // was skipped outright.
+    EXPECT_EQ(re.evaluations, 0u);
+}
+
+TEST_F(EvictionSchedulerTest, ModestGrowthReplaysAPrefixOnly)
+{
+    // C' slightly above C: pressure above the new capacity is smaller,
+    // so a prefix of the prior schedule suffices; the tail is dropped
+    // rather than recommitted.
+    EvictionSchedule base = EvictionScheduler(vit_, sys_).run();
+    ASSERT_GT(base.migrations.size(), 2u);
+
+    SystemConfig grown = sys_;
+    grown.gpuMemBytes = sys_.gpuMemBytes + 48 * MiB;
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule re = EvictionScheduler(vit_, grown, p).run();
+
+    EXPECT_EQ(re.warmReplayed + re.warmDropped,
+              base.migrations.size());
+    EXPECT_LT(re.warmReplayed, base.migrations.size());
+    EXPECT_LE(re.finalPeakBytes, grown.gpuMemBytes + 16 * MiB);
+}
+
+TEST_F(EvictionSchedulerTest, CapacityWarmStartIsDeterministic)
+{
+    EvictionSchedule base = EvictionScheduler(vit_, sys_).run();
+    SystemConfig shrunk = sys_;
+    shrunk.gpuMemBytes = sys_.gpuMemBytes * 3 / 4;
+    EvictionSchedulerParams p;
+    p.warmStart = &base;
+    EvictionSchedule a = EvictionScheduler(vit_, shrunk, p).run();
+    EvictionSchedule b = EvictionScheduler(vit_, shrunk, p).run();
+    EXPECT_EQ(a.warmReplayed, b.warmReplayed);
+    EXPECT_EQ(a.warmDropped, b.warmDropped);
+    EXPECT_EQ(a.migrations.size(), b.migrations.size());
+    EXPECT_EQ(a.finalPeakBytes, b.finalPeakBytes);
+}
+
 }  // namespace
 }  // namespace g10

@@ -236,5 +236,57 @@ TEST(MultiTenant, MemWeightSkewsThePartition)
               res.jobs[1].shared.measuredIterationNs);
 }
 
+TEST(MultiTenantGolden, WeightedSplitIsBitIdenticalThroughTheManager)
+{
+    // Golden pin for the PartitionManager refactor: these exact
+    // values were captured from the slot-bitmap manager before leases
+    // became byte-accounted/resizable. Any change to the weighted-
+    // split arithmetic (partitionShare, acquireWeighted) shows up
+    // here as a diff.
+    WorkloadMix mix;
+    mix.scaleDown = 64;
+    mix.seed = 42;
+    mix.isolatedBaseline = false;
+    JobSpec a;
+    a.model = ModelKind::ResNet152;
+    a.batchSize = 512;
+    a.design = "g10";
+    a.memWeight = 3.0;
+    JobSpec b;
+    b.model = ModelKind::ResNet152;
+    b.batchSize = 256;
+    b.design = "baseuvm";
+    b.memWeight = 1.0;
+    JobSpec c;
+    c.model = ModelKind::BertBase;
+    c.design = "deepum";
+    c.memWeight = 2.0;
+    c.arrivalNs = 5 * MSEC;
+    mix.jobs = {a, b, c};
+
+    MixResult r = MultiTenantSim(mix).run();
+    ASSERT_TRUE(r.allSucceeded());
+
+    EXPECT_EQ(r.jobs[0].shared.measuredIterationNs, 1640126760);
+    EXPECT_EQ(r.jobs[0].finishNs, 4273828996);
+    EXPECT_EQ(r.jobs[0].shared.totalStallNs, 969417304);
+    EXPECT_EQ(r.jobs[0].shared.pageFaultBatches, 78u);
+
+    EXPECT_EQ(r.jobs[1].shared.measuredIterationNs, 1639461779);
+    EXPECT_EQ(r.jobs[1].finishNs, 4280998319);
+    EXPECT_EQ(r.jobs[1].shared.totalStallNs, 1300752307);
+    EXPECT_EQ(r.jobs[1].shared.pageFaultBatches, 2443u);
+
+    EXPECT_EQ(r.jobs[2].shared.measuredIterationNs, 1237278686);
+    EXPECT_EQ(r.jobs[2].finishNs, 2685569490);
+    EXPECT_EQ(r.jobs[2].shared.totalStallNs, 1161089015);
+    EXPECT_EQ(r.jobs[2].shared.pageFaultBatches, 0u);
+
+    EXPECT_EQ(r.makespanNs, 4280998319);
+    EXPECT_EQ(r.gpuBusyNs, 2137597198);
+    EXPECT_EQ(r.ssd.nandWriteBytes, 3586260992u);
+    EXPECT_EQ(r.ssd.hostWriteBytes, 3572817920u);
+}
+
 }  // namespace
 }  // namespace g10

@@ -277,5 +277,332 @@ TEST(ServeSim, PriorityAdmissionStillServesEveryone)
     EXPECT_EQ(m.failed, 0u);
 }
 
+// ---- Elastic partitions ------------------------------------------
+
+/** Sum of one elastic counter across a sweep's cells. */
+template <typename Fn>
+std::uint64_t
+sumCells(const ServeSweepResult& r, Fn&& get)
+{
+    std::uint64_t total = 0;
+    for (const ServeCellResult& c : r.cells)
+        total += get(c.metrics);
+    return total;
+}
+
+TEST(ServeSimElastic, StaticPolicyReportsNoElasticActivity)
+{
+    ServeSpec spec = tinySpec();
+    spec.rates = {0.5, 5.0};
+    ExperimentEngine engine(1);
+    ServeSweepResult res = ServeSweep(spec).run(engine);
+    EXPECT_EQ(sumCells(res, [](const ServeMetrics& m) {
+                  return m.resizes + m.splits + m.replans +
+                         m.resizeWarmHits + m.resizeGrows +
+                         m.resizeShrinks;
+              }),
+              0u);
+}
+
+TEST(ServeSimElastic, ProportionalRebalancesAndServesEveryone)
+{
+    ServeSpec spec = tinySpec();
+    spec.partitionPolicy = PartitionPolicy::Proportional;
+    spec.rates = {0.5};
+    ExperimentEngine engine(1);
+    ServeSweepResult res = ServeSweep(spec).run(engine);
+    const ServeMetrics& m = res.cells[0].metrics;
+    EXPECT_EQ(m.failed, 0u);
+    EXPECT_EQ(m.completed, m.offered);
+    // Overlapping jobs forced equal-share shrinks and departures grew
+    // the survivors back.
+    EXPECT_GT(m.resizes, 0u);
+    EXPECT_GT(m.resizeShrinks, 0u);
+    EXPECT_GT(m.resizeGrows, 0u);
+    // G10 jobs replanned at the new capacities with warm starts.
+    EXPECT_GT(m.replans, 0u);
+    EXPECT_GT(m.resizeWarmHits, 0u);
+}
+
+TEST(ServeSimElastic, ProportionalLoneJobIsNoSlowerThanAStaticSlot)
+{
+    // At a near-idle rate every request runs alone; proportional
+    // grants it the whole machine, so completion latency can only
+    // improve on the static slot (which defines the baseline).
+    ServeSpec spec = tinySpec();
+    spec.rates = {0.05};
+    ExperimentEngine engine(1);
+    ServeSweepResult st = ServeSweep(spec).run(engine);
+
+    spec.partitionPolicy = PartitionPolicy::Proportional;
+    ServeSweepResult el = ServeSweep(spec).run(engine);
+
+    EXPECT_LE(el.cells[0].metrics.latencyP50Ns,
+              st.cells[0].metrics.latencyP50Ns);
+    EXPECT_DOUBLE_EQ(el.cells[0].metrics.sloAttainment, 1.0);
+}
+
+TEST(ServeSimElastic, OnDemandMatchesStaticUntilOverload)
+{
+    // Below the shedding point ondemand admissions are whole slots —
+    // the cell is metric-identical to static (splits are an overload
+    // escape valve, not a steady-state behavior).
+    ServeSpec spec = tinySpec();
+    spec.rates = {0.5};
+    ExperimentEngine engine(1);
+    ServeSweepResult st = ServeSweep(spec).run(engine);
+    spec.partitionPolicy = PartitionPolicy::OnDemand;
+    ServeSweepResult od = ServeSweep(spec).run(engine);
+    EXPECT_EQ(st.cells[0].metrics.latencyP95Ns,
+              od.cells[0].metrics.latencyP95Ns);
+    EXPECT_EQ(od.cells[0].metrics.splits, 0u);
+}
+
+TEST(ServeSimElastic, OnDemandSplitsUnderOverloadAndShedsLess)
+{
+    ServeSpec spec = tinySpec();
+    spec.queueCapacity = 1;
+    spec.rates = {50.0};  // heavy burst pressure
+    ExperimentEngine engine(1);
+    ServeSweepResult st = ServeSweep(spec).run(engine);
+
+    spec.partitionPolicy = PartitionPolicy::OnDemand;
+    ServeSweepResult od = ServeSweep(spec).run(engine);
+
+    EXPECT_GT(od.cells[0].metrics.splits, 0u);
+    EXPECT_LT(od.cells[0].metrics.rejected,
+              st.cells[0].metrics.rejected);
+    EXPECT_EQ(od.cells[0].metrics.failed, 0u);
+}
+
+TEST(ServeSimElastic, HysteresisBoundsResizeChurn)
+{
+    ServeSpec spec = tinySpec();
+    spec.partitionPolicy = PartitionPolicy::Proportional;
+    spec.rates = {1.0};
+    ExperimentEngine engine(1);
+
+    spec.resizeHysteresis = 0.0;
+    std::uint64_t eager = sumCells(
+        ServeSweep(spec).run(engine),
+        [](const ServeMetrics& m) { return m.resizes; });
+
+    spec.resizeHysteresis = 0.9;
+    std::uint64_t damped = sumCells(
+        ServeSweep(spec).run(engine),
+        [](const ServeMetrics& m) { return m.resizes; });
+
+    EXPECT_LE(damped, eager);
+    EXPECT_GT(eager, 0u);
+}
+
+TEST(ServeSimElastic, ElasticSweepsAreBitIdenticalAcrossPoolSizes)
+{
+    // The elastic golden determinism pin: proportional and ondemand
+    // serving results (every metric, every resize decision) must not
+    // depend on the worker pool.
+    for (PartitionPolicy p : {PartitionPolicy::Proportional,
+                              PartitionPolicy::OnDemand}) {
+        ServeSpec spec = tinySpec();
+        spec.partitionPolicy = p;
+        spec.designs = {"baseuvm", "g10"};
+        spec.rates = {0.5, 20.0};
+        spec.queueCapacity = 2;
+
+        ExperimentEngine serial(1);
+        ExperimentEngine pooled(4);
+        ServeSweepResult a = ServeSweep(spec).run(serial);
+        ServeSweepResult b = ServeSweep(spec).run(pooled);
+        EXPECT_EQ(toJson(a), toJson(b))
+            << partitionPolicyName(p);
+    }
+}
+
+// ---- Serve-file keys for elastic partitions / auto rates ---------
+
+/** Write @p text to a fresh temp serve file and return its path. */
+std::string
+writeServeFile(const std::string& tag, const std::string& text)
+{
+    std::string path = ::testing::TempDir() + "g10_" + tag + "_" +
+                       std::to_string(::getpid()) + ".serve";
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+TEST(ServeSpecParser, ParsesElasticAndAutoRateKeys)
+{
+    std::string path = writeServeFile(
+        "elastic",
+        "scale = 64\n"
+        "slots = 2\n"
+        "partition_policy = ondemand\n"
+        "resize_hysteresis = 0.5\n"
+        "max_active = 6\n"
+        "rates = auto\n"
+        "rate_lo = 0.1\n"
+        "rate_hi = 9\n"
+        "rate_probes = 7\n"
+        "designs = g10\n"
+        "class = ResNet152 batch=256\n");
+    ServeSpec spec = parseServeFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(spec.partitionPolicy, PartitionPolicy::OnDemand);
+    EXPECT_DOUBLE_EQ(spec.resizeHysteresis, 0.5);
+    EXPECT_EQ(spec.maxActive, 6);
+    EXPECT_EQ(spec.resolvedMaxActive(), 6);
+    EXPECT_TRUE(spec.ratesAuto);
+    EXPECT_TRUE(spec.rates.empty());
+    EXPECT_DOUBLE_EQ(spec.rateLo, 0.1);
+    EXPECT_DOUBLE_EQ(spec.rateHi, 9.0);
+    EXPECT_EQ(spec.rateProbes, 7);
+}
+
+TEST(ServeSpecParser, MaxActiveDerivesFromThePolicy)
+{
+    ServeSpec spec;
+    spec.slots = 3;
+    EXPECT_EQ(spec.resolvedMaxActive(), 3);  // static
+    spec.partitionPolicy = PartitionPolicy::Proportional;
+    EXPECT_EQ(spec.resolvedMaxActive(), 3);
+    spec.partitionPolicy = PartitionPolicy::OnDemand;
+    EXPECT_EQ(spec.resolvedMaxActive(), 6);  // 2x slots
+}
+
+TEST(ServeSpecParserDeath, RejectsUnknownPartitionPolicy)
+{
+    std::string path = writeServeFile(
+        "badpol",
+        "partition_policy = elastic\n"
+        "rates = 1\n"
+        "designs = g10\n"
+        "class = ResNet152\n");
+    EXPECT_EXIT(parseServeFile(path),
+                ::testing::ExitedWithCode(1),
+                "unknown partition_policy");
+    std::remove(path.c_str());
+}
+
+TEST(ServeSpecParserDeath, RejectsMaxActiveBelowSlots)
+{
+    std::string path = writeServeFile(
+        "badmax",
+        "slots = 4\n"
+        "max_active = 2\n"
+        "rates = 1\n"
+        "designs = g10\n"
+        "class = ResNet152\n");
+    EXPECT_EXIT(parseServeFile(path),
+                ::testing::ExitedWithCode(1),
+                "max_active");
+    std::remove(path.c_str());
+}
+
+TEST(ServeSpecParserDeath, RejectsHysteresisOutsideUnitInterval)
+{
+    std::string path = writeServeFile(
+        "badhyst",
+        "resize_hysteresis = 1.5\n"
+        "rates = 1\n"
+        "designs = g10\n"
+        "class = ResNet152\n");
+    EXPECT_EXIT(parseServeFile(path),
+                ::testing::ExitedWithCode(1),
+                "resize_hysteresis");
+    std::remove(path.c_str());
+}
+
+// ---- Capacity-knee bisection (rates = auto) ----------------------
+
+TEST(ServeSweepAuto, BisectsTheSustainedThroughputKnee)
+{
+    ServeSpec spec = tinySpec();
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateProbes = 8;
+    ExperimentEngine engine(1);
+    ServeSweepResult res = ServeSweep(spec).run(engine);
+
+    ASSERT_EQ(res.sustainedRate.size(), 1u);
+    ASSERT_EQ(res.rateProbes.size(), 1u);
+    // The knee exists and the search respected its probe budget.
+    EXPECT_GT(res.sustainedRate[0], 0.0);
+    EXPECT_LE(res.rateProbes[0], 8u);
+    EXPECT_EQ(res.cells.size(),
+              static_cast<std::size_t>(res.rateProbes[0]));
+    // The knee is the highest probed rate that sustained, and some
+    // probe above it overloaded (otherwise there was no bracket).
+    double best_sustained = 0.0;
+    bool overloaded_above = false;
+    for (const ServeCellResult& c : res.cells) {
+        if (c.sustained())
+            best_sustained = std::max(best_sustained, c.rate);
+        else if (c.rate > res.sustainedRate[0])
+            overloaded_above = true;
+    }
+    EXPECT_DOUBLE_EQ(best_sustained, res.sustainedRate[0]);
+    EXPECT_TRUE(overloaded_above);
+}
+
+TEST(ServeSweepAuto, AutoSearchIsBitIdenticalAcrossPoolSizes)
+{
+    ServeSpec spec = tinySpec();
+    spec.designs = {"baseuvm", "g10"};
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateProbes = 6;
+    ExperimentEngine serial(1);
+    ExperimentEngine pooled(4);
+    ServeSweepResult a = ServeSweep(spec).run(serial);
+    ServeSweepResult b = ServeSweep(spec).run(pooled);
+    EXPECT_EQ(toJson(a), toJson(b));
+}
+
+TEST(ServeSweepAuto, RespectsTheRateCeiling)
+{
+    // No rate_lo: the default first probe (0.05) exceeds the ceiling
+    // and must be clamped under it (regression: the first probe used
+    // to ignore rate_hi and report a knee above the ceiling).
+    ServeSpec spec = tinySpec();
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateHi = 0.04;  // ceiling below the node's real knee
+    spec.rateProbes = 6;
+    ExperimentEngine engine(1);
+    ServeSweepResult res = ServeSweep(spec).run(engine);
+    for (const ServeCellResult& c : res.cells)
+        EXPECT_LE(c.rate, 0.04);
+    EXPECT_DOUBLE_EQ(res.sustainedRate[0], 0.04);
+}
+
+TEST(ServeSweepAuto, UnservableClassShedsInsteadOfStalling)
+{
+    // A class whose working-set floor exceeds the whole scaled
+    // machine must behave like static slots do — admit, fail with
+    // the explicit hard OOM — not wedge the serve loop behind a
+    // permanently un-admittable queue head (regression: proportional
+    // gating used to panic 'serve loop stalled').
+    ServeSpec spec;
+    spec.scaleDown = 256;  // BERT's working set tops the 160 MiB node
+    spec.slots = 2;
+    spec.partitionPolicy = PartitionPolicy::Proportional;
+    spec.requests = 4;
+    spec.rates = {0.2};
+    spec.designs = {"g10"};
+    ServeJobClass bert;
+    bert.model = ModelKind::BertBase;
+    spec.classes = {bert};
+
+    ExperimentEngine engine(1);
+    ServeSweepResult res = ServeSweep(spec).run(engine);
+    const ServeMetrics& m = res.cells[0].metrics;
+    EXPECT_EQ(m.offered, 4u);
+    EXPECT_EQ(m.admitted, 4u);
+    EXPECT_EQ(m.failed, 4u);  // explicit OOM, static-parity semantics
+    EXPECT_FALSE(res.allSucceeded());
+}
+
 }  // namespace
 }  // namespace g10

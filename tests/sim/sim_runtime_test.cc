@@ -187,5 +187,160 @@ TEST(SimRuntime, HostStagingNeverExceedsCapacity)
     EXPECT_GT(st.traffic.gpuToSsd, 0u);  // overflow happened
 }
 
+// ---- Dynamic memory budget (elastic partitions) -------------------
+
+TEST(SimRuntimeResize, ShrinkEvictsDownToTheNewWatermark)
+{
+    // 8 stages of 8 MiB fill the 64 MiB GPU during the forward pass;
+    // shrinking to 32 MiB mid-run must stage the excess out through
+    // the migration machinery (largest kernel working set is 24 MiB,
+    // so the run still completes).
+    KernelTrace t = test::makeFwdBwdTrace(8, 8 * MiB, 1 * MSEC);
+    BaseUvmPolicy pol;
+    RunConfig rc = runcfg();
+    SimRuntime rt(t, pol, rc);
+    rt.start();
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(rt.stepKernel());
+
+    SimRuntime::ResizeOutcome ro =
+        rt.resizeMemoryBudget(32 * MiB, rc.sys.hostMemBytes);
+    EXPECT_TRUE(ro.shrunk);
+    EXPECT_GT(ro.evictedBytes, 0u);
+    EXPECT_GE(ro.effectiveNs, rt.now());
+    // The accounting honors the watermark as soon as resize returns:
+    // free never reads past the new budget.
+    EXPECT_LE(rt.gpuFreeBytes(), 32 * MiB);
+    EXPECT_EQ(rt.resizeCount(), 1u);
+    EXPECT_EQ(rt.resizeEvictedBytes(), ro.evictedBytes);
+
+    while (rt.stepKernel()) {
+    }
+    ExecStats st = rt.finalize();
+    EXPECT_FALSE(st.failed);
+    // Evicted state came back through real transfers, never dropped.
+    EXPECT_GT(st.traffic.totalToGpu() + st.traffic.totalFromGpu(), 0u);
+}
+
+TEST(SimRuntimeResize, GrowTakesEffectImmediately)
+{
+    // Start oversubscribed (16 MiB budget), grow to the full machine
+    // mid-run: no eviction, and the remaining replay speeds up.
+    KernelTrace t = test::makeFwdBwdTrace(8, 8 * MiB, 1 * MSEC);
+    BaseUvmPolicy pol;
+    RunConfig rc = runcfg();
+    rc.sys.gpuMemBytes = 32 * MiB;
+    SimRuntime rt(t, pol, rc);
+    rt.start();
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(rt.stepKernel());
+
+    SimRuntime::ResizeOutcome ro =
+        rt.resizeMemoryBudget(256 * MiB, rc.sys.hostMemBytes);
+    EXPECT_FALSE(ro.shrunk);
+    EXPECT_EQ(ro.evictedBytes, 0u);
+    EXPECT_EQ(ro.effectiveNs, rt.now());
+    EXPECT_GE(rt.gpuFreeBytes(), 256 * MiB - 64 * MiB);
+
+    while (rt.stepKernel()) {
+    }
+    EXPECT_FALSE(rt.finalize().failed);
+}
+
+TEST(SimRuntimeResize, ShrinkBelowTheWorkingSetFailsExplicitly)
+{
+    // A shrink below the largest kernel working set (24 MiB here) is
+    // an explicit hard OOM on the next kernel, never a silent drop.
+    KernelTrace t = test::makeFwdBwdTrace(8, 8 * MiB, 1 * MSEC);
+    BaseUvmPolicy pol;
+    RunConfig rc = runcfg();
+    SimRuntime rt(t, pol, rc);
+    rt.start();
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(rt.stepKernel());
+    rt.resizeMemoryBudget(8 * MiB, rc.sys.hostMemBytes);
+    while (rt.stepKernel()) {
+    }
+    ExecStats st = rt.finalize();
+    EXPECT_TRUE(st.failed);
+    EXPECT_NE(st.failReason.find("working set"), std::string::npos);
+}
+
+TEST(SimRuntimeResize, HostShrinkDrainsLazilyWithoutDataLoss)
+{
+    // Shrinking the host staging budget mid-run must not drop staged
+    // bytes: the run completes, with evictions overflowing to SSD.
+    KernelTrace t = test::makeFwdBwdTrace(32, 8 * MiB, 500 * USEC);
+    BaseUvmPolicy pol;
+    RunConfig rc = runcfg();
+    SimRuntime rt(t, pol, rc);
+    rt.start();
+    for (int i = 0; i < 40; ++i)
+        ASSERT_TRUE(rt.stepKernel());
+    rt.resizeMemoryBudget(rc.sys.gpuMemBytes, 16 * MiB);
+    while (rt.stepKernel()) {
+    }
+    ExecStats st = rt.finalize();
+    EXPECT_FALSE(st.failed);
+}
+
+TEST(SimRuntimeResize, IdealBaselineIgnoresGpuShrink)
+{
+    KernelTrace t = test::makeChainTrace(10, 1 * MiB, 1 * MSEC);
+    IdealPolicy pol;
+    RunConfig rc = runcfg();
+    SimRuntime rt(t, pol, rc);
+    rt.start();
+    ASSERT_TRUE(rt.stepKernel());
+    SimRuntime::ResizeOutcome ro =
+        rt.resizeMemoryBudget(1 * MiB, rc.sys.hostMemBytes);
+    EXPECT_FALSE(ro.shrunk);
+    EXPECT_EQ(rt.resizeCount(), 0u);
+    while (rt.stepKernel()) {
+    }
+    ExecStats st = rt.finalize();
+    EXPECT_FALSE(st.failed);
+    EXPECT_EQ(st.measuredIterationNs, st.idealIterationNs);
+}
+
+TEST(SimRuntimeResize, PolicySwapReplansMidRun)
+{
+    // The elastic replan path: shrink the budget, recompile the G10
+    // plan at the new capacity warm-started from the old schedule,
+    // and swap it in mid-run.
+    KernelTrace t = test::makeFwdBwdTrace(32, 8 * MiB, 500 * USEC);
+    RunConfig rc = runcfg();
+    auto before = makeG10(t, rc.sys);
+    SimRuntime rt(t, *before, rc);
+    rt.start();
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(rt.stepKernel());
+
+    SystemConfig shrunk = rc.sys;
+    shrunk.gpuMemBytes = rc.sys.gpuMemBytes / 2;
+    rt.resizeMemoryBudget(shrunk.gpuMemBytes, shrunk.hostMemBytes);
+    auto after =
+        makeG10(t, shrunk, &before->compiled().schedule);
+    EXPECT_GT(after->compiled().schedule.warmReplayed, 0u);
+    rt.setPolicy(*after);
+
+    while (rt.stepKernel()) {
+    }
+    ExecStats st = rt.finalize();
+    EXPECT_FALSE(st.failed);
+    EXPECT_STREQ(st.policyName.c_str(), "G10");
+}
+
+TEST(SimRuntimeResizeDeath, PolicySwapMustKeepTheMemoryModel)
+{
+    KernelTrace t = test::makeChainTrace(4, 1 * MiB, 1 * MSEC);
+    BaseUvmPolicy base;
+    IdealPolicy ideal;
+    RunConfig rc = runcfg();
+    SimRuntime rt(t, base, rc);
+    rt.start();
+    EXPECT_DEATH(rt.setPolicy(ideal), "memory model");
+}
+
 }  // namespace
 }  // namespace g10

@@ -35,18 +35,27 @@ usage(std::ostream& os, int code)
 {
     os << "usage: g10serve <serve-file> [--format table|json|csv] "
           "[--workers N]\n"
-          "       g10serve --demo [scale]\n"
+          "                [--partition static|proportional|ondemand]\n"
+          "       g10serve --demo [scale] [--partition ...]\n"
           "       g10serve --list-designs [--format ...]\n"
           "       g10serve --help\n"
           "\n"
+          "--partition overrides the scenario's partition_policy\n"
+          "(elastic capacity: proportional equal-share of the active\n"
+          "jobs, or ondemand split/merge with hysteresis).\n"
+          "\n"
           "Serve file: '#' comments; 'key = value' lines.\n"
           "  scenario : scale, seed, slots, queue,\n"
+          "             partition_policy (static|proportional|\n"
+          "             ondemand), resize_hysteresis, max_active,\n"
           "             admission (fifo|sjf|priority), starvation_ms,\n"
           "             slo_factor, requests,\n"
           "             arrival (poisson|bursty|trace),\n"
           "             burst_on_ms, burst_off_ms, trace (.arr file),\n"
           "             gpu_mem_gb, host_mem_gb, ssd_gbps, pcie_gbps\n"
           "  sweep    : rates = 5,10,20 (req/s; trace: multipliers)\n"
+          "             rates = auto (bisect for the capacity knee;\n"
+          "             rate_lo, rate_hi, rate_probes tune the search)\n"
           "             designs = baseuvm,deepum,g10\n"
           "  classes  : class = <Model> [batch=N] [iterations=N]\n"
           "             [priority=N] [weight=X] [name=STR]\n"
@@ -74,9 +83,11 @@ main(int argc, char** argv)
 {
     using namespace g10;
 
-    // --workers is an option with a value; peel it off before the
-    // shared parser sees the remaining flags.
+    // --workers and --partition are options with a value; peel them
+    // off before the shared parser sees the remaining flags.
     unsigned workers = 0;  // 0 = one per hardware thread
+    bool have_partition = false;
+    PartitionPolicy partition = PartitionPolicy::Static;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -88,6 +99,15 @@ main(int argc, char** argv)
                 fatal("--workers must be a positive integer, got '%s'",
                       argv[i]);
             workers = static_cast<unsigned>(v);
+        } else if (std::string(argv[i]) == "--partition") {
+            if (i + 1 >= argc)
+                fatal("--partition needs a value (static | "
+                      "proportional | ondemand)");
+            if (!partitionPolicyFromName(argv[++i], &partition))
+                fatal("unknown --partition '%s' (static | "
+                      "proportional | ondemand)",
+                      argv[i]);
+            have_partition = true;
         } else {
             rest.push_back(argv[i]);
         }
@@ -129,14 +149,23 @@ main(int argc, char** argv)
         spec = parseServeFile(args.positional[0]);
     }
 
-    if (args.format == ReportFormat::Table)
+    if (have_partition)
+        spec.partitionPolicy = partition;
+
+    if (args.format == ReportFormat::Table) {
         std::cout << "# g10serve: " << spec.designs.size()
-                  << " designs x " << spec.rates.size()
-                  << " rates, arrival "
+                  << " designs x ";
+        if (spec.ratesAuto)
+            std::cout << "auto-bisected rates";
+        else
+            std::cout << spec.rates.size() << " rates";
+        std::cout << ", arrival "
                   << arrivalKindName(spec.arrival.kind) << ", "
-                  << spec.slots << " slots, admission "
-                  << admitPolicyName(spec.admit) << ", scale 1/"
-                  << spec.scaleDown << "\n\n";
+                  << spec.slots << " slots ("
+                  << partitionPolicyName(spec.partitionPolicy)
+                  << "), admission " << admitPolicyName(spec.admit)
+                  << ", scale 1/" << spec.scaleDown << "\n\n";
+    }
 
     ServeSweep sweep(spec);
     ExperimentEngine engine(workers);
