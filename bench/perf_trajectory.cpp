@@ -13,19 +13,32 @@
  *                 (default 16; the headline entry always runs at
  *                 paper scale)
  *   G10_PERF_REPS timing repetitions, best-of is reported (default 3)
+ *   G10_BENCH_TIMESTAMP  recorded verbatim in the document's `meta`
+ *                 block (the harness stays deterministic; the caller
+ *                 stamps the run)
+ *
+ * The document carries a `meta` block (timestamp, host, compiler, git
+ * describe) so a committed BENCH_core.json records where its numbers
+ * came from, and a `tracer_overhead` entry timing the same replay
+ * with observability off vs. fully attached — the
+ * zero-overhead-when-off pin for the tracing layer.
  *
  * Times are wall-clock milliseconds (best of N reps, so the numbers
  * are stable enough to compare across commits on the same machine).
  */
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "api/g10.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -285,6 +298,100 @@ writeCapacityEntry(JsonWriter& w, const CapacityTimes& ct)
     w.endObject();
 }
 
+/**
+ * Zero-overhead-when-off pin: the same experiment (compile + replay)
+ * with observability off — the `tracer_ == nullptr` branch every emit
+ * site reduces to — and with a full observer (event sink + counters)
+ * attached. The off number rides the tracked headline trajectory;
+ * the on/off ratio documents what `--trace --metrics` costs.
+ */
+struct TracerOverheadTimes
+{
+    double offMs = 0.0;
+    double onMs = 0.0;
+    std::size_t events = 0;
+    std::uint64_t counters = 0;
+};
+
+TracerOverheadTimes
+timeTracerOverhead(unsigned scale, int reps)
+{
+    TracerOverheadTimes out;
+    const int batch = paperBatchSize(ModelKind::ResNet152);
+    KernelTrace trace =
+        buildModelScaled(ModelKind::ResNet152, batch, scale);
+
+    ExperimentConfig cfg;
+    cfg.model = ModelKind::ResNet152;
+    cfg.batchSize = batch;
+    cfg.sys = SystemConfig().scaledDown(scale);
+    cfg.scaleDown = 1;
+    cfg.design = "g10";
+
+    out.offMs = bestMs(reps, [&] {
+        ExecStats st = runExperimentOnTrace(trace, cfg);
+        if (st.failed)
+            std::abort();
+    });
+    out.onMs = bestMs(reps, [&] {
+        MemoryTraceSink sink;
+        CounterRegistry reg;
+        Tracer tracer(&sink, &reg);
+        ExecStats st = runExperimentOnTrace(trace, cfg, &tracer);
+        if (st.failed)
+            std::abort();
+        out.events = sink.events().size();
+        out.counters =
+            static_cast<std::uint64_t>(reg.counters().size());
+    });
+    return out;
+}
+
+void
+writeTracerOverheadEntry(JsonWriter& w, const TracerOverheadTimes& to)
+{
+    w.beginObject();
+    w.field("replay_off_ms", to.offMs);
+    w.field("replay_traced_ms", to.onMs);
+    w.field("events", static_cast<std::uint64_t>(to.events));
+    w.field("counters", to.counters);
+    w.field("traced_over_off",
+            to.offMs > 0.0 ? to.onMs / to.offMs : 0.0);
+    w.endObject();
+}
+
+/** `git describe --always --dirty`, empty when unavailable. */
+std::string
+gitDescribe()
+{
+    FILE* p = popen("git describe --always --dirty 2>/dev/null", "r");
+    if (!p)
+        return "";
+    char buf[128] = {0};
+    std::string out;
+    if (std::fgets(buf, sizeof(buf), p))
+        out = buf;
+    pclose(p);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out;
+}
+
+void
+writeMeta(JsonWriter& w)
+{
+    const char* ts = std::getenv("G10_BENCH_TIMESTAMP");
+    char host[256] = {0};
+    if (gethostname(host, sizeof(host) - 1) != 0)
+        host[0] = '\0';
+    w.beginObject();
+    w.field("timestamp", ts ? ts : "");
+    w.field("host", host);
+    w.field("compiler", __VERSION__);
+    w.field("git", gitDescribe());
+    w.endObject();
+}
+
 }  // namespace
 
 int
@@ -335,6 +442,13 @@ main(int argc, char** argv)
               << scale << " scale)\n";
     CapacityTimes capacity = timeElasticCapacity(scale);
 
+    // Observability pin: tracing off must stay on the null-pointer
+    // fast path; tracing on is allowed to cost, but gets tracked.
+    std::cerr << "perf trajectory: tracer on/off overhead (1/" << scale
+              << " scale)\n";
+    TracerOverheadTimes tracerOverhead =
+        timeTracerOverhead(scale, reps);
+
     std::ofstream os(out_path);
     if (!os) {
         std::cerr << "cannot open " << out_path << " for writing\n";
@@ -344,10 +458,14 @@ main(int argc, char** argv)
         JsonWriter w(os);
         w.beginObject();
         w.field("schema", "g10.bench_core.v1");
+        w.key("meta");
+        writeMeta(w);
         w.field("scale", static_cast<std::int64_t>(scale));
         w.field("reps", static_cast<std::int64_t>(reps));
         w.key("headline");
         writeEntry(w, headline);
+        w.key("tracer_overhead");
+        writeTracerOverheadEntry(w, tracerOverhead);
         w.key("served_load");
         writeServeEntry(w, served);
         w.key("served_load_elastic");

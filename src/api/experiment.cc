@@ -6,7 +6,7 @@ namespace g10 {
 
 ExecStats
 runExperimentOnTrace(const KernelTrace& trace,
-                     const ExperimentConfig& config)
+                     const ExperimentConfig& config, Tracer* tracer)
 {
     DesignInstance design = PolicyRegistry::instance().make(
         config.design, trace, config.sys);
@@ -21,7 +21,10 @@ runExperimentOnTrace(const KernelTrace& trace,
     rc.seed = config.seed;
     rc.weightWatermark = config.weightWatermark;
 
-    return simulate(trace, *design.policy, rc);
+    SimRuntime rt(trace, *design.policy, rc);
+    if (tracer)
+        rt.setTracer(tracer);
+    return rt.run();
 }
 
 ExecStats
@@ -47,13 +50,14 @@ runExperimentResult(const ExperimentConfig& config)
 
 RunResult
 runExperimentResultOnTrace(const KernelTrace& trace,
-                           const ExperimentConfig& config)
+                           const ExperimentConfig& config,
+                           Tracer* tracer)
 {
     RunResult out;
     out.config = config;
     out.designName =
         PolicyRegistry::instance().resolve(config.design).name;
-    out.stats = runExperimentOnTrace(trace, config);
+    out.stats = runExperimentOnTrace(trace, config, tracer);
     return out;
 }
 

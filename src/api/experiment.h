@@ -94,16 +94,22 @@ ExecStats runExperiment(const ExperimentConfig& config);
  * Run one experiment against an already-built trace (lets callers
  * amortize trace construction across designs). The platform in
  * @p config.sys must already be scaled consistently with the trace.
+ *
+ * @param tracer optional observability hookup (see obs/tracer.h);
+ *        nullptr runs untraced. A traced run returns bit-identical
+ *        statistics — the tracer only observes.
  */
 ExecStats runExperimentOnTrace(const KernelTrace& trace,
-                               const ExperimentConfig& config);
+                               const ExperimentConfig& config,
+                               Tracer* tracer = nullptr);
 
 /** runExperiment() bundled with its config echo. */
 RunResult runExperimentResult(const ExperimentConfig& config);
 
 /** runExperimentOnTrace() bundled with its config echo. */
 RunResult runExperimentResultOnTrace(const KernelTrace& trace,
-                                     const ExperimentConfig& config);
+                                     const ExperimentConfig& config,
+                                     Tracer* tracer = nullptr);
 
 /**
  * Fluent construction of an ExperimentConfig. Every RunConfig knob is

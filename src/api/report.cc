@@ -428,6 +428,37 @@ writeMixResultJson(std::ostream& os, const MixResult& result)
 }
 
 void
+writeMetricsJson(std::ostream& os, const CounterRegistry& reg)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.metrics.v1");
+    w.key("counters");
+    w.beginObject();
+    for (const auto& [name, value] : reg.counters())
+        w.field(name, value);
+    w.endObject();
+    w.key("distributions");
+    w.beginObject();
+    for (const auto& [name, dist] : reg.distributions()) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", static_cast<std::uint64_t>(dist.count()));
+        w.field("sum", dist.sum());
+        w.field("mean", dist.mean());
+        w.field("min", dist.min());
+        w.field("max", dist.max());
+        w.field("p50", dist.percentile(0.50));
+        w.field("p95", dist.percentile(0.95));
+        w.field("p99", dist.percentile(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+void
 writeServeResultJson(std::ostream& os, const ServeSweepResult& result)
 {
     JsonWriter w(os);

@@ -5,8 +5,9 @@
  * machine-readable JSON (the `--format` surface of g10sim/g10multi).
  *
  * JSON documents carry a `schema` tag (`g10.run_result.v1`,
- * `g10.mix_result.v1`, `g10.grid.v1`, `g10.serve_result.v1`) so
- * downstream tooling can dispatch without sniffing fields.
+ * `g10.mix_result.v1`, `g10.grid.v1`, `g10.serve_result.v1`,
+ * `g10.metrics.v1`) so downstream tooling can dispatch without
+ * sniffing fields.
  */
 
 #ifndef G10_API_REPORT_H
@@ -19,6 +20,7 @@
 #include "api/experiment.h"
 #include "common/json_writer.h"
 #include "engine/multi_tenant.h"
+#include "obs/counters.h"
 #include "serve/serve_sim.h"
 
 namespace g10 {
@@ -58,6 +60,14 @@ void writeGridJson(std::ostream& os,
 /** Serialize a serving sweep (`g10.serve_result.v1`). */
 void writeServeResultJson(std::ostream& os,
                           const ServeSweepResult& result);
+
+/**
+ * Serialize a CounterRegistry snapshot (`g10.metrics.v1`): every
+ * monotonic counter by name, and per-distribution summary stats
+ * (count/sum/mean/min/max and p50/p95/p99). The `--metrics` surface
+ * of the CLIs.
+ */
+void writeMetricsJson(std::ostream& os, const CounterRegistry& reg);
 
 // ---- Format-dispatched printers -------------------------------------
 

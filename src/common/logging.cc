@@ -1,7 +1,9 @@
 #include "logging.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace g10 {
 
@@ -27,6 +29,26 @@ LogLevel
 logLevel()
 {
     return g_level;
+}
+
+bool
+logLevelFromName(const char* name, LogLevel* out)
+{
+    std::string s;
+    for (const char* p = name; *p; ++p)
+        s.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p))));
+    if (s == "silent")
+        *out = LogLevel::Silent;
+    else if (s == "warn")
+        *out = LogLevel::Warn;
+    else if (s == "info")
+        *out = LogLevel::Info;
+    else if (s == "debug")
+        *out = LogLevel::Debug;
+    else
+        return false;
+    return true;
 }
 
 void

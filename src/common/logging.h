@@ -27,6 +27,13 @@ void setLogLevel(LogLevel level);
 /** Current global log level. */
 LogLevel logLevel();
 
+/**
+ * Parse a log-level name ("silent", "warn", "info", "debug",
+ * case-insensitive) — the `--log-level` CLI surface. Returns false on
+ * unknown names.
+ */
+bool logLevelFromName(const char* name, LogLevel* out);
+
 /** Report an internal error (a bug in G10) and abort. */
 [[noreturn]] void panic(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

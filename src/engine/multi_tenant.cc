@@ -185,6 +185,8 @@ MultiTenantSim::run()
         rc.startNs = spec.arrivalNs;
         rts.push_back(std::make_unique<SimRuntime>(
             traces_[i], *designs.back().policy, rc, shared));
+        if (tracer_)
+            rts.back()->setTracer(tracer_, static_cast<int>(i));
     }
 
     for (auto& rt : rts)

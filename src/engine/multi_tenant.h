@@ -113,6 +113,14 @@ class MultiTenantSim
     /** Run the consolidated mix (and isolated baselines if enabled). */
     MixResult run();
 
+    /**
+     * Attach observability (see obs/tracer.h) before run(); nullptr =
+     * off. The consolidated runtimes emit with pid = job index; the
+     * isolated baselines stay untraced (they are a reference, not part
+     * of the consolidated timeline).
+     */
+    void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
   private:
     /** Index of the next job to step, or -1 when all finished. */
     int pickNext(const std::vector<std::unique_ptr<SimRuntime>>& rts,
@@ -121,6 +129,7 @@ class MultiTenantSim
     WorkloadMix mix_;
     std::vector<KernelTrace> traces_;
     SystemConfig scaledSys_;  ///< the shared machine, after scaling
+    Tracer* tracer_ = nullptr;
 
     // Priority (stride) scheduling state, sized/reset by run(): a
     // job's virtual time is (now - vtBase) / priority. A joiner's

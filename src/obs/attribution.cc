@@ -1,0 +1,111 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace g10 {
+
+namespace {
+
+std::int64_t
+argOf(const TraceEvent& ev, const char* key, std::int64_t def)
+{
+    for (const TraceArg& a : ev.args)
+        if (std::string(a.key) == key)
+            return a.value;
+    return def;
+}
+
+double
+toMs(TimeNs ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+}  // namespace
+
+StallAttribution
+buildStallAttribution(const std::vector<TraceEvent>& events,
+                      const KernelTrace& trace, int pid)
+{
+    StallAttribution out;
+    out.rows.resize(trace.numKernels());
+    for (std::size_t k = 0; k < trace.numKernels(); ++k) {
+        out.rows[k].kernel = static_cast<KernelId>(k);
+        out.rows[k].name = trace.kernel(static_cast<KernelId>(k)).name;
+    }
+
+    for (const TraceEvent& ev : events) {
+        if (ev.pid != pid || argOf(ev, "measured", 0) == 0)
+            continue;
+        auto k = static_cast<std::size_t>(argOf(ev, "k", -1));
+        if (k >= out.rows.size())
+            continue;
+        if (ev.category == std::string(kCatKernel)) {
+            out.rows[k].idealNs += argOf(ev, "ideal_ns", 0);
+            out.rows[k].actualNs += argOf(ev, "actual_ns", 0);
+        } else if (ev.category == std::string(kCatStall)) {
+            auto cause = argOf(ev, "cause", -1);
+            if (cause >= 0 && cause < kNumStallCauses)
+                out.rows[k].causeNs[cause] += ev.dur;
+        }
+    }
+
+    for (const StallAttributionRow& r : out.rows) {
+        out.idealNs += r.idealNs;
+        out.measuredNs += r.actualNs;
+        for (int c = 0; c < kNumStallCauses; ++c)
+            out.causeNs[c] += r.causeNs[c];
+        out.noiseNs += r.noiseNs();
+    }
+    return out;
+}
+
+void
+printStallAttribution(std::ostream& os, const StallAttribution& a,
+                      std::size_t top_n)
+{
+    Table table("per-kernel stall attribution (measured iteration, ms)");
+    table.setHeader({"k", "kernel", "ideal", "actual", "stall", "alloc",
+                     "fault", "queue", "data", "noise"});
+
+    // Rank by total slip; keep only kernels that actually stalled.
+    std::vector<const StallAttributionRow*> ranked;
+    for (const StallAttributionRow& r : a.rows)
+        if (r.actualNs - r.idealNs != 0)
+            ranked.push_back(&r);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const StallAttributionRow* x,
+                        const StallAttributionRow* y) {
+                         return (x->actualNs - x->idealNs) >
+                                (y->actualNs - y->idealNs);
+                     });
+    if (ranked.size() > top_n)
+        ranked.resize(top_n);
+
+    for (const StallAttributionRow* r : ranked)
+        table.addRowOf(static_cast<long long>(r->kernel), r->name,
+                       toMs(r->idealNs), toMs(r->actualNs),
+                       toMs(r->actualNs - r->idealNs),
+                       toMs(r->causeNs[0]), toMs(r->causeNs[1]),
+                       toMs(r->causeNs[2]), toMs(r->causeNs[3]),
+                       toMs(r->noiseNs()));
+    table.addRowOf("total", "(all kernels)", toMs(a.idealNs),
+                   toMs(a.measuredNs), toMs(a.measuredNs - a.idealNs),
+                   toMs(a.causeNs[0]), toMs(a.causeNs[1]),
+                   toMs(a.causeNs[2]), toMs(a.causeNs[3]),
+                   toMs(a.noiseNs));
+    table.print(os);
+
+    os << "attribution check: alloc + fault + queue + data + noise = "
+       << toMs(a.attributedNs() + a.noiseNs)
+       << " ms; measured - ideal = " << toMs(a.measuredNs - a.idealNs)
+       << " ms ("
+       << (a.attributedNs() + a.noiseNs == a.measuredNs - a.idealNs
+               ? "exact"
+               : "MISMATCH")
+       << ")\n";
+}
+
+}  // namespace g10

@@ -1,0 +1,103 @@
+#include "obs/chrome_trace.h"
+
+#include <set>
+#include <utility>
+
+#include "common/json_writer.h"
+
+namespace g10 {
+
+namespace {
+
+/** Deterministic integer tid for each (pid, track) lane. */
+std::map<std::pair<int, std::string>, int>
+assignTids(const std::vector<TraceEvent>& events)
+{
+    std::set<std::pair<int, std::string>> lanes;
+    for (const TraceEvent& ev : events)
+        lanes.insert({ev.pid, ev.track});
+    std::map<std::pair<int, std::string>, int> tids;
+    int next = 1;
+    for (const auto& lane : lanes)
+        tids[lane] = next++;
+    return tids;
+}
+
+void
+writeArgs(JsonWriter& w, const TraceEvent& ev)
+{
+    if (ev.args.empty() && ev.detail.empty())
+        return;
+    w.key("args").beginObject();
+    for (const TraceArg& a : ev.args)
+        w.field(a.key, static_cast<std::int64_t>(a.value));
+    if (!ev.detail.empty())
+        w.field("detail", ev.detail);
+    w.endObject();
+}
+
+}  // namespace
+
+void
+writeChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                 const std::map<int, std::string>& process_names)
+{
+    auto tids = assignTids(events);
+
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+
+    // Metadata first: process names, then thread (track) names sorted
+    // by (pid, track) — a deterministic preamble for the golden test.
+    std::set<int> pids;
+    for (const auto& [lane, tid] : tids) {
+        (void)tid;
+        pids.insert(lane.first);
+    }
+    for (int pid : pids) {
+        auto it = process_names.find(pid);
+        std::string name = it != process_names.end()
+                               ? it->second
+                               : "job " + std::to_string(pid);
+        w.beginObject();
+        w.field("ph", "M").field("name", "process_name");
+        w.field("pid", static_cast<std::int64_t>(pid));
+        w.field("tid", static_cast<std::int64_t>(0));
+        w.key("args").beginObject().field("name", name).endObject();
+        w.endObject();
+    }
+    for (const auto& [lane, tid] : tids) {
+        w.beginObject();
+        w.field("ph", "M").field("name", "thread_name");
+        w.field("pid", static_cast<std::int64_t>(lane.first));
+        w.field("tid", static_cast<std::int64_t>(tid));
+        w.key("args").beginObject().field("name", lane.second).endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent& ev : events) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("cat", ev.category);
+        w.field("ph", ev.kind == TraceEventKind::Span ? "X" : "i");
+        // Trace-event timestamps are microseconds; keep sub-us detail.
+        w.field("ts", static_cast<double>(ev.ts) / 1e3);
+        if (ev.kind == TraceEventKind::Span)
+            w.field("dur", static_cast<double>(ev.dur) / 1e3);
+        else
+            w.field("s", "t");  // instant scope: thread
+        w.field("pid", static_cast<std::int64_t>(ev.pid));
+        w.field("tid",
+                static_cast<std::int64_t>(tids.at({ev.pid, ev.track})));
+        writeArgs(w, ev);
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+}  // namespace g10

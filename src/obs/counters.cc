@@ -1,0 +1,17 @@
+#include "obs/counters.h"
+
+namespace g10 {
+
+void
+CounterRegistry::merge(const CounterRegistry& other)
+{
+    for (const auto& [name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto& [name, dist] : other.dists_) {
+        Distribution& mine = dists_[name];
+        for (double v : dist.sorted())
+            mine.add(v);
+    }
+}
+
+}  // namespace g10

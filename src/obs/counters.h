@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CounterRegistry: named monotonic counters and sample distributions
+ * for the observability layer.
+ *
+ * Producers bump counters ("xfer.ssd_to_gpu.bytes", "plan_cache.hit")
+ * and append samples ("serve.queue_depth") through the Tracer facade.
+ * A registry can be snapshotted at any simulated time and merged with
+ * registries from other workers: counters sum and sample multisets
+ * concatenate, so the merged result is independent of merge order and
+ * of how `ExperimentEngine` sharded the work — the property the
+ * counter-merge determinism test pins.
+ */
+
+#ifndef G10_OBS_COUNTERS_H
+#define G10_OBS_COUNTERS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+
+namespace g10 {
+
+class CounterRegistry
+{
+  public:
+    /** Add @p delta to the named monotonic counter (creates at 0). */
+    void add(const std::string& name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Append one sample to the named distribution (creates empty). */
+    void sample(const std::string& name, double v)
+    {
+        dists_[name].add(v);
+    }
+
+    /** Current value of a counter; 0 when never bumped. */
+    std::uint64_t value(const std::string& name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Distribution by name; nullptr when no samples were recorded. */
+    const Distribution* distribution(const std::string& name) const
+    {
+        auto it = dists_.find(name);
+        return it == dists_.end() ? nullptr : &it->second;
+    }
+
+    /** True when nothing has been recorded. */
+    bool empty() const { return counters_.empty() && dists_.empty(); }
+
+    /** All counters, ordered by name (a deterministic snapshot). */
+    const std::map<std::string, std::uint64_t>& counters() const
+    {
+        return counters_;
+    }
+
+    /** All distributions, ordered by name. */
+    const std::map<std::string, Distribution>& distributions() const
+    {
+        return dists_;
+    }
+
+    /**
+     * Fold @p other into this registry: counters sum, distributions
+     * concatenate their sample multisets. Because every per-name result
+     * is a commutative fold, merging worker-local registries yields the
+     * same totals for any worker count or merge order.
+     */
+    void merge(const CounterRegistry& other);
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+}  // namespace g10
+
+#endif  // G10_OBS_COUNTERS_H

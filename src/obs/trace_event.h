@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The typed event record at the bottom of the observability layer.
+ *
+ * Every observable occurrence in a simulation — a kernel executing, a
+ * stall with its cause, a migration hop over a fabric channel, an
+ * eviction pick, SSD garbage collection, serving admission/departure,
+ * a partition resize — becomes one TraceEvent stamped in *simulated*
+ * time. Events are plain data: producers (SimRuntime, ServeSim, ...)
+ * emit them through the Tracer facade, sinks collect them, and
+ * exporters (chrome_trace.h) or analyses (attribution.h) consume them
+ * after the run. Nothing here feeds back into simulation state, which
+ * is what keeps traced and untraced runs bit-identical.
+ */
+
+#ifndef G10_OBS_TRACE_EVENT_H
+#define G10_OBS_TRACE_EVENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace g10 {
+
+/** Shape of one event on a track. */
+enum class TraceEventKind : std::uint8_t
+{
+    Span,     ///< has a duration (kernel exec, transfer, stall window)
+    Instant,  ///< a point in time (eviction pick, GC, admission)
+};
+
+/** One numeric argument attached to an event (key is a static string). */
+struct TraceArg
+{
+    const char* key;
+    std::int64_t value;
+};
+
+/**
+ * One trace event in simulated time. `pid` identifies the job (tenant /
+ * request); `track` names the resource lane within that job ("kernel",
+ * "pcie.in", ...), so exporters can render one track per job × resource
+ * exactly as the paper's per-kernel timelines do.
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::Instant;
+    const char* category = "";  ///< event taxonomy bucket (static)
+    std::string name;           ///< display name (kernel name, cause)
+    int pid = 0;                ///< job id (0 for single-job runs)
+    const char* track = "";     ///< resource lane (static string)
+    TimeNs ts = 0;              ///< simulated start time
+    TimeNs dur = 0;             ///< simulated duration (Span only)
+    std::vector<TraceArg> args; ///< numeric payload
+    std::string detail;         ///< optional string payload ("host→gpu")
+};
+
+// Track names (one Chrome/Perfetto thread per job × track).
+inline constexpr const char* kTrackKernel = "kernel";
+inline constexpr const char* kTrackStall = "stall";
+inline constexpr const char* kTrackPcieIn = "pcie.in";
+inline constexpr const char* kTrackPcieOut = "pcie.out";
+inline constexpr const char* kTrackMemory = "memory";
+inline constexpr const char* kTrackServe = "serve";
+
+// Event categories (the taxonomy README documents).
+inline constexpr const char* kCatKernel = "kernel";
+inline constexpr const char* kCatStall = "stall";
+inline constexpr const char* kCatTransfer = "xfer";
+inline constexpr const char* kCatEvict = "evict";
+inline constexpr const char* kCatSsd = "ssd";
+inline constexpr const char* kCatServe = "serve";
+inline constexpr const char* kCatPartition = "partition";
+
+/** Why a kernel's completion slipped past its ideal time. */
+enum class StallCause : std::uint8_t
+{
+    Alloc = 0,         ///< waiting for eviction DMA to free space
+    Fault = 1,         ///< demand-paging faults on the critical path
+    ComputeQueue = 2,  ///< time-shared GPU busy with co-tenants
+    Data = 3,          ///< planned prefetch still in flight at the end
+};
+
+/** Stable display/counter name of a stall cause. */
+const char* stallCauseName(StallCause cause);
+
+/** Number of StallCause values (for dense tables). */
+inline constexpr int kNumStallCauses = 4;
+
+}  // namespace g10
+
+#endif  // G10_OBS_TRACE_EVENT_H

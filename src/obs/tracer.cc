@@ -1,0 +1,328 @@
+#include "obs/tracer.h"
+
+namespace g10 {
+
+namespace {
+
+const char*
+transferCauseName(TransferCause cause)
+{
+    switch (cause) {
+      case TransferCause::PageFault: return "page_fault";
+      case TransferCause::Prefetch: return "prefetch";
+      case TransferCause::PreEvict: return "pre_evict";
+      case TransferCause::CapacityEvict: return "capacity_evict";
+      case TransferCause::FaultEvict: return "fault_evict";
+    }
+    return "?";
+}
+
+/** Lowercase location name for stable counter keys. */
+const char*
+memLocKey(MemLoc loc)
+{
+    switch (loc) {
+      case MemLoc::Gpu: return "gpu";
+      case MemLoc::Host: return "host";
+      case MemLoc::Ssd: return "ssd";
+    }
+    return "?";
+}
+
+}  // namespace
+
+const char*
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Alloc: return "alloc";
+      case StallCause::Fault: return "fault";
+      case StallCause::ComputeQueue: return "compute_queue";
+      case StallCause::Data: return "data";
+    }
+    return "?";
+}
+
+void
+Tracer::kernelSpan(int pid, const std::string& name, KernelId k,
+                   TimeNs start, TimeNs dur, bool measured,
+                   TimeNs ideal_ns, TimeNs actual_ns)
+{
+    if (counters_ && measured) {
+        counters_->add("kernel.measured");
+        counters_->sample("kernel.stall_ns",
+                          static_cast<double>(actual_ns - ideal_ns));
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Span;
+    ev.category = kCatKernel;
+    ev.name = name;
+    ev.pid = pid;
+    ev.track = kTrackKernel;
+    ev.ts = start;
+    ev.dur = dur;
+    ev.args = {{"k", static_cast<std::int64_t>(k)},
+               {"measured", measured ? 1 : 0},
+               {"ideal_ns", ideal_ns},
+               {"actual_ns", actual_ns}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::stallSpan(int pid, StallCause cause, KernelId k, TimeNs start,
+                  TimeNs dur, bool measured)
+{
+    if (counters_ && measured) {
+        counters_->add(std::string("stall.") + stallCauseName(cause) +
+                           ".ns",
+                       static_cast<std::uint64_t>(dur));
+        counters_->add("stall.total.ns", static_cast<std::uint64_t>(dur));
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Span;
+    ev.category = kCatStall;
+    ev.name = stallCauseName(cause);
+    ev.pid = pid;
+    ev.track = kTrackStall;
+    ev.ts = start;
+    ev.dur = dur;
+    ev.args = {{"k", static_cast<std::int64_t>(k)},
+               {"measured", measured ? 1 : 0},
+               {"cause", static_cast<std::int64_t>(cause)}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::transfer(int pid, TransferCause cause, MemLoc src, MemLoc dst,
+                 Bytes bytes, TimeNs start, TimeNs complete)
+{
+    if (counters_) {
+        counters_->add(std::string("xfer.") + memLocKey(src) + "_to_" +
+                           memLocKey(dst) + ".bytes",
+                       bytes);
+        counters_->add("xfer.ops");
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Span;
+    ev.category = kCatTransfer;
+    ev.name = transferCauseName(cause);
+    ev.pid = pid;
+    // One track per fabric channel direction, like the paper's
+    // per-channel migration timelines.
+    ev.track = (dst == MemLoc::Gpu) ? kTrackPcieIn : kTrackPcieOut;
+    ev.ts = start;
+    ev.dur = complete - start;
+    ev.args = {{"bytes", static_cast<std::int64_t>(bytes)},
+               {"cause", static_cast<std::int64_t>(cause)}};
+    ev.detail = std::string(memLocName(src)) + "->" + memLocName(dst);
+    emit(std::move(ev));
+}
+
+void
+Tracer::evictionPick(int pid, TensorId t, MemLoc dest, Bytes bytes,
+                     TimeNs ts)
+{
+    if (counters_) {
+        counters_->add("evict.picks");
+        counters_->add("evict.bytes", bytes);
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatEvict;
+    ev.name = "evict_pick";
+    ev.pid = pid;
+    ev.track = kTrackMemory;
+    ev.ts = ts;
+    ev.args = {{"tensor", static_cast<std::int64_t>(t)},
+               {"bytes", static_cast<std::int64_t>(bytes)}};
+    ev.detail = std::string("-> ") + memLocName(dest);
+    emit(std::move(ev));
+}
+
+void
+Tracer::ssdGc(int pid, std::uint64_t runs, std::uint64_t erases,
+              TimeNs ts)
+{
+    if (counters_) {
+        counters_->add("ssd.gc.runs", runs);
+        counters_->add("ssd.gc.erases", erases);
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatSsd;
+    ev.name = "gc";
+    ev.pid = pid;
+    ev.track = kTrackMemory;
+    ev.ts = ts;
+    ev.args = {{"runs", static_cast<std::int64_t>(runs)},
+               {"erases", static_cast<std::int64_t>(erases)}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::budgetResize(int pid, Bytes from_bytes, Bytes to_bytes,
+                     Bytes evicted, TimeNs ts)
+{
+    if (counters_) {
+        counters_->add("resize.count");
+        counters_->add("resize.evicted_bytes", evicted);
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatPartition;
+    ev.name = (to_bytes >= from_bytes) ? "budget_grow" : "budget_shrink";
+    ev.pid = pid;
+    ev.track = kTrackMemory;
+    ev.ts = ts;
+    ev.args = {{"from_bytes", static_cast<std::int64_t>(from_bytes)},
+               {"to_bytes", static_cast<std::int64_t>(to_bytes)},
+               {"evicted_bytes", static_cast<std::int64_t>(evicted)}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::admission(int pid, const std::string& cls, TimeNs arrival,
+                  TimeNs admit, Bytes gpu_bytes, bool warm_plan)
+{
+    if (counters_) {
+        counters_->add("serve.admitted");
+        counters_->sample("serve.queue_delay_ms",
+                          static_cast<double>(admit - arrival) / 1e6);
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatServe;
+    ev.name = "admit";
+    ev.pid = pid;
+    ev.track = kTrackServe;
+    ev.ts = admit;
+    ev.args = {{"arrival_ns", arrival},
+               {"gpu_bytes", static_cast<std::int64_t>(gpu_bytes)},
+               {"warm_plan", warm_plan ? 1 : 0}};
+    ev.detail = cls;
+    emit(std::move(ev));
+}
+
+void
+Tracer::departure(int pid, const std::string& cls, TimeNs ts,
+                  bool failed)
+{
+    if (counters_) {
+        counters_->add("serve.departed");
+        if (failed)
+            counters_->add("serve.failed");
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatServe;
+    ev.name = failed ? "depart_failed" : "depart";
+    ev.pid = pid;
+    ev.track = kTrackServe;
+    ev.ts = ts;
+    ev.detail = cls;
+    emit(std::move(ev));
+}
+
+void
+Tracer::rejection(int pid, const std::string& cls, TimeNs ts)
+{
+    if (counters_)
+        counters_->add("serve.rejected");
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatServe;
+    ev.name = "reject";
+    ev.pid = pid;
+    ev.track = kTrackServe;
+    ev.ts = ts;
+    ev.detail = cls;
+    emit(std::move(ev));
+}
+
+void
+Tracer::partitionEvent(const char* what, int pid, Bytes to_bytes,
+                       TimeNs ts)
+{
+    if (counters_)
+        counters_->add(std::string("partition.") + what);
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatPartition;
+    ev.name = what;
+    ev.pid = pid;
+    ev.track = kTrackServe;
+    ev.ts = ts;
+    ev.args = {{"to_bytes", static_cast<std::int64_t>(to_bytes)}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::warmReplan(int pid, std::uint64_t replayed,
+                   std::uint64_t dropped, TimeNs ts)
+{
+    if (counters_) {
+        counters_->add("replan.count");
+        counters_->add("replan.warm_replayed", replayed);
+        counters_->add("replan.warm_dropped", dropped);
+    }
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatPartition;
+    ev.name = "warm_replan";
+    ev.pid = pid;
+    ev.track = kTrackServe;
+    ev.ts = ts;
+    ev.args = {{"replayed", static_cast<std::int64_t>(replayed)},
+               {"dropped", static_cast<std::int64_t>(dropped)}};
+    emit(std::move(ev));
+}
+
+void
+Tracer::planCacheLookup(bool hit)
+{
+    if (counters_)
+        counters_->add(hit ? "plan_cache.hit" : "plan_cache.miss");
+}
+
+void
+Tracer::queueDepth(std::size_t depth, TimeNs ts)
+{
+    if (counters_)
+        counters_->sample("serve.queue_depth",
+                          static_cast<double>(depth));
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Instant;
+    ev.category = kCatServe;
+    ev.name = "queue_depth";
+    ev.pid = 0;
+    ev.track = kTrackServe;
+    ev.ts = ts;
+    ev.args = {{"depth", static_cast<std::int64_t>(depth)}};
+    emit(std::move(ev));
+}
+
+}  // namespace g10

@@ -7,6 +7,7 @@
 #include "common/stats.h"
 #include "engine/partition.h"
 #include "policies/design_point.h"
+#include "obs/tracer.h"
 #include "policies/g10_policy.h"
 #include "policies/registry.h"
 #include "sim/runtime/sim_runtime.h"
@@ -229,6 +230,15 @@ ServeSim::run()
 
     PlanCache planCache;
 
+    // Observability: one Tracer shared by the serving events and every
+    // admitted job's runtime (pid = request index). tp is null when
+    // the cell runs unobserved; every emit site below is a guarded
+    // read-only observation, so the cell result is bit-identical
+    // either way.
+    Tracer tracer(sink_, counters_);
+    Tracer* const tp =
+        (sink_ != nullptr || counters_ != nullptr) ? &tracer : nullptr;
+
     struct Active
     {
         std::size_t request = 0;
@@ -263,6 +273,10 @@ ServeSim::run()
         m.warmDroppedMigrations += ns.warmDropped;
         if (ns.warmReplayed > 0)
             ++m.resizeWarmHits;
+        if (tp)
+            tp->warmReplan(static_cast<int>(a.request),
+                           ns.warmReplayed, ns.warmDropped,
+                           a.rt->now());
         planCache[static_cast<int>(classes_[a.classIndex].model)] = ns;
         a.rt->setPolicy(*np);
         a.design.policy = std::move(np);
@@ -290,6 +304,9 @@ ServeSim::run()
         if (gpuBytes == cur)
             return;
         partitions.resize(&a.lease, gpuBytes, hostFor(gpuBytes));
+        if (tp)
+            tp->partitionEvent("resize", static_cast<int>(a.request),
+                               gpuBytes, a.rt->now());
         applyBudget(a, gpuBytes < cur);
     };
 
@@ -401,6 +418,11 @@ ServeSim::run()
                 panic("ondemand admission with no viable donor");
             a.lease = partitions.split(&big->lease, 0.5);
             ++m.splits;
+            if (tp)
+                tp->partitionEvent("split",
+                                   static_cast<int>(big->request),
+                                   big->lease.sys.gpuMemBytes,
+                                   big->rt->now());
             applyBudget(*big, true);
             return;
           }
@@ -466,6 +488,8 @@ ServeSim::run()
                                      cls, a.lease.sys, &planCache,
                                      &oc);
         out.jobs[req].warmCompiled = oc.warm;
+        if (tp && a.g10family)
+            tp->planCacheLookup(oc.warm);
         if (oc.warm) {
             ++m.warmCompiles;
             if (oc.capacityCrossed && oc.replayed > 0)
@@ -485,6 +509,12 @@ ServeSim::run()
         a.rt = std::make_unique<SimRuntime>(traces_[r.classIndex],
                                             *a.design.policy, rc,
                                             shared);
+        if (tp) {
+            tp->admission(static_cast<int>(req), cls.name, r.arrivalNs,
+                          when, a.lease.sys.gpuMemBytes, oc.warm);
+            // Attach before start() so admission prefetches are traced.
+            a.rt->setTracer(tp, static_cast<int>(req));
+        }
         a.rt->start();
         out.jobs[req].admitNs = when;
         active.push_back(std::move(a));
@@ -584,10 +614,17 @@ ServeSim::run()
                         rescued = true;
                     }
                 }
-                if (!rescued)
+                if (!rescued) {
                     out.jobs[req].rejected = true;  // load shed
+                    if (tp)
+                        tp->rejection(static_cast<int>(req),
+                                      classes_[r.classIndex].name,
+                                      r.arrivalNs);
+                }
             }
             arrivedNow.clear();
+            if (tp)
+                tp->queueDepth(queue.size(), nextArr);
             drainQueue(nextArr);
             continue;
         }
@@ -602,6 +639,10 @@ ServeSim::run()
         ServeJobOutcome& o = out.jobs[a.request];
         o.finishNs = a.rt->now();
         o.failed = st.failed;
+        if (tp)
+            tp->departure(static_cast<int>(a.request),
+                          classes_[a.classIndex].name, a.rt->now(),
+                          st.failed);
         a.rt->releaseSsdLog();
         partitions.release(&a.lease);
         const TimeNs freedAt = a.rt->now();
@@ -845,15 +886,20 @@ ServeSweep::computeBaselines(ExperimentEngine& engine) const
 
 void
 ServeSweep::runAutoRates(ExperimentEngine& engine,
+                         const ServeObsRequest& obs,
                          ServeSweepResult* out)
 {
     const std::size_t nd = spec_.designs.size();
     std::vector<std::vector<ServeCellResult>> cellsByDesign(nd);
+    std::vector<CounterRegistry> regs(nd);
     out->sustainedRate.assign(nd, 0.0);
     out->rateProbes.assign(nd, 0);
 
     // Each design bisects independently (deterministic, probe order
-    // recorded in its cells); designs fan out across the pool.
+    // recorded in its cells); designs fan out across the pool. Each
+    // design accumulates into its own registry (probes within a
+    // design run sequentially), merged in design order below; the
+    // event sink observes only the first probe of the first design.
     engine.parallelFor(nd, [&](std::size_t d) {
         const int budget = spec_.rateProbes;
         int used = 0;
@@ -864,6 +910,9 @@ ServeSweep::runAutoRates(ExperimentEngine& engine,
             ServeSim sim(spec_, spec_.designs[d], rate, traces_,
                          classes_, minGpu_, requestsAtRate(rate),
                          out->baselines[d]);
+            sim.setObservers(
+                d == 0 && used == 0 ? obs.sink : nullptr,
+                obs.collectCounters ? &regs[d] : nullptr);
             cellsByDesign[d].push_back(sim.run());
             ++used;
             return cellsByDesign[d].back().sustained();
@@ -903,10 +952,19 @@ ServeSweep::runAutoRates(ExperimentEngine& engine,
     for (std::size_t d = 0; d < nd; ++d)
         for (ServeCellResult& cell : cellsByDesign[d])
             out->cells.push_back(std::move(cell));
+    if (obs.collectCounters)
+        for (CounterRegistry& reg : regs)
+            out->counters.merge(reg);
 }
 
 ServeSweepResult
 ServeSweep::run(ExperimentEngine& engine)
+{
+    return run(engine, ServeObsRequest{});
+}
+
+ServeSweepResult
+ServeSweep::run(ExperimentEngine& engine, const ServeObsRequest& obs)
 {
     ServeSweepResult out;
     out.spec = spec_;
@@ -916,7 +974,7 @@ ServeSweep::run(ExperimentEngine& engine)
     out.baselines = computeBaselines(engine);
 
     if (spec_.ratesAuto) {
-        runAutoRates(engine, &out);
+        runAutoRates(engine, obs, &out);
         return out;
     }
 
@@ -929,15 +987,24 @@ ServeSweep::run(ExperimentEngine& engine)
         requestsByRate[r] = requestsAtRate(spec_.rates[r]);
 
     // The grid: every design at every offered rate, design-major.
+    // Per-cell registries (cells run on pool threads), merged in grid
+    // order afterwards so the totals are worker-count independent;
+    // the event sink observes only the first cell.
     out.cells.resize(nd * nr);
+    std::vector<CounterRegistry> regs(nd * nr);
     engine.parallelFor(nd * nr, [&](std::size_t i) {
         const std::size_t d = i / nr;
         const std::size_t r = i % nr;
         ServeSim sim(spec_, spec_.designs[d], spec_.rates[r], traces_,
                      classes_, minGpu_, requestsByRate[r],
                      out.baselines[d]);
+        sim.setObservers(i == 0 ? obs.sink : nullptr,
+                         obs.collectCounters ? &regs[i] : nullptr);
         out.cells[i] = sim.run();
     });
+    if (obs.collectCounters)
+        for (CounterRegistry& reg : regs)
+            out.counters.merge(reg);
 
     // Sustained-throughput capacity per design: the highest offered
     // rate whose cell stayed within the bounded queue (no rejections)

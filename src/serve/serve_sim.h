@@ -45,10 +45,13 @@
 
 #include "engine/experiment_engine.h"
 #include "graph/trace.h"
+#include "obs/counters.h"
 #include "serve/serve_spec.h"
 #include "sim/ssd/ssd_device.h"
 
 namespace g10 {
+
+class TraceSink;
 
 /** One offered request, after arrival generation / trace replay. */
 struct ServeRequest
@@ -209,6 +212,14 @@ struct ServeSweepResult
      *  the spec carried an explicit rate axis). */
     std::vector<std::uint64_t> rateProbes;
 
+    /**
+     * Sweep-wide observability counters (empty unless the sweep ran
+     * with ServeObsRequest::collectCounters): per-cell registries
+     * merged in grid order, so the totals are identical for every
+     * worker count.
+     */
+    CounterRegistry counters;
+
     /** True when no cell had failed (crashed) jobs. Rejections are
      *  load shedding, not failures, and do not clear this. */
     bool allSucceeded() const;
@@ -239,6 +250,18 @@ class ServeSim
 
     ServeCellResult run();
 
+    /**
+     * Attach observability before run(): serving events + per-job
+     * runtime events go to @p sink, aggregates to @p counters (either
+     * may be null). Pure observation — the cell result is
+     * bit-identical with or without observers.
+     */
+    void setObservers(TraceSink* sink, CounterRegistry* counters)
+    {
+        sink_ = sink;
+        counters_ = counters;
+    }
+
   private:
     const ServeSpec& spec_;
     std::string design_;
@@ -248,6 +271,25 @@ class ServeSim
     const std::vector<Bytes>& minGpu_;
     std::vector<ServeRequest> requests_;
     const std::vector<ServeClassBaseline>& baselines_;
+    TraceSink* sink_ = nullptr;
+    CounterRegistry* counters_ = nullptr;
+};
+
+/** Observability hookup for one sweep (all fields optional). */
+struct ServeObsRequest
+{
+    /** Merge every cell's CounterRegistry into the result. */
+    bool collectCounters = false;
+
+    /**
+     * Event sink for *one* representative cell (the grid's first
+     * cell; in auto-rate mode the first probe of the first design) —
+     * a sweep-wide event stream would interleave unrelated simulated
+     * timelines.
+     */
+    TraceSink* sink = nullptr;
+
+    bool any() const { return collectCounters || sink != nullptr; }
 };
 
 /** Runs the designs × rates grid of a ServeSpec. */
@@ -262,6 +304,10 @@ class ServeSweep
      * regardless of the pool size; cells come back in grid order.
      */
     ServeSweepResult run(ExperimentEngine& engine);
+
+    /** run() with observability (counters merged in grid order). */
+    ServeSweepResult run(ExperimentEngine& engine,
+                         const ServeObsRequest& obs);
 
   private:
     ServeSpec spec_;
@@ -285,7 +331,9 @@ class ServeSweep
      * sustained-throughput knee. Cells record every probe in probe
      * order; designs run concurrently across the pool.
      */
-    void runAutoRates(ExperimentEngine& engine, ServeSweepResult* out);
+    void runAutoRates(ExperimentEngine& engine,
+                      const ServeObsRequest& obs,
+                      ServeSweepResult* out);
 };
 
 }  // namespace g10

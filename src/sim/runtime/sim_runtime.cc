@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/tracer.h"
 
 namespace g10 {
 
@@ -320,6 +321,23 @@ SimRuntime::issueEvict(TensorId t, MemLoc dest, TransferCause cause,
     Fabric::Transfer xfer =
         fabric_.fromGpu(amount, dest, start, cause, logical);
 
+    if (tracer_) {
+        tracer_->transfer(tracePid_, cause, MemLoc::Gpu, dest, amount,
+                          xfer.start, xfer.complete);
+        if (cause == TransferCause::CapacityEvict ||
+            cause == TransferCause::FaultEvict)
+            tracer_->evictionPick(tracePid_, t, dest, amount,
+                                  xfer.start);
+        const SsdStats& ss = ssd_->stats();
+        if (ss.gcRuns > tracedGcRuns_) {
+            tracer_->ssdGc(tracePid_, ss.gcRuns - tracedGcRuns_,
+                           ss.blockErases - tracedGcErases_,
+                           xfer.complete);
+            tracedGcRuns_ = ss.gcRuns;
+            tracedGcErases_ = ss.blockErases;
+        }
+    }
+
     tr.residentBytes -= amount;
     if (dest == MemLoc::Host) {
         tr.awayHostBytes += amount;
@@ -359,6 +377,10 @@ SimRuntime::fetchMissing(TensorId t, TimeNs at, TransferCause cause)
     if (tr.awayHostBytes > 0) {
         Bytes amt = std::min(missing, tr.awayHostBytes);
         auto xfer = fabric_.toGpu(amt, MemLoc::Host, space_at, cause);
+        if (tracer_)
+            tracer_->transfer(tracePid_, cause, MemLoc::Host,
+                              MemLoc::Gpu, amt, xfer.start,
+                              xfer.complete);
         tr.awayHostBytes -= amt;
         hostUsedBytes_ -= amt;
         tr.residentBytes += amt;
@@ -369,6 +391,10 @@ SimRuntime::fetchMissing(TensorId t, TimeNs at, TransferCause cause)
     if (missing > 0 && tr.awaySsdBytes > 0) {
         Bytes amt = std::min(missing, tr.awaySsdBytes);
         auto xfer = fabric_.toGpu(amt, MemLoc::Ssd, space_at, cause);
+        if (tracer_)
+            tracer_->transfer(tracePid_, cause, MemLoc::Ssd,
+                              MemLoc::Gpu, amt, xfer.start,
+                              xfer.complete);
         tr.awaySsdBytes -= amt;
         tr.residentBytes += amt;
         gpuUsedBytes_ += amt;
@@ -473,16 +499,46 @@ SimRuntime::runKernel(KernelId k)
         touch(t);
     }
 
-    TimeNs launch = std::max({t0, alloc_ready, fault_done});
+    TimeNs pre_launch = std::max({t0, alloc_ready, fault_done});
+    TimeNs launch = pre_launch;
     TimeNs dur = perturbedDur_[static_cast<std::size_t>(k)];
     if (gpu_ != nullptr) {
         // Time-shared GPU: the execution units are one more resource
         // this kernel must acquire; co-tenant kernels serialize here
         // while their DMA continues to overlap.
-        launch = gpu_->acquire(launch, dur);
+        launch = gpu_->acquire(pre_launch, dur);
     }
     TimeNs end = std::max(launch + dur, data_ready);
     streamTime_ = end;
+
+    if (tracer_) {
+        // Exact decomposition of this kernel's slip past its replayed
+        // duration: alloc + fault cover pre_launch - t0 (alloc first,
+        // faults only past the alloc horizon), queue is the compute
+        // timeline wait, data the post-compute prefetch wait. The four
+        // sum to end - t0 - dur by construction.
+        TimeNs alloc_ns = alloc_ready - t0;
+        TimeNs fault_ns =
+            std::max<TimeNs>(0, fault_done - std::max(t0, alloc_ready));
+        TimeNs queue_ns = launch - pre_launch;
+        TimeNs data_ns = end - (launch + dur);
+        tracer_->kernelSpan(tracePid_, kern.name, k, launch, dur,
+                            measuring_, kern.durationNs + overhead,
+                            end - iter_begin_time);
+        if (alloc_ns > 0)
+            tracer_->stallSpan(tracePid_, StallCause::Alloc, k, t0,
+                               alloc_ns, measuring_);
+        if (fault_ns > 0)
+            tracer_->stallSpan(tracePid_, StallCause::Fault, k,
+                               std::max(t0, alloc_ready), fault_ns,
+                               measuring_);
+        if (queue_ns > 0)
+            tracer_->stallSpan(tracePid_, StallCause::ComputeQueue, k,
+                               pre_launch, queue_ns, measuring_);
+        if (data_ns > 0)
+            tracer_->stallSpan(tracePid_, StallCause::Data, k,
+                               launch + dur, data_ns, measuring_);
+    }
 
     if (measuring_ && end - iter_begin_time - overhead - dur > 5 * MSEC) {
         debug("k=%d %s stall=%lldus alloc=%lldus fault=%lldus data=%lldus",
@@ -590,11 +646,23 @@ SimRuntime::releaseSsdLog()
     }
 }
 
+void
+SimRuntime::setTracer(Tracer* tracer, int pid)
+{
+    tracer_ = tracer;
+    tracePid_ = pid;
+    // Report only GC activity from here on (the shared device may
+    // already have wear from earlier jobs).
+    tracedGcRuns_ = ssd_->stats().gcRuns;
+    tracedGcErases_ = ssd_->stats().blockErases;
+}
+
 SimRuntime::ResizeOutcome
 SimRuntime::resizeMemoryBudget(Bytes gpuBytes, Bytes hostBytes)
 {
     ResizeOutcome out;
     out.effectiveNs = streamTime_;
+    const Bytes oldGpuBytes = config_.sys.gpuMemBytes;
     if (policy_->infiniteMemory()) {
         // The ideal baseline models unbounded GPU memory (the
         // constructor inflated the budget); only the host staging
@@ -609,8 +677,12 @@ SimRuntime::resizeMemoryBudget(Bytes gpuBytes, Bytes hostBytes)
     // so while usage exceeds the shrunk budget new evictions overflow
     // to the SSD and fetches bleed the staging area down.
     config_.sys.hostMemBytes = hostBytes;
-    if (!started_ || stats_.failed || !out.shrunk)
+    if (!started_ || stats_.failed || !out.shrunk) {
+        if (tracer_ && started_)
+            tracer_->budgetResize(tracePid_, oldGpuBytes, gpuBytes, 0,
+                                  streamTime_);
         return out;
+    }
 
     // Eager drain to the new watermark through the same machinery
     // capacity pressure uses: LRU victims, the policy's destination
@@ -621,6 +693,9 @@ SimRuntime::resizeMemoryBudget(Bytes gpuBytes, Bytes hostBytes)
         resizeEvictedBytes_ += out.evictedBytes;
         out.effectiveNs = makeSpace(0, streamTime_);
     }
+    if (tracer_)
+        tracer_->budgetResize(tracePid_, oldGpuBytes, gpuBytes,
+                              out.evictedBytes, streamTime_);
     return out;
 }
 

@@ -32,6 +32,8 @@
 
 namespace g10 {
 
+class Tracer;
+
 /** Runtime residency record for one tensor. */
 struct TensorRt
 {
@@ -242,6 +244,17 @@ class SimRuntime
     /** The SSD this runtime writes to (shared in multi-tenant runs). */
     const SsdDevice& ssd() const { return *ssd_; }
 
+    // ---- Observability ----------------------------------------------
+
+    /**
+     * Attach an event/counter tracer (nullptr detaches). @p pid labels
+     * this job's events in multi-job traces. Tracing is strictly
+     * read-only on simulation state: every emit site is guarded by a
+     * null check, so an untraced run does no observability work and a
+     * traced run is bit-identical to it.
+     */
+    void setTracer(Tracer* tracer, int pid = 0);
+
   private:
     struct PendingFree
     {
@@ -344,6 +357,12 @@ class SimRuntime
     // Elastic-budget bookkeeping.
     std::uint64_t resizeCount_ = 0;
     Bytes resizeEvictedBytes_ = 0;
+
+    // Observability (null = off; the only cost then is this branch).
+    Tracer* tracer_ = nullptr;
+    int tracePid_ = 0;
+    std::uint64_t tracedGcRuns_ = 0;    ///< SSD GC runs already reported
+    std::uint64_t tracedGcErases_ = 0;  ///< ... and block erases
 
     // Stats under construction.
     ExecStats stats_;

@@ -1,7 +1,8 @@
 /**
  * @file
  * Shared argv handling for the g10 CLIs: the common flags
- * (--help, --format <f>, --list-designs), tool-specific boolean
+ * (--help, --format <f>, --list-designs, and the observability
+ * surface --trace/--metrics/--log-level), tool-specific boolean
  * flags, and positional collection — so g10sim and g10multi cannot
  * drift apart.
  */
@@ -9,12 +10,16 @@
 #ifndef G10_TOOLS_CLI_UTIL_H
 #define G10_TOOLS_CLI_UTIL_H
 
+#include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "api/report.h"
 #include "common/logging.h"
+#include "obs/chrome_trace.h"
+#include "obs/tracer.h"
 
 namespace g10::tools {
 
@@ -24,6 +29,12 @@ struct CliArgs
     ReportFormat format = ReportFormat::Table;
     bool help = false;
     bool listDesigns = false;
+
+    /** `--trace <path>`: Chrome trace-event output; empty = off. */
+    std::string tracePath;
+
+    /** `--metrics`: print a g10.metrics.v1 document after the report. */
+    bool metrics = false;
 
     /** Tool-specific boolean flags seen (e.g. "--mix", "--demo"). */
     std::set<std::string> flags;
@@ -37,8 +48,9 @@ struct CliArgs
 };
 
 /**
- * Parse argv. Flags may appear in any position; `--format` consumes
- * the next argument (fatal when missing or invalid). Options outside
+ * Parse argv. Flags may appear in any position; `--format`, `--trace`,
+ * and `--log-level` consume the next argument (fatal when missing or
+ * invalid; `--log-level` takes effect immediately). Options outside
  * the common set and @p boolFlags set `error` instead of aborting so
  * the tool can print its own usage text.
  */
@@ -57,6 +69,22 @@ parseCliArgs(int argc, char** argv,
             out.format = reportFormatFromName(argv[++i]);
         } else if (arg == "--list-designs") {
             out.listDesigns = true;
+        } else if (arg == "--trace") {
+            if (i + 1 >= argc)
+                fatal("--trace needs an output path");
+            out.tracePath = argv[++i];
+        } else if (arg == "--metrics") {
+            out.metrics = true;
+        } else if (arg == "--log-level") {
+            if (i + 1 >= argc)
+                fatal("--log-level needs a value "
+                      "(silent|warn|info|debug)");
+            LogLevel lvl = LogLevel::Warn;
+            if (!logLevelFromName(argv[++i], &lvl))
+                fatal("unknown --log-level '%s' "
+                      "(silent|warn|info|debug)",
+                      argv[i]);
+            setLogLevel(lvl);
         } else if (boolFlags.count(arg)) {
             out.flags.insert(arg);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -67,6 +95,42 @@ parseCliArgs(int argc, char** argv,
         }
     }
     return out;
+}
+
+/** The observability boilerplate shared by the CLIs: a buffering sink
+ *  + registry, handed to producers as one Tracer when any of
+ *  --trace/--metrics (or g10sim's --attribution) is active. */
+struct CliObservers
+{
+    MemoryTraceSink sink;
+    CounterRegistry counters;
+    Tracer tracer{&sink, &counters};
+
+    bool wantEvents = false;    ///< collect the event stream
+    bool wantCounters = false;  ///< print metrics afterwards
+
+    /** nullptr when observability is off — producers stay on the
+     *  zero-overhead path. */
+    Tracer* tracerOrNull()
+    {
+        return wantEvents || wantCounters ? &tracer : nullptr;
+    }
+};
+
+/** Write the collected events as Chrome trace-event JSON to @p path
+ *  (fatal when the file cannot be opened). */
+inline void
+writeTraceFile(const std::string& path, const MemoryTraceSink& sink,
+               const std::map<int, std::string>& processNames = {})
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open trace output '%s'", path.c_str());
+    writeChromeTrace(f, sink.events(), processNames);
+    if (!f)
+        fatal("error writing trace output '%s'", path.c_str());
+    inform("wrote %zu trace events to %s", sink.events().size(),
+           path.c_str());
 }
 
 }  // namespace g10::tools

@@ -9,6 +9,10 @@
  *   g10multi --list-designs [--format table|json|csv]
  *   g10multi --help
  *
+ * Observability: --trace <out.json> (Chrome trace-event timeline, one
+ * track group per job), --metrics (g10.metrics.v1 document), and
+ * --log-level silent|warn|info|debug.
+ *
  * Prints per-job iteration time, slowdown vs. running alone on the
  * full machine, ANTT-style turnaround slowdown, and the shared SSD's
  * write amplification under consolidation. `--format json` emits one
@@ -35,6 +39,11 @@ usage(std::ostream& os, int code)
           "       g10multi --demo [scale]\n"
           "       g10multi --list-designs [--format ...]\n"
           "       g10multi --help\n"
+          "\n"
+          "Observability:\n"
+          "  --trace <out.json>  write a Chrome trace-event timeline\n"
+          "  --metrics           print a g10.metrics.v1 JSON document\n"
+          "  --log-level <l>     silent|warn|info|debug (default warn)\n"
           "\n"
           "Mix file: '#' comments; 'key = value' lines.\n"
           "  mix keys : scale, sched (roundrobin|priority), seed,\n"
@@ -119,6 +128,21 @@ main(int argc, char** argv)
                   << ", sched " << mixSchedName(mix.sched) << "\n\n";
 
     MultiTenantSim sim(mix);
+
+    tools::CliObservers obs;
+    obs.wantEvents = !args.tracePath.empty();
+    obs.wantCounters = args.metrics;
+    sim.setTracer(obs.tracerOrNull());
+
     MixResult res = sim.run();
-    return printMixResult(std::cout, res, format);
+    int code = printMixResult(std::cout, res, format);
+    if (!args.tracePath.empty()) {
+        std::map<int, std::string> names;
+        for (std::size_t i = 0; i < res.jobs.size(); ++i)
+            names[static_cast<int>(i)] = res.jobs[i].name;
+        tools::writeTraceFile(args.tracePath, obs.sink, names);
+    }
+    if (args.metrics)
+        writeMetricsJson(std::cout, obs.counters);
+    return code;
 }

@@ -15,6 +15,11 @@
  * capacity, and consolidated SSD write amplification under churn.
  * Results are deterministic for a given seed regardless of --workers.
  * `--format json` emits one `g10.serve_result.v1` document.
+ *
+ * Observability: --trace <out.json> (Chrome trace-event timeline of
+ * the sweep's first cell), --metrics (g10.metrics.v1 counters merged
+ * across every cell, worker-count independent), and
+ * --log-level silent|warn|info|debug.
  */
 
 #include <cstdlib>
@@ -43,6 +48,13 @@ usage(std::ostream& os, int code)
           "--partition overrides the scenario's partition_policy\n"
           "(elastic capacity: proportional equal-share of the active\n"
           "jobs, or ondemand split/merge with hysteresis).\n"
+          "\n"
+          "Observability:\n"
+          "  --trace <out.json>  Chrome trace-event timeline of the\n"
+          "                      sweep's first (design, rate) cell\n"
+          "  --metrics           print a g10.metrics.v1 document with\n"
+          "                      counters merged across every cell\n"
+          "  --log-level <l>     silent|warn|info|debug (default warn)\n"
           "\n"
           "Serve file: '#' comments; 'key = value' lines.\n"
           "  scenario : scale, seed, slots, queue,\n"
@@ -169,6 +181,17 @@ main(int argc, char** argv)
 
     ServeSweep sweep(spec);
     ExperimentEngine engine(workers);
-    ServeSweepResult res = sweep.run(engine);
-    return printServeResult(std::cout, res, args.format);
+
+    MemoryTraceSink sink;
+    ServeObsRequest obs;
+    obs.collectCounters = args.metrics;
+    obs.sink = args.tracePath.empty() ? nullptr : &sink;
+
+    ServeSweepResult res = sweep.run(engine, obs);
+    int code = printServeResult(std::cout, res, args.format);
+    if (!args.tracePath.empty())
+        tools::writeTraceFile(args.tracePath, sink);
+    if (args.metrics)
+        writeMetricsJson(std::cout, res.counters);
+    return code;
 }

@@ -10,6 +10,12 @@
  *   g10sim --dump-trace <model> <batch> <scale> <out.trace>
  *   g10sim --help
  *
+ * Observability (see README "Observability"):
+ *   --trace <out.json>   Chrome trace-event timeline of the run
+ *   --metrics            print a g10.metrics.v1 counter document
+ *   --attribution        per-kernel stall attribution table
+ *   --log-level <l>      silent|warn|info|debug
+ *
  * Config files are `key = value` lines ('#' comments). Unknown keys
  * and malformed values are rejected with a diagnostic and non-zero
  * exit. Keys:
@@ -41,6 +47,7 @@
 #include "api/g10.h"
 #include "common/parse_util.h"
 #include "graph/trace_io.h"
+#include "obs/attribution.h"
 #include "tools/cli_util.h"
 
 namespace {
@@ -62,6 +69,14 @@ usage(std::ostream& os, int code)
           "       g10sim --list-designs [--format ...]\n"
           "       g10sim --dump-trace <model> <batch> <scale> <out>\n"
           "       g10sim --help\n"
+          "\n"
+          "Observability (config runs and --mix):\n"
+          "  --trace <out.json>  write a Chrome trace-event timeline\n"
+          "                      (load at chrome://tracing / Perfetto)\n"
+          "  --metrics           print a g10.metrics.v1 JSON document\n"
+          "  --attribution       per-kernel stall attribution table\n"
+          "                      (config runs only)\n"
+          "  --log-level <l>     silent|warn|info|debug (default warn)\n"
           "\n"
           "Config file: '#' comments; 'key = value' lines. Keys:\n"
           "  model        BERT|ViT|Inceptionv3|ResNet152|SENet154\n"
@@ -185,21 +200,38 @@ dumpTrace(const std::vector<std::string>& args)
 }
 
 int
-runMix(const std::string& path, ReportFormat format)
+runMix(const std::string& path, const tools::CliArgs& args)
 {
+    const ReportFormat format = args.format;
     WorkloadMix mix = parseMixFile(path);
     if (format == ReportFormat::Table)
         std::cout << "# g10sim --mix: " << mix.jobs.size()
                   << " jobs on one GPU+SSD, scale 1/" << mix.scaleDown
                   << ", sched " << mixSchedName(mix.sched) << "\n\n";
     MultiTenantSim sim(mix);
+
+    tools::CliObservers obs;
+    obs.wantEvents = !args.tracePath.empty();
+    obs.wantCounters = args.metrics;
+    sim.setTracer(obs.tracerOrNull());
+
     MixResult res = sim.run();
-    return printMixResult(std::cout, res, format);
+    int code = printMixResult(std::cout, res, format);
+    if (!args.tracePath.empty()) {
+        std::map<int, std::string> names;
+        for (std::size_t i = 0; i < res.jobs.size(); ++i)
+            names[static_cast<int>(i)] = res.jobs[i].name;
+        tools::writeTraceFile(args.tracePath, obs.sink, names);
+    }
+    if (args.metrics)
+        writeMetricsJson(std::cout, obs.counters);
+    return code;
 }
 
 int
-runConfig(const std::string& path, ReportFormat format)
+runConfig(const std::string& path, const tools::CliArgs& args)
 {
+    const ReportFormat format = args.format;
     auto kv = parseConfig(path);
 
     auto scale = static_cast<unsigned>(
@@ -271,8 +303,31 @@ runConfig(const std::string& path, ReportFormat format)
         std::cout << "\n";
     }
 
-    RunResult result = runExperimentResultOnTrace(trace, cfg);
-    return printRunResult(std::cout, result, format);
+    // Observability: --attribution needs the event stream even when
+    // no --trace path was given, so it forces event collection.
+    tools::CliObservers obs;
+    obs.wantEvents =
+        !args.tracePath.empty() || args.has("--attribution");
+    obs.wantCounters = args.metrics;
+
+    RunResult result =
+        runExperimentResultOnTrace(trace, cfg, obs.tracerOrNull());
+    int code = printRunResult(std::cout, result, format);
+    if (args.has("--attribution")) {
+        StallAttribution attr =
+            buildStallAttribution(obs.sink.events(), trace);
+        std::cout << "\n";
+        printStallAttribution(std::cout, attr);
+    }
+    if (!args.tracePath.empty()) {
+        std::map<int, std::string> names;
+        names[0] = trace.modelName() + "-" +
+                   std::to_string(trace.batchSize());
+        tools::writeTraceFile(args.tracePath, obs.sink, names);
+    }
+    if (args.metrics)
+        writeMetricsJson(std::cout, obs.counters);
+    return code;
 }
 
 }  // namespace
@@ -282,8 +337,8 @@ main(int argc, char** argv)
 {
     using namespace g10;
 
-    tools::CliArgs args =
-        tools::parseCliArgs(argc, argv, {"--mix", "--dump-trace"});
+    tools::CliArgs args = tools::parseCliArgs(
+        argc, argv, {"--mix", "--dump-trace", "--attribution"});
     if (args.help)
         return usage(std::cout, 0);
     if (!args.error.empty()) {
@@ -300,11 +355,11 @@ main(int argc, char** argv)
     if (args.has("--dump-trace"))
         return dumpTrace(args.positional);
     if (args.has("--mix")) {
-        if (args.positional.size() != 1)
+        if (args.positional.size() != 1 || args.has("--attribution"))
             return usage(std::cerr, 1);
-        return runMix(args.positional[0], args.format);
+        return runMix(args.positional[0], args);
     }
     if (args.positional.size() != 1)
         return usage(std::cerr, 1);
-    return runConfig(args.positional[0], args.format);
+    return runConfig(args.positional[0], args);
 }
