@@ -298,6 +298,67 @@ writeCapacityEntry(JsonWriter& w, const CapacityTimes& ct)
     w.endObject();
 }
 
+/** The fleet scenario: the g10fleet demo (4 heterogeneous nodes x 3
+ *  placement policies over one shared stream), timed end to end —
+ *  the routing + per-node simulation + aggregation cost the fleet
+ *  layer adds on top of single-node serving. */
+struct FleetTimes
+{
+    std::size_t nodes = 0;
+    std::size_t placements = 0;
+    std::size_t offered = 0;
+    std::uint64_t jsqWarm = 0;
+    std::uint64_t affinityWarm = 0;
+    double jsqJain = 0.0;
+    double affinityJain = 0.0;
+    double runMs = 0.0;
+};
+
+FleetTimes
+timeFleetSweep(unsigned scale, int reps)
+{
+    FleetTimes out;
+    FleetSpec spec = demoFleetSpec(scale);
+    FleetResult res;
+    out.runMs = bestMs(reps, [&] {
+        FleetSim fleet(spec);
+        ExperimentEngine engine;
+        res = fleet.run(engine);
+        if (res.placements.empty())
+            std::abort();
+    });
+    out.nodes = spec.nodes.size();
+    out.placements = res.placements.size();
+    out.offered = static_cast<std::size_t>(
+        res.placements.front().fleet.offered);
+    for (const FleetPlacementResult& p : res.placements) {
+        if (p.kind == PlacementKind::JoinShortestQueue) {
+            out.jsqWarm = p.fleet.warmCompiles;
+            out.jsqJain = p.fleet.utilJain;
+        } else if (p.kind == PlacementKind::ClassAffinity) {
+            out.affinityWarm = p.fleet.warmCompiles;
+            out.affinityJain = p.fleet.utilJain;
+        }
+    }
+    return out;
+}
+
+void
+writeFleetEntry(JsonWriter& w, const FleetTimes& ft)
+{
+    w.beginObject();
+    w.field("nodes", static_cast<std::uint64_t>(ft.nodes));
+    w.field("placements", static_cast<std::uint64_t>(ft.placements));
+    w.field("offered_requests",
+            static_cast<std::uint64_t>(ft.offered));
+    w.field("jsq_warm_compiles", ft.jsqWarm);
+    w.field("affinity_warm_compiles", ft.affinityWarm);
+    w.field("jsq_util_jain", ft.jsqJain);
+    w.field("affinity_util_jain", ft.affinityJain);
+    w.field("sweep_ms", ft.runMs);
+    w.endObject();
+}
+
 /**
  * Zero-overhead-when-off pin: the same experiment (compile + replay)
  * with observability off — the `tracer_ == nullptr` branch every emit
@@ -442,6 +503,12 @@ main(int argc, char** argv)
               << scale << " scale)\n";
     CapacityTimes capacity = timeElasticCapacity(scale);
 
+    // Fleet sweep: the g10fleet demo (4 heterogeneous nodes x 3
+    // placements over one stream) — the router's trajectory entry.
+    std::cerr << "perf trajectory: fleet sweep (demo fleet, 1/"
+              << scale << " scale)\n";
+    FleetTimes fleetSweep = timeFleetSweep(scale, reps);
+
     // Observability pin: tracing off must stay on the null-pointer
     // fast path; tracing on is allowed to cost, but gets tracked.
     std::cerr << "perf trajectory: tracer on/off overhead (1/" << scale
@@ -472,6 +539,8 @@ main(int argc, char** argv)
         writeServeEntry(w, servedElastic);
         w.key("elastic_capacity");
         writeCapacityEntry(w, capacity);
+        w.key("fleet_sweep");
+        writeFleetEntry(w, fleetSweep);
         w.key("workloads").beginArray();
         for (const StageTimes& st : entries)
             writeEntry(w, st);

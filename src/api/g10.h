@@ -6,7 +6,8 @@
  * zoo, the compile-time pipeline (vitality analysis + migration
  * scheduling), the runtime simulator with all design points, the
  * one-call experiment facade, the multi-tenant / parallel experiment
- * engine, and the open-loop serving simulator.
+ * engine, the open-loop serving simulator, and the fleet-scale
+ * router over heterogeneous serving nodes.
  */
 
 #ifndef G10_API_G10_H
@@ -24,6 +25,9 @@
 #include "engine/experiment_engine.h"
 #include "engine/multi_tenant.h"
 #include "engine/workload_mix.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/router.h"
 #include "core/sched/plan_builder.h"
 #include "core/vitality/vitality.h"
 #include "graph/trace.h"

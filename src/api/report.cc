@@ -652,6 +652,231 @@ printMixReport(std::ostream& os, const MixResult& result)
     printMixResult(os, result, ReportFormat::Table);
 }
 
+// ---- Fleet reporting ------------------------------------------------
+
+namespace {
+
+void
+writeFleetSpecJson(JsonWriter& w, const FleetResult& r)
+{
+    const FleetSpec& s = r.spec;
+    w.beginObject();
+    w.field("scale_down", static_cast<std::uint64_t>(s.scaleDown));
+    w.field("seed", static_cast<std::uint64_t>(s.seed));
+    w.field("slots", static_cast<std::int64_t>(s.slots));
+    w.field("queue_capacity",
+            static_cast<std::uint64_t>(s.queueCapacity));
+    w.field("partition_policy",
+            partitionPolicyName(s.partitionPolicy));
+    w.field("admission", admitPolicyName(s.admit));
+    w.field("starvation_ms", milliseconds(s.starvationNs));
+    w.field("slo_factor", s.sloFactor);
+    w.field("requests", static_cast<std::int64_t>(s.requests));
+    w.field("arrival", arrivalKindName(s.arrival.kind));
+    if (s.arrival.kind == ArrivalKind::Bursty) {
+        w.field("burst_on_ms", s.arrival.burstOnSec * 1e3);
+        w.field("burst_off_ms", s.arrival.burstOffSec * 1e3);
+    }
+    w.field("rate_per_s", s.rate);
+    w.field("design", s.design);
+    w.key("placements");
+    w.beginArray();
+    for (PlacementKind kind : s.placements)
+        w.value(placementKindName(kind));
+    w.endArray();
+    w.key("classes");
+    w.beginArray();
+    for (const std::string& c : r.classNames)
+        w.value(c);
+    w.endArray();
+    w.key("system");
+    writeSystemJson(w, s.sys);
+    w.key("nodes");
+    w.beginArray();
+    for (std::size_t n = 0; n < s.nodes.size(); ++n) {
+        const FleetNodeSpec& node = s.nodes[n];
+        w.beginObject();
+        w.field("name", node.name);
+        w.field("slots", static_cast<std::int64_t>(
+                             node.slots > 0 ? node.slots : s.slots));
+        w.field("queue_capacity",
+                static_cast<std::uint64_t>(
+                    node.queue >= 0
+                        ? static_cast<std::size_t>(node.queue)
+                        : s.queueCapacity));
+        w.field("seed", fleetNodeSeed(s.seed, n));
+        w.key("families");
+        w.beginArray();
+        for (ModelKind fam : node.families)
+            w.value(modelName(fam));
+        w.endArray();
+        w.key("system");
+        writeSystemJson(w, s.nodeSystem(n));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeFleetMetricsJson(JsonWriter& w, const FleetMetrics& m)
+{
+    w.beginObject();
+    w.field("offered", m.offered);
+    w.field("admitted", m.admitted);
+    w.field("rejected", m.rejected);
+    w.field("completed", m.completed);
+    w.field("failed", m.failed);
+    w.field("slo_attainment", m.sloAttainment);
+    w.field("throughput_rps", m.throughputRps);
+    w.field("capacity_per_node_rps", m.capacityPerNodeRps);
+    w.field("makespan_s", seconds(m.makespanNs));
+    w.key("utilization");
+    w.beginObject();
+    w.field("min", m.utilMin);
+    w.field("max", m.utilMax);
+    w.field("mean", m.utilMean);
+    w.field("jain", m.utilJain);
+    w.endObject();
+    w.field("warm_compiles", m.warmCompiles);
+    w.field("cold_compiles", m.coldCompiles);
+    w.field("consolidated_waf", m.consolidatedWaf);
+    w.key("ssd");
+    writeSsdJson(w, m.ssd);
+    w.endObject();
+}
+
+Table
+fleetSummaryTable(const FleetResult& result)
+{
+    Table t("fleet summary (placement policies over one stream)");
+    t.setHeader({"placement", "offered", "rej", "fail", "slo",
+                 "tput_rps", "cap_per_node", "util_min", "util_max",
+                 "jain", "warm", "cold", "waf"});
+    for (const FleetPlacementResult& p : result.placements) {
+        const FleetMetrics& m = p.fleet;
+        t.addRowOf(placementKindName(p.kind),
+                   static_cast<unsigned long long>(m.offered),
+                   static_cast<unsigned long long>(m.rejected),
+                   static_cast<unsigned long long>(m.failed),
+                   m.sloAttainment, m.throughputRps,
+                   m.capacityPerNodeRps, m.utilMin, m.utilMax,
+                   m.utilJain,
+                   static_cast<unsigned long long>(m.warmCompiles),
+                   static_cast<unsigned long long>(m.coldCompiles),
+                   m.consolidatedWaf);
+    }
+    return t;
+}
+
+Table
+fleetNodesTable(const FleetResult& result)
+{
+    Table t("per-node cells (placement x node)");
+    t.setHeader({"placement", "node", "offered", "rej", "fail", "slo",
+                 "lat_p95_ms", "util", "warm", "cold", "waf"});
+    for (const FleetPlacementResult& p : result.placements) {
+        for (std::size_t n = 0; n < p.nodeCells.size(); ++n) {
+            const ServeCellResult& c = p.nodeCells[n];
+            const ServeMetrics& m = c.metrics;
+            // The node's share of fleet time, matching the spread.
+            const double util =
+                p.fleet.makespanNs > 0
+                    ? m.gpuUtilization *
+                          static_cast<double>(m.makespanNs) /
+                          static_cast<double>(p.fleet.makespanNs)
+                    : 0.0;
+            t.addRowOf(placementKindName(p.kind),
+                       result.nodeNames[n].c_str(),
+                       static_cast<unsigned long long>(m.offered),
+                       static_cast<unsigned long long>(m.rejected),
+                       static_cast<unsigned long long>(m.failed),
+                       m.sloAttainment,
+                       milliseconds(m.latencyP95Ns), util,
+                       static_cast<unsigned long long>(m.warmCompiles),
+                       static_cast<unsigned long long>(m.coldCompiles),
+                       c.ssd.waf());
+        }
+    }
+    return t;
+}
+
+}  // namespace
+
+void
+writeFleetResultJson(std::ostream& os, const FleetResult& result)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.fleet_result.v1");
+    w.key("spec");
+    writeFleetSpecJson(w, result);
+    w.key("baselines");
+    w.beginArray();
+    for (std::size_t n = 0; n < result.baselines.size(); ++n) {
+        w.beginObject();
+        w.field("node", result.nodeNames[n]);
+        w.key("unloaded_latency_ms");
+        w.beginObject();
+        for (std::size_t c = 0; c < result.baselines[n].size(); ++c) {
+            const ServeClassBaseline& b = result.baselines[n][c];
+            w.key(result.classNames[c]);
+            if (b.failed)
+                w.null();
+            else
+                w.value(milliseconds(b.unloadedNs));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("placements");
+    w.beginArray();
+    for (const FleetPlacementResult& p : result.placements) {
+        w.beginObject();
+        w.field("placement", placementKindName(p.kind));
+        w.key("fleet");
+        writeFleetMetricsJson(w, p.fleet);
+        w.key("nodes");
+        w.beginArray();
+        for (std::size_t n = 0; n < p.nodeCells.size(); ++n) {
+            w.beginObject();
+            w.field("node", result.nodeNames[n]);
+            w.field("offered", p.nodeOffered[n]);
+            w.key("cell");
+            writeServeCellJson(w, p.nodeCells[n]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+int
+printFleetResult(std::ostream& os, const FleetResult& result,
+                 ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Json:
+        writeFleetResultJson(os, result);
+        break;
+      case ReportFormat::Csv:
+        fleetSummaryTable(result).printCsv(os);
+        os << "\n";
+        fleetNodesTable(result).printCsv(os);
+        break;
+      case ReportFormat::Table:
+        fleetSummaryTable(result).print(os);
+        os << "\n";
+        fleetNodesTable(result).print(os);
+        break;
+    }
+    return result.allSucceeded() ? 0 : 2;
+}
+
 void
 printDesignList(std::ostream& os, ReportFormat format)
 {

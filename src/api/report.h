@@ -6,8 +6,8 @@
  *
  * JSON documents carry a `schema` tag (`g10.run_result.v1`,
  * `g10.mix_result.v1`, `g10.grid.v1`, `g10.serve_result.v1`,
- * `g10.metrics.v1`) so downstream tooling can dispatch without
- * sniffing fields.
+ * `g10.fleet_result.v1`, `g10.metrics.v1`) so downstream tooling can
+ * dispatch without sniffing fields.
  */
 
 #ifndef G10_API_REPORT_H
@@ -20,6 +20,7 @@
 #include "api/experiment.h"
 #include "common/json_writer.h"
 #include "engine/multi_tenant.h"
+#include "fleet/fleet_sim.h"
 #include "obs/counters.h"
 #include "serve/serve_sim.h"
 
@@ -61,6 +62,9 @@ void writeGridJson(std::ostream& os,
 void writeServeResultJson(std::ostream& os,
                           const ServeSweepResult& result);
 
+/** Serialize a fleet run (`g10.fleet_result.v1`). */
+void writeFleetResultJson(std::ostream& os, const FleetResult& result);
+
 /**
  * Serialize a CounterRegistry snapshot (`g10.metrics.v1`): every
  * monotonic counter by name, and per-distribution summary stats
@@ -84,6 +88,10 @@ int printMixResult(std::ostream& os, const MixResult& result,
 
 /** Print one serving sweep in @p format (exit code as above). */
 int printServeResult(std::ostream& os, const ServeSweepResult& result,
+                     ReportFormat format);
+
+/** Print one fleet run in @p format (exit code as above). */
+int printFleetResult(std::ostream& os, const FleetResult& result,
                      ReportFormat format);
 
 /**

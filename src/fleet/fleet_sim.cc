@@ -1,0 +1,311 @@
+#include "fleet_sim.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.h"
+#include "engine/partition.h"
+#include "obs/tracer.h"
+#include "policies/registry.h"
+#include "sim/runtime/sim_runtime.h"
+
+namespace g10 {
+
+bool
+FleetResult::allSucceeded() const
+{
+    for (const FleetPlacementResult& p : placements)
+        for (const ServeCellResult& cell : p.nodeCells)
+            if (cell.metrics.failed > 0)
+                return false;
+    return true;
+}
+
+FleetSim::FleetSim(const FleetSpec& spec) : spec_(spec)
+{
+    if (spec_.nodes.empty())
+        fatal("fleet needs at least one node");
+    if (spec_.placements.empty())
+        fatal("fleet needs at least one placement policy");
+    if (spec_.classes.empty())
+        fatal("fleet needs at least one job class");
+    if (spec_.requests < 1)
+        fatal("fleet needs requests >= 1");
+    if (spec_.rate <= 0.0)
+        fatal("fleet needs rate > 0");
+    if (spec_.arrival.kind == ArrivalKind::Trace)
+        fatal("fleet arrivals must be poisson or bursty");
+    PolicyRegistry::instance().resolve(spec_.design);  // fatal on unknown
+    for (std::size_t n = 0; n < spec_.nodes.size(); ++n) {
+        const int slots = spec_.nodes[n].slots > 0
+                              ? spec_.nodes[n].slots
+                              : spec_.slots;
+        if (slots < 1)
+            fatal("fleet node '%s' needs slots >= 1",
+                  spec_.nodes[n].name.c_str());
+    }
+
+    classes_ = spec_.classes;
+    for (ServeJobClass& cls : classes_) {
+        if (cls.batchSize <= 0)
+            cls.batchSize = paperBatchSize(cls.model);
+        if (cls.name.empty())
+            cls.name = std::string(modelName(cls.model)) + "-" +
+                       std::to_string(cls.batchSize);
+    }
+
+    traces_.reserve(classes_.size());
+    for (const ServeJobClass& cls : classes_)
+        traces_.push_back(buildModelScaled(cls.model, cls.batchSize,
+                                           spec_.scaleDown));
+
+    // Per-class capacity floors and plan service estimates, once per
+    // fleet. The page size and launch overhead are platform constants
+    // (scaling divides capacities only), so both are node-independent.
+    const SystemConfig scaled = spec_.sys.scaledDown(spec_.scaleDown);
+    floors_.reserve(traces_.size());
+    serviceEst_.reserve(traces_.size());
+    for (std::size_t c = 0; c < traces_.size(); ++c) {
+        floors_.push_back(
+            serveClassGpuFloor(traces_[c], scaled.pageBytes));
+        serviceEst_.push_back(planServiceEstimateNs(
+            traces_[c], scaled, classes_[c].iterations));
+    }
+
+    // Per-node ServeSpecs, in stable storage: ServeSim keeps a
+    // reference to its spec for the lifetime of the cell.
+    nodeSpecs_.reserve(spec_.nodes.size());
+    for (std::size_t n = 0; n < spec_.nodes.size(); ++n)
+        nodeSpecs_.push_back(spec_.nodeServeSpec(n));
+
+    // The shared fleet stream, drawn once from the fleet seed: arrival
+    // times from `seed`, class picks from `seed + 1` (the serve-sweep
+    // idiom). The stream never looks at the node list, so it is
+    // node-count independent by construction.
+    std::vector<TimeNs> times = generateArrivals(
+        spec_.arrival, spec_.rate, spec_.requests, spec_.seed);
+    std::mt19937_64 picks(spec_.seed + 1);
+    double wsum = 0.0;
+    for (const ServeJobClass& cls : classes_)
+        wsum += cls.weight;
+    stream_.reserve(times.size());
+    for (TimeNs t : times) {
+        double u = unitInterval(picks) * wsum;
+        double cum = 0.0;
+        std::size_t ci = classes_.size() - 1;
+        for (std::size_t c = 0; c < classes_.size(); ++c) {
+            cum += classes_[c].weight;
+            if (u <= cum) {
+                ci = c;
+                break;
+            }
+        }
+        ServeRequest r;
+        r.arrivalNs = t;
+        r.classIndex = ci;
+        stream_.push_back(r);
+    }
+
+    router_ = std::make_unique<Router>(spec_, classes_, serviceEst_,
+                                       floors_);
+}
+
+std::vector<std::vector<ServeClassBaseline>>
+FleetSim::computeBaselines(ExperimentEngine& engine) const
+{
+    // Each node's SLO reference: every class alone on one idle
+    // partition slot *of that node* — heterogeneous nodes have
+    // heterogeneous unloaded latencies, and a node's attainment is
+    // judged against what it could do unloaded.
+    const std::size_t nn = spec_.nodes.size();
+    const std::size_t nc = classes_.size();
+    std::vector<std::vector<ServeClassBaseline>> baselines(
+        nn, std::vector<ServeClassBaseline>(nc));
+    engine.parallelFor(nn * nc, [&](std::size_t i) {
+        const std::size_t n = i / nc;
+        const std::size_t c = i % nc;
+        const ServeSpec& ns = nodeSpecs_[n];
+        const SystemConfig nodeScaled = ns.sys.scaledDown(ns.scaleDown);
+        const SystemConfig slotSys = partitionShare(
+            nodeScaled, 1.0 / static_cast<double>(ns.slots));
+        DesignInstance di = PolicyRegistry::instance().make(
+            spec_.design, traces_[c], slotSys);
+        RunConfig rc;
+        rc.sys = slotSys;
+        rc.iterations = classes_[c].iterations;
+        rc.uvmExtension = di.uvmExtension;
+        rc.seed = ns.seed;
+        SimRuntime rt(traces_[c], *di.policy, rc);
+        ExecStats st = rt.run();
+        baselines[n][c].unloadedNs = rt.now();
+        baselines[n][c].failed = st.failed;
+    });
+    return baselines;
+}
+
+FleetMetrics
+FleetSim::aggregate(const FleetPlacementResult& placement) const
+{
+    const std::size_t nn = placement.nodeCells.size();
+    FleetMetrics m;
+    const TimeNs firstArrival = stream_.front().arrivalNs;
+    TimeNs lastFinish = 0;
+    std::uint64_t sloMet = 0;
+    std::vector<double> busy(nn, 0.0);
+
+    for (std::size_t n = 0; n < nn; ++n) {
+        const ServeCellResult& cell = placement.nodeCells[n];
+        const ServeMetrics& cm = cell.metrics;
+        m.offered += cm.offered;
+        m.admitted += cm.admitted;
+        m.rejected += cm.rejected;
+        m.completed += cm.completed;
+        m.failed += cm.failed;
+        m.warmCompiles += cm.warmCompiles;
+        m.coldCompiles += cm.coldCompiles;
+        m.ssd.hostReadBytes += cell.ssd.hostReadBytes;
+        m.ssd.hostWriteBytes += cell.ssd.hostWriteBytes;
+        m.ssd.nandWriteBytes += cell.ssd.nandWriteBytes;
+        m.ssd.gcRuns += cell.ssd.gcRuns;
+        m.ssd.blockErases += cell.ssd.blockErases;
+        m.ssd.relocatedPages += cell.ssd.relocatedPages;
+        for (const ServeJobOutcome& o : cell.jobs) {
+            if (o.sloMet)
+                ++sloMet;
+            if (o.finishNs > lastFinish)
+                lastFinish = o.finishNs;
+        }
+        busy[n] = cm.gpuUtilization *
+                  static_cast<double>(cm.makespanNs);
+    }
+
+    m.sloAttainment =
+        m.offered > 0 ? static_cast<double>(sloMet) /
+                            static_cast<double>(m.offered)
+                      : 0.0;
+    if (lastFinish > firstArrival) {
+        m.makespanNs = lastFinish - firstArrival;
+        m.throughputRps = static_cast<double>(m.completed) /
+                          (static_cast<double>(m.makespanNs) / SEC);
+    }
+    m.capacityPerNodeRps =
+        m.throughputRps / static_cast<double>(nn);
+    m.consolidatedWaf = m.ssd.waf();
+
+    // Utilization spread over *fleet* time: an idle node drags the
+    // min and the Jain index down — exactly the signal a consolidating
+    // placement trades against its warm-hit wins.
+    double sum = 0.0, sumSq = 0.0;
+    m.utilMin = 0.0;
+    m.utilMax = 0.0;
+    for (std::size_t n = 0; n < nn; ++n) {
+        const double u =
+            m.makespanNs > 0
+                ? busy[n] / static_cast<double>(m.makespanNs)
+                : 0.0;
+        if (n == 0) {
+            m.utilMin = u;
+            m.utilMax = u;
+        } else {
+            m.utilMin = std::min(m.utilMin, u);
+            m.utilMax = std::max(m.utilMax, u);
+        }
+        sum += u;
+        sumSq += u * u;
+    }
+    m.utilMean = nn > 0 ? sum / static_cast<double>(nn) : 0.0;
+    m.utilJain = sumSq > 0.0
+                     ? (sum * sum) /
+                           (static_cast<double>(nn) * sumSq)
+                     : 1.0;  // all idle: trivially even
+    return m;
+}
+
+FleetResult
+FleetSim::run(ExperimentEngine& engine)
+{
+    return run(engine, FleetObsRequest{});
+}
+
+FleetResult
+FleetSim::run(ExperimentEngine& engine, const FleetObsRequest& obs)
+{
+    FleetResult out;
+    out.spec = spec_;
+    for (const ServeJobClass& cls : classes_)
+        out.classNames.push_back(cls.name);
+    for (const FleetNodeSpec& node : spec_.nodes)
+        out.nodeNames.push_back(node.name);
+
+    out.baselines = computeBaselines(engine);
+
+    const std::size_t np = spec_.placements.size();
+    const std::size_t nn = spec_.nodes.size();
+
+    // Route once per placement (pure, no randomness), then simulate
+    // the (placement × node) grid. Per-cell registries merged in grid
+    // order keep the totals worker-count independent.
+    std::vector<RoutedStream> routedStreams;
+    routedStreams.reserve(np);
+    for (PlacementKind kind : spec_.placements)
+        routedStreams.push_back(router_->route(kind, stream_));
+
+    out.placements.resize(np);
+    for (std::size_t p = 0; p < np; ++p) {
+        out.placements[p].kind = spec_.placements[p];
+        out.placements[p].nodeCells.resize(nn);
+        out.placements[p].nodeOffered.resize(nn);
+        for (std::size_t n = 0; n < nn; ++n)
+            out.placements[p].nodeOffered[n] =
+                routedStreams[p].perNode[n].size();
+    }
+
+    std::vector<CounterRegistry> regs(np * nn);
+    auto runCell = [&](std::size_t p, std::size_t n, TraceSink* sink) {
+        ServeCellResult& cell = out.placements[p].nodeCells[n];
+        const std::vector<ServeRequest>& reqs =
+            routedStreams[p].perNode[n];
+        if (reqs.empty()) {
+            // A node the policy never routed to: an empty cell, so
+            // the spread metrics still see the idle machine.
+            cell.design = spec_.design;
+            cell.designName =
+                PolicyRegistry::instance().resolve(spec_.design).name;
+            cell.rate = spec_.rate;
+            return;
+        }
+        ServeSim sim(nodeSpecs_[n], spec_.design, spec_.rate, traces_,
+                     classes_, floors_, reqs, out.baselines[n]);
+        sim.setObservers(
+            sink, obs.collectCounters ? &regs[p * nn + n] : nullptr);
+        cell = sim.run();
+    };
+
+    if (obs.sink != nullptr) {
+        // Traced runs stream the first placement's nodes sequentially
+        // (sinks are not thread-safe) with per-node pid offsets; the
+        // remaining placements still fan out across the pool.
+        for (std::size_t n = 0; n < nn; ++n) {
+            PidOffsetSink offset(obs.sink,
+                                 static_cast<int>(n) * kFleetPidStride);
+            runCell(0, n, &offset);
+        }
+        engine.parallelFor((np - 1) * nn, [&](std::size_t i) {
+            runCell(1 + i / nn, i % nn, nullptr);
+        });
+    } else {
+        engine.parallelFor(np * nn, [&](std::size_t i) {
+            runCell(i / nn, i % nn, nullptr);
+        });
+    }
+
+    if (obs.collectCounters)
+        for (CounterRegistry& reg : regs)
+            out.counters.merge(reg);
+
+    for (std::size_t p = 0; p < np; ++p)
+        out.placements[p].fleet = aggregate(out.placements[p]);
+    return out;
+}
+
+}  // namespace g10

@@ -39,6 +39,37 @@ writeArgs(JsonWriter& w, const TraceEvent& ev)
 }  // namespace
 
 void
+writeChromeMetaJson(JsonWriter& w, const char* meta_name, int pid,
+                    int tid, const std::string& name)
+{
+    w.beginObject();
+    w.field("ph", "M").field("name", meta_name);
+    w.field("pid", static_cast<std::int64_t>(pid));
+    w.field("tid", static_cast<std::int64_t>(tid));
+    w.key("args").beginObject().field("name", name).endObject();
+    w.endObject();
+}
+
+void
+writeChromeEventJson(JsonWriter& w, const TraceEvent& ev, int tid)
+{
+    w.beginObject();
+    w.field("name", ev.name);
+    w.field("cat", ev.category);
+    w.field("ph", ev.kind == TraceEventKind::Span ? "X" : "i");
+    // Trace-event timestamps are microseconds; keep sub-us detail.
+    w.field("ts", static_cast<double>(ev.ts) / 1e3);
+    if (ev.kind == TraceEventKind::Span)
+        w.field("dur", static_cast<double>(ev.dur) / 1e3);
+    else
+        w.field("s", "t");  // instant scope: thread
+    w.field("pid", static_cast<std::int64_t>(ev.pid));
+    w.field("tid", static_cast<std::int64_t>(tid));
+    writeArgs(w, ev);
+    w.endObject();
+}
+
+void
 writeChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
                  const std::map<int, std::string>& process_names)
 {
@@ -61,39 +92,14 @@ writeChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
         std::string name = it != process_names.end()
                                ? it->second
                                : "job " + std::to_string(pid);
-        w.beginObject();
-        w.field("ph", "M").field("name", "process_name");
-        w.field("pid", static_cast<std::int64_t>(pid));
-        w.field("tid", static_cast<std::int64_t>(0));
-        w.key("args").beginObject().field("name", name).endObject();
-        w.endObject();
+        writeChromeMetaJson(w, "process_name", pid, 0, name);
     }
-    for (const auto& [lane, tid] : tids) {
-        w.beginObject();
-        w.field("ph", "M").field("name", "thread_name");
-        w.field("pid", static_cast<std::int64_t>(lane.first));
-        w.field("tid", static_cast<std::int64_t>(tid));
-        w.key("args").beginObject().field("name", lane.second).endObject();
-        w.endObject();
-    }
+    for (const auto& [lane, tid] : tids)
+        writeChromeMetaJson(w, "thread_name", lane.first, tid,
+                            lane.second);
 
-    for (const TraceEvent& ev : events) {
-        w.beginObject();
-        w.field("name", ev.name);
-        w.field("cat", ev.category);
-        w.field("ph", ev.kind == TraceEventKind::Span ? "X" : "i");
-        // Trace-event timestamps are microseconds; keep sub-us detail.
-        w.field("ts", static_cast<double>(ev.ts) / 1e3);
-        if (ev.kind == TraceEventKind::Span)
-            w.field("dur", static_cast<double>(ev.dur) / 1e3);
-        else
-            w.field("s", "t");  // instant scope: thread
-        w.field("pid", static_cast<std::int64_t>(ev.pid));
-        w.field("tid",
-                static_cast<std::int64_t>(tids.at({ev.pid, ev.track})));
-        writeArgs(w, ev);
-        w.endObject();
-    }
+    for (const TraceEvent& ev : events)
+        writeChromeEventJson(w, ev, tids.at({ev.pid, ev.track}));
 
     w.endArray();
     w.endObject();

@@ -23,6 +23,8 @@
 
 namespace g10 {
 
+class JsonWriter;
+
 /**
  * Write @p events as `{"traceEvents": [...]}`.
  *
@@ -32,6 +34,18 @@ namespace g10 {
 void writeChromeTrace(std::ostream& os,
                       const std::vector<TraceEvent>& events,
                       const std::map<int, std::string>& process_names = {});
+
+// ---- Per-element serialization (shared with the streaming sink) -----
+
+/** Emit one "M" metadata record (@p meta_name is "process_name" or
+ *  "thread_name") onto a writer positioned inside the traceEvents
+ *  array. */
+void writeChromeMetaJson(JsonWriter& w, const char* meta_name, int pid,
+                         int tid, const std::string& name);
+
+/** Emit one event record ("X" span / "i" instant) onto a writer
+ *  positioned inside the traceEvents array. */
+void writeChromeEventJson(JsonWriter& w, const TraceEvent& ev, int tid);
 
 }  // namespace g10
 

@@ -52,6 +52,32 @@ class MemoryTraceSink : public TraceSink
 };
 
 /**
+ * A sink adapter that shifts every event's pid by a fixed offset
+ * before forwarding. The fleet layer wraps one of these around the
+ * shared sink per node, so request pids from different nodes land in
+ * disjoint ranges of one trace (node i's jobs at i * stride + req).
+ */
+class PidOffsetSink : public TraceSink
+{
+  public:
+    PidOffsetSink(TraceSink* inner, int offset)
+        : inner_(inner), offset_(offset)
+    {
+    }
+
+    void onEvent(const TraceEvent& ev) override
+    {
+        TraceEvent shifted = ev;
+        shifted.pid += offset_;
+        inner_->onEvent(shifted);
+    }
+
+  private:
+    TraceSink* inner_;
+    int offset_;
+};
+
+/**
  * The facade producers emit through. Either half may be absent: a
  * Tracer with only a CounterRegistry costs no event allocations, and
  * one with only a sink keeps no aggregates.

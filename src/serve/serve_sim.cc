@@ -14,17 +14,9 @@
 
 namespace g10 {
 
-namespace {
-
-/**
- * The SJF key: length of the compiled plan's ideal timeline (one
- * iteration of kernel durations + launch overhead) times the class's
- * iteration count. Known before the job runs, identical for every
- * design (plans share the ideal timeline).
- */
 TimeNs
-serviceEstimate(const KernelTrace& trace, const SystemConfig& sys,
-                int iterations)
+planServiceEstimateNs(const KernelTrace& trace,
+                      const SystemConfig& sys, int iterations)
 {
     TimeNs iter = 0;
     for (std::size_t k = 0; k < trace.numKernels(); ++k)
@@ -32,6 +24,31 @@ serviceEstimate(const KernelTrace& trace, const SystemConfig& sys,
                 sys.kernelLaunchOverheadNs;
     return iter * iterations;
 }
+
+Bytes
+maxKernelWorkingSet(const KernelTrace& trace, Bytes page)
+{
+    Bytes best = 0;
+    for (std::size_t k = 0; k < trace.numKernels(); ++k) {
+        Bytes sum = 0;
+        for (TensorId t :
+             trace.kernel(static_cast<KernelId>(k)).allTensors()) {
+            const Bytes b = trace.tensor(t).bytes;
+            sum += (b + page - 1) / page * page;
+        }
+        best = std::max(best, sum);
+    }
+    return best;
+}
+
+Bytes
+serveClassGpuFloor(const KernelTrace& trace, Bytes page)
+{
+    const Bytes ws = maxKernelWorkingSet(trace, page);
+    return ws + ws / 8;
+}
+
+namespace {
 
 /** Warm-start plan cache: per model, the last compiled schedule
  *  (whatever batch size or partition capacity it was compiled at —
@@ -116,28 +133,6 @@ pctNs(const Distribution& d, double p)
     return static_cast<TimeNs>(d.percentile(p));
 }
 
-/**
- * The largest single-kernel working set of @p trace (page-rounded).
- * This is exactly what the runtime's OOM guard pins: a lease below it
- * is guaranteed to fail, so the elastic policies never shrink a job's
- * capacity under this floor (plus headroom for in-flight transfers).
- */
-Bytes
-maxKernelWorkingSet(const KernelTrace& trace, Bytes page)
-{
-    Bytes best = 0;
-    for (std::size_t k = 0; k < trace.numKernels(); ++k) {
-        Bytes sum = 0;
-        for (TensorId t :
-             trace.kernel(static_cast<KernelId>(k)).allTensors()) {
-            const Bytes b = trace.tensor(t).bytes;
-            sum += (b + page - 1) / page * page;
-        }
-        best = std::max(best, sum);
-    }
-    return best;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -217,8 +212,8 @@ ServeSim::run()
     // Per-class SJF keys (design-independent, so computed once).
     std::vector<TimeNs> serviceEst(classes_.size(), 0);
     for (std::size_t c = 0; c < classes_.size(); ++c)
-        serviceEst[c] = serviceEstimate(traces_[c], scaled,
-                                        classes_[c].iterations);
+        serviceEst[c] = planServiceEstimateNs(traces_[c], scaled,
+                                              classes_[c].iterations);
 
     // Per-class capacity floors (computed once per sweep): clamped to
     // the whole machine so a class too big for the node is still
@@ -789,10 +784,8 @@ ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
     // the elastic policies never shrink or grant under it.
     const Bytes page = spec_.sys.scaledDown(spec_.scaleDown).pageBytes;
     minGpu_.reserve(traces_.size());
-    for (const KernelTrace& t : traces_) {
-        const Bytes ws = maxKernelWorkingSet(t, page);
-        minGpu_.push_back(ws + ws / 8);
-    }
+    for (const KernelTrace& t : traces_)
+        minGpu_.push_back(serveClassGpuFloor(t, page));
 }
 
 std::vector<ServeRequest>

@@ -60,6 +60,30 @@ struct ServeRequest
     std::size_t classIndex = 0;
 };
 
+/**
+ * Length of one compiled plan's ideal timeline (kernel durations +
+ * launch overhead) times @p iterations — the service-time estimate the
+ * SJF admission key and the fleet router's backlog accounting use.
+ * Known before the job runs and identical for every design.
+ */
+TimeNs planServiceEstimateNs(const KernelTrace& trace,
+                             const SystemConfig& sys, int iterations);
+
+/**
+ * The largest single-kernel working set of @p trace (page-rounded).
+ * This is exactly what the runtime's OOM guard pins: a lease below it
+ * is guaranteed to fail.
+ */
+Bytes maxKernelWorkingSet(const KernelTrace& trace, Bytes page);
+
+/**
+ * Per-class elastic capacity floor: the largest kernel working set
+ * plus 12.5% headroom for in-flight transfers. ServeSweep computes
+ * these once per sweep; the fleet router reuses them as the compiled
+ * working-set footprint for plan-aware placement.
+ */
+Bytes serveClassGpuFloor(const KernelTrace& trace, Bytes page);
+
 /** Fate of one request inside a cell. */
 struct ServeJobOutcome
 {

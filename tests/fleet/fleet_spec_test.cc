@@ -1,0 +1,242 @@
+/** @file Fleet-spec tests: the seed split (golden), per-node spec
+ *  derivation with inheritance, the strict fleet-file parser, and the
+ *  built-in demo fleet's shape. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fleet/fleet_spec.h"
+
+namespace g10 {
+namespace {
+
+/** Write @p text to a fresh temp fleet file and return its path. */
+std::string
+writeFleetFile(const std::string& tag, const std::string& text)
+{
+    std::string path = ::testing::TempDir() + "g10_fleet_" + tag + "_" +
+                       std::to_string(::getpid()) + ".serve";
+    std::ofstream f(path);
+    f << text;
+    return path;
+}
+
+/** A minimal well-formed fleet file body. */
+const char* kMinimalFleet =
+    "rate = 1\n"
+    "placements = jsq\n"
+    "class = ResNet152 batch=256\n"
+    "node = n0\n";
+
+TEST(FleetNodeSeed, GoldenSplitmix64Values)
+{
+    // Pinned: the split is part of the result format. If these move,
+    // every per-node arrival perturbation moves with them.
+    EXPECT_EQ(fleetNodeSeed(42, 0), 0xbdd732262feb6e95ULL);
+    EXPECT_EQ(fleetNodeSeed(42, 1), 0x28efe333b266f103ULL);
+    EXPECT_EQ(fleetNodeSeed(42, 2), 0x47526757130f9f52ULL);
+    EXPECT_EQ(fleetNodeSeed(7, 0), 0x63cbe1e459320dd7ULL);
+}
+
+TEST(FleetNodeSeed, PureFunctionOfSeedAndIndex)
+{
+    // The property the golden values exist to protect: node i's seed
+    // never depends on how many nodes the fleet has.
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(fleetNodeSeed(123, i), fleetNodeSeed(123, i));
+    EXPECT_NE(fleetNodeSeed(123, 0), fleetNodeSeed(123, 1));
+    EXPECT_NE(fleetNodeSeed(123, 0), fleetNodeSeed(124, 0));
+}
+
+TEST(FleetSpec, NodeServeSpecInheritsAndOverrides)
+{
+    FleetSpec spec = demoFleetSpec(64);
+    spec.slots = 2;
+    spec.queueCapacity = 8;
+
+    // big0 overrides gpu only; queue and admission inherit.
+    ServeSpec big0 = spec.nodeServeSpec(0);
+    EXPECT_EQ(big0.sys.gpuMemBytes, static_cast<Bytes>(40.0 * 1e9));
+    EXPECT_EQ(big0.sys.hostMemBytes, spec.sys.hostMemBytes);
+    EXPECT_EQ(big0.slots, 2);
+    EXPECT_EQ(big0.queueCapacity, 8u);
+    EXPECT_EQ(big0.seed, fleetNodeSeed(spec.seed, 0));
+    EXPECT_EQ(big0.scaleDown, spec.scaleDown);
+    ASSERT_EQ(big0.rates.size(), 1u);
+    EXPECT_DOUBLE_EQ(big0.rates[0], spec.rate);
+    ASSERT_EQ(big0.designs.size(), 1u);
+    EXPECT_EQ(big0.designs[0], spec.design);
+    EXPECT_EQ(big0.classes.size(), spec.classes.size());
+
+    // small0 overrides host memory and slots too.
+    ServeSpec small0 = spec.nodeServeSpec(3);
+    EXPECT_EQ(small0.sys.gpuMemBytes, static_cast<Bytes>(20.0 * 1e9));
+    EXPECT_EQ(small0.sys.hostMemBytes,
+              static_cast<Bytes>(64.0 * 1e9));
+    EXPECT_EQ(small0.slots, 1);
+    EXPECT_EQ(small0.seed, fleetNodeSeed(spec.seed, 3));
+}
+
+TEST(FleetSpec, PlacementKindNamesRoundTrip)
+{
+    for (PlacementKind kind : {PlacementKind::JoinShortestQueue,
+                               PlacementKind::PlanAware,
+                               PlacementKind::ClassAffinity}) {
+        PlacementKind back;
+        ASSERT_TRUE(
+            placementKindFromName(placementKindName(kind), &back));
+        EXPECT_EQ(back, kind);
+    }
+    PlacementKind out;
+    EXPECT_FALSE(placementKindFromName("roundrobin", &out));
+}
+
+TEST(FleetSpec, DemoFleetIsHeterogeneousAndPinsBert)
+{
+    FleetSpec spec = demoFleetSpec(64);
+    ASSERT_EQ(spec.nodes.size(), 4u);
+    ASSERT_EQ(spec.placements.size(), 3u);
+    ASSERT_EQ(spec.classes.size(), 3u);
+    // Heterogeneous: at least two distinct GPU sizes and slot counts.
+    EXPECT_NE(spec.nodes[0].gpuGb, spec.nodes[3].gpuGb);
+    EXPECT_NE(spec.nodes[0].slots, spec.nodes[3].slots);
+    // The small node pins the BERT family for affinity routing.
+    ASSERT_EQ(spec.nodes[3].families.size(), 1u);
+    EXPECT_EQ(spec.nodes[3].families[0], ModelKind::BertBase);
+}
+
+// ---- Fleet-file parser -------------------------------------------
+
+TEST(FleetSpecParser, ParsesHeterogeneousNodesAndDefaults)
+{
+    std::string path = writeFleetFile(
+        "full",
+        "scale = 32\n"
+        "seed = 7\n"
+        "slots = 2\n"
+        "queue = 4\n"
+        "admission = sjf\n"
+        "slo_factor = 2.5\n"
+        "requests = 12\n"
+        "arrival = poisson\n"
+        "rate = 1.5\n"
+        "design = g10\n"
+        "placements = jsq,planaware,affinity\n"
+        "gpu_mem_gb = 32\n"
+        "class = ResNet152 batch=256 weight=2\n"
+        "class = BERT\n"
+        "node = big gpu_gb=40 slots=4 queue=16\n"
+        "node = small gpu_gb=16 slots=1 families=BERT\n");
+    FleetSpec spec = parseFleetFile(path);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(spec.scaleDown, 32u);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_EQ(spec.admit, AdmitPolicy::Sjf);
+    EXPECT_DOUBLE_EQ(spec.sloFactor, 2.5);
+    EXPECT_EQ(spec.requests, 12);
+    EXPECT_DOUBLE_EQ(spec.rate, 1.5);
+    ASSERT_EQ(spec.placements.size(), 3u);
+    EXPECT_EQ(spec.placements[2], PlacementKind::ClassAffinity);
+    ASSERT_EQ(spec.classes.size(), 2u);
+    EXPECT_EQ(spec.classes[0].name, "ResNet152-256");
+
+    ASSERT_EQ(spec.nodes.size(), 2u);
+    EXPECT_EQ(spec.nodes[0].name, "big");
+    EXPECT_EQ(spec.nodes[0].slots, 4);
+    EXPECT_EQ(spec.nodes[0].queue, 16);
+    EXPECT_EQ(spec.nodes[1].slots, 1);
+    ASSERT_EQ(spec.nodes[1].families.size(), 1u);
+    EXPECT_EQ(spec.nodes[1].families[0], ModelKind::BertBase);
+
+    // The fleet default (32 GB) applies where gpu_gb is absent; the
+    // per-node override wins where present.
+    EXPECT_EQ(spec.nodeSystem(0).gpuMemBytes,
+              static_cast<Bytes>(40.0 * 1e9));
+    ServeSpec small = spec.nodeServeSpec(1);
+    EXPECT_EQ(small.queueCapacity, 4u);  // inherited fleet queue
+    EXPECT_EQ(small.seed, fleetNodeSeed(7, 1));
+}
+
+TEST(FleetSpecParserDeath, RejectsUnknownKey)
+{
+    std::string path = writeFleetFile(
+        "badkey", std::string("rates = 5\n") + kMinimalFleet);
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "unknown key 'rates'");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsMissingRate)
+{
+    std::string path = writeFleetFile(
+        "norate",
+        "placements = jsq\n"
+        "class = ResNet152\n"
+        "node = n0\n");
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "needs 'rate");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsTraceArrivals)
+{
+    std::string path = writeFleetFile(
+        "tracearr", std::string("arrival = trace\n") + kMinimalFleet);
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "poisson or");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsDuplicateNodeNames)
+{
+    std::string path = writeFleetFile(
+        "dupnode", std::string(kMinimalFleet) + "node = n0\n");
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "duplicate node name 'n0'");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsDoublyPinnedFamily)
+{
+    std::string path = writeFleetFile(
+        "duppin", std::string(kMinimalFleet) +
+                      "node = n1 families=BERT\n"
+                      "node = n2 families=BERT\n");
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "pinned to two nodes");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsUnknownPlacement)
+{
+    std::string path = writeFleetFile(
+        "badplace",
+        "rate = 1\n"
+        "placements = jsq,roundrobin\n"
+        "class = ResNet152\n"
+        "node = n0\n");
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "unknown placement 'roundrobin'");
+    std::remove(path.c_str());
+}
+
+TEST(FleetSpecParserDeath, RejectsDuplicateScalarKey)
+{
+    std::string path = writeFleetFile(
+        "dupkey", std::string("rate = 1\nrate = 2\n") +
+                      "placements = jsq\n"
+                      "class = ResNet152\n"
+                      "node = n0\n");
+    EXPECT_EXIT(parseFleetFile(path), ::testing::ExitedWithCode(1),
+                "duplicate key 'rate'");
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace g10

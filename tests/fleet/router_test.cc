@@ -1,0 +1,232 @@
+/** @file Router tests: stream conservation under every placement
+ *  policy, plan-aware footprint eligibility, class-affinity homes and
+ *  pins, and the node-count-independence golden — appending a node
+ *  never perturbs another node's substream. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "engine/partition.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/fleet_spec.h"
+#include "fleet/router.h"
+#include "graph/trace.h"
+#include "models/model_zoo.h"
+
+namespace g10 {
+namespace {
+
+/** Two plain nodes, no pins — the smallest interesting fleet. */
+FleetSpec
+twoNodeSpec()
+{
+    FleetSpec spec = demoFleetSpec(64);
+    spec.nodes.resize(2);  // big0, big1 — no family pins
+    return spec;
+}
+
+void
+expectConserved(const FleetSpec& spec, const RoutedStream& routed,
+                const std::vector<ServeRequest>& stream)
+{
+    ASSERT_EQ(routed.nodeOf.size(), stream.size());
+    ASSERT_EQ(routed.perNode.size(), spec.nodes.size());
+    ASSERT_EQ(routed.perNodeGlobal.size(), spec.nodes.size());
+
+    std::size_t total = 0;
+    std::set<std::size_t> seen;
+    for (std::size_t n = 0; n < spec.nodes.size(); ++n) {
+        ASSERT_EQ(routed.perNode[n].size(),
+                  routed.perNodeGlobal[n].size());
+        total += routed.perNode[n].size();
+        TimeNs prev = -1;
+        for (std::size_t j = 0; j < routed.perNode[n].size(); ++j) {
+            const std::size_t g = routed.perNodeGlobal[n][j];
+            ASSERT_LT(g, stream.size());
+            EXPECT_TRUE(seen.insert(g).second)
+                << "request " << g << " routed twice";
+            EXPECT_EQ(routed.nodeOf[g], n);
+            // Substreams keep fleet arrival times and class picks,
+            // in arrival order.
+            EXPECT_EQ(routed.perNode[n][j].arrivalNs,
+                      stream[g].arrivalNs);
+            EXPECT_EQ(routed.perNode[n][j].classIndex,
+                      stream[g].classIndex);
+            EXPECT_GE(routed.perNode[n][j].arrivalNs, prev);
+            prev = routed.perNode[n][j].arrivalNs;
+        }
+    }
+    // Every request routed to exactly one node.
+    EXPECT_EQ(total, stream.size());
+}
+
+TEST(Router, EveryPolicyConservesTheStream)
+{
+    FleetSpec spec = demoFleetSpec(64);
+    FleetSim fleet(spec);
+    for (PlacementKind kind : spec.placements) {
+        SCOPED_TRACE(placementKindName(kind));
+        expectConserved(spec, fleet.routed(kind), fleet.stream());
+    }
+}
+
+TEST(Router, JsqSpreadsLoadAcrossNodes)
+{
+    // At the demo rate queues build up, so join-shortest-queue must
+    // use more than one node (an all-to-node-0 split means the
+    // backlog accounting is broken).
+    FleetSim fleet(demoFleetSpec(64));
+    RoutedStream routed =
+        fleet.routed(PlacementKind::JoinShortestQueue);
+    std::set<std::size_t> used(routed.nodeOf.begin(),
+                               routed.nodeOf.end());
+    EXPECT_GE(used.size(), 2u);
+}
+
+TEST(Router, PlanAwareRespectsSlotFootprints)
+{
+    // Recompute the public ingredients the policy ranks with (each
+    // class's compiled working-set footprint), then size a one-slot
+    // node so its slot sits *between* the smallest and largest
+    // footprint: the big class genuinely cannot fit there.
+    FleetSpec spec = demoFleetSpec(64);
+    const SystemConfig scaled = spec.sys.scaledDown(spec.scaleDown);
+    std::vector<Bytes> floors;
+    for (ServeJobClass cls : spec.classes)
+        floors.push_back(serveClassGpuFloor(
+            buildModelScaled(cls.model, cls.batchSize, spec.scaleDown),
+            scaled.pageBytes));
+    const Bytes lo = *std::min_element(floors.begin(), floors.end());
+    const Bytes hi = *std::max_element(floors.begin(), floors.end());
+    ASSERT_LT(lo, hi);
+    const Bytes mid = lo + (hi - lo) / 2;
+
+    spec.nodes.resize(2);  // big0 (fits everything), big1 dropped
+    FleetNodeSpec tiny;
+    tiny.name = "tiny0";
+    tiny.slots = 1;
+    tiny.gpuGb = static_cast<double>(mid) *
+                 static_cast<double>(spec.scaleDown) / 1e9;
+    spec.nodes[1] = tiny;
+
+    FleetSim fleet(spec);
+    std::vector<Bytes> slotGpu;
+    for (std::size_t n = 0; n < spec.nodes.size(); ++n) {
+        const int slots = spec.nodes[n].slots > 0 ? spec.nodes[n].slots
+                                                  : spec.slots;
+        slotGpu.push_back(
+            partitionShare(spec.nodeSystem(n).scaledDown(spec.scaleDown),
+                           1.0 / slots)
+                .gpuMemBytes);
+    }
+    // The construction exercises eligibility: some class misfits the
+    // tiny node, every class fits the big node.
+    bool someMisfit = false;
+    for (Bytes f : floors) {
+        bool fitsSomewhere = false;
+        for (Bytes s : slotGpu) {
+            if (f > s)
+                someMisfit = true;
+            else
+                fitsSomewhere = true;
+        }
+        ASSERT_TRUE(fitsSomewhere);
+    }
+    ASSERT_TRUE(someMisfit);
+
+    // Plan-aware placement never routes a class to a node whose slot
+    // cannot hold its footprint (a fallback exists only when no node
+    // fits, which the demo never hits).
+    RoutedStream routed = fleet.routed(PlacementKind::PlanAware);
+    for (std::size_t g = 0; g < fleet.stream().size(); ++g) {
+        const std::size_t n = routed.nodeOf[g];
+        const std::size_t c = fleet.stream()[g].classIndex;
+        EXPECT_LE(floors[c], slotGpu[n])
+            << "request " << g << " (class " << c << ") on node " << n;
+    }
+}
+
+TEST(Router, AffinityGivesEveryFamilyOneHome)
+{
+    FleetSpec spec = demoFleetSpec(64);
+    FleetSim fleet(spec);
+    RoutedStream routed = fleet.routed(PlacementKind::ClassAffinity);
+
+    // Every requests of a model family lands on one node, and the
+    // pinned BERT family lands on its pinned node (small0, index 3).
+    std::map<int, std::size_t> home;
+    for (std::size_t g = 0; g < fleet.stream().size(); ++g) {
+        const ServeJobClass& cls =
+            fleet.classes()[fleet.stream()[g].classIndex];
+        const int fam = static_cast<int>(cls.model);
+        auto it = home.find(fam);
+        if (it == home.end())
+            home[fam] = routed.nodeOf[g];
+        else
+            EXPECT_EQ(it->second, routed.nodeOf[g])
+                << "family " << modelName(cls.model) << " split";
+    }
+    ASSERT_TRUE(home.count(static_cast<int>(ModelKind::BertBase)));
+    EXPECT_EQ(home[static_cast<int>(ModelKind::BertBase)], 3u);
+}
+
+TEST(Router, StreamIsNodeCountIndependent)
+{
+    // The shared stream is drawn from the fleet seed alone: growing
+    // the fleet must not move a single arrival or class pick.
+    FleetSpec two = twoNodeSpec();
+    FleetSpec three = twoNodeSpec();
+    FleetNodeSpec extra;
+    extra.name = "extra0";
+    extra.gpuGb = 24.0;
+    three.nodes.push_back(extra);
+
+    FleetSim a(two);
+    FleetSim b(three);
+    ASSERT_EQ(a.stream().size(), b.stream().size());
+    for (std::size_t g = 0; g < a.stream().size(); ++g) {
+        EXPECT_EQ(a.stream()[g].arrivalNs, b.stream()[g].arrivalNs);
+        EXPECT_EQ(a.stream()[g].classIndex, b.stream()[g].classIndex);
+    }
+    // And the surviving nodes keep their split seeds.
+    for (std::size_t n = 0; n < two.nodes.size(); ++n)
+        EXPECT_EQ(a.nodeServeSpec(n).seed, b.nodeServeSpec(n).seed);
+}
+
+TEST(Router, AppendingAPinnedNodeNeverPerturbsAffinityHomes)
+{
+    // Golden for the arrival-splitting fix: append a node pinned to a
+    // family the stream never offers — every existing node's affinity
+    // substream must be byte-for-byte what it was.
+    FleetSpec base = twoNodeSpec();
+    FleetSpec grown = twoNodeSpec();
+    FleetNodeSpec extra;
+    extra.name = "extra0";
+    extra.gpuGb = 24.0;
+    extra.families = {ModelKind::SENet154};  // not in the demo mix
+    grown.nodes.push_back(extra);
+
+    FleetSim a(base);
+    FleetSim b(grown);
+    RoutedStream ra = a.routed(PlacementKind::ClassAffinity);
+    RoutedStream rb = b.routed(PlacementKind::ClassAffinity);
+
+    EXPECT_TRUE(rb.perNode[2].empty());
+    for (std::size_t n = 0; n < base.nodes.size(); ++n) {
+        ASSERT_EQ(ra.perNode[n].size(), rb.perNode[n].size());
+        for (std::size_t j = 0; j < ra.perNode[n].size(); ++j) {
+            EXPECT_EQ(ra.perNode[n][j].arrivalNs,
+                      rb.perNode[n][j].arrivalNs);
+            EXPECT_EQ(ra.perNode[n][j].classIndex,
+                      rb.perNode[n][j].classIndex);
+            EXPECT_EQ(ra.perNodeGlobal[n][j], rb.perNodeGlobal[n][j]);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace g10
