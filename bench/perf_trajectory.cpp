@@ -28,16 +28,20 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
 #include "api/g10.h"
+#include "common/step_function.h"
+#include "serve/plan_cache.h"
 #include "obs/tracer.h"
 
 namespace {
@@ -245,14 +249,23 @@ timeElasticCapacity(unsigned scale)
     out.designs = spec.designs;
 
     out.searchMs = bestMs(1, [&] {
+        // One plan cache spans both searches: the static and elastic
+        // sweeps admit the same classes at the same slot capacities,
+        // so the elastic pass starts with the static pass's plans
+        // already compiled (results stay bit-identical either way).
+        SweepPlanCache cache;
         spec.partitionPolicy = PartitionPolicy::Static;
         ExperimentEngine engine;
-        ServeSweepResult st = ServeSweep(spec).run(engine);
+        ServeSweep staticSweep(spec);
+        staticSweep.sharePlanCache(&cache);
+        ServeSweepResult st = staticSweep.run(engine);
         out.staticKnee = st.sustainedRate;
         out.staticProbes = st.rateProbes;
 
         spec.partitionPolicy = PartitionPolicy::OnDemand;
-        ServeSweepResult el = ServeSweep(spec).run(engine);
+        ServeSweep elasticSweep(spec);
+        elasticSweep.sharePlanCache(&cache);
+        ServeSweepResult el = elasticSweep.run(engine);
         out.elasticKnee = el.sustainedRate;
         out.elasticProbes = el.rateProbes;
         for (const ServeCellResult& c : el.cells) {
@@ -421,6 +434,237 @@ writeTracerOverheadEntry(JsonWriter& w, const TracerOverheadTimes& to)
     w.endObject();
 }
 
+/**
+ * Calibrated cycles-per-element of StepFunction::maxOver, naive scan
+ * vs. the block range-max index.
+ *
+ * No cycle counters: wall-clock is converted to cycles through a
+ * calibration loop whose cost is known by construction — a dependent
+ * 64-bit add chain retires one add per cycle on any modern
+ * out-of-order core (latency 1, nothing else on the critical path;
+ * the empty asm makes the accumulator opaque so the compiler cannot
+ * close-form the loop). The workload mirrors the eviction scheduler:
+ * a pressure curve built from seeded interval add()s, then window-max
+ * queries against it. "Element" = breakpoint a naive linear scan of
+ * the window would visit, so naive CPE is the true per-breakpoint
+ * scan cost and indexed CPE divides the same work by the block
+ * index's time — their ratio is the maxOver speedup.
+ */
+struct CpeTimes
+{
+    std::size_t breakpoints = 0;
+    std::size_t queries = 0;
+    std::size_t elements = 0;   ///< breakpoints naive scans visit
+    double cyclesPerNs = 0.0;   ///< calibrated core frequency (GHz)
+    double naiveCpe = 0.0;
+    double indexedCpe = 0.0;
+    bool identical = true;      ///< indexed == naive on every query
+};
+
+double
+calibrateCyclesPerNs(int reps)
+{
+    const std::size_t n = std::size_t{1} << 27;  // ~134M cycles
+    double ms = bestMs(reps, [&] {
+        std::uint64_t a = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            a += 1;
+            __asm__ volatile("" : "+r"(a));  // 1 dependent add / cycle
+        }
+        if (a != n)
+            std::abort();
+    });
+    return static_cast<double>(n) / (ms * 1e6);
+}
+
+CpeTimes
+timeStepFunctionCpe(int reps)
+{
+    CpeTimes out;
+    out.cyclesPerNs = calibrateCyclesPerNs(reps);
+
+    // Eviction-scheduler-shaped curve: overlapping tensor lifetimes
+    // (positive adds) and committed evictions (negative adds).
+    const TimeNs horizon = 1'000'000'000;
+    StepFunction sf;
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        const TimeNs t0 = static_cast<TimeNs>(rng() % horizon);
+        const TimeNs len =
+            1 + static_cast<TimeNs>(rng() % (horizon / 64));
+        const double delta =
+            static_cast<double>(rng() % 8192) - 2048.0;
+        sf.add(t0, std::min<TimeNs>(horizon, t0 + len), delta);
+    }
+    out.breakpoints = sf.breakpointCount();
+
+    std::vector<std::pair<TimeNs, TimeNs>> windows;
+    for (int q = 0; q < 4000; ++q) {
+        TimeNs a = static_cast<TimeNs>(rng() % horizon);
+        TimeNs b = static_cast<TimeNs>(rng() % horizon);
+        if (a > b)
+            std::swap(a, b);
+        windows.emplace_back(a, b + 1);
+    }
+    out.queries = windows.size();
+
+    // Naive reference: the pre-index linear segment walk.
+    std::vector<double> naiveMax(windows.size(), 0.0);
+    auto naivePass = [&] {
+        std::size_t elems = 0;
+        for (std::size_t q = 0; q < windows.size(); ++q) {
+            double best = 0.0;
+            for (auto c = sf.cursor(windows[q].first,
+                                    windows[q].second);
+                 !c.done(); c.next()) {
+                best = std::max(best, c.value());
+                ++elems;
+            }
+            naiveMax[q] = best;
+        }
+        out.elements = elems;
+    };
+    double naiveMs = bestMs(reps, naivePass);
+
+    double indexedMs = bestMs(reps, [&] {
+        for (std::size_t q = 0; q < windows.size(); ++q) {
+            double got = sf.maxOver(windows[q].first,
+                                    windows[q].second);
+            if (got != naiveMax[q])
+                out.identical = false;
+        }
+    });
+
+    const double cycles = out.cyclesPerNs * 1e6;  // per millisecond
+    out.naiveCpe = naiveMs * cycles /
+                   static_cast<double>(out.elements);
+    out.indexedCpe = indexedMs * cycles /
+                     static_cast<double>(out.elements);
+    return out;
+}
+
+void
+writeCpeEntry(JsonWriter& w, const CpeTimes& ct)
+{
+    w.beginObject();
+    w.field("breakpoints",
+            static_cast<std::uint64_t>(ct.breakpoints));
+    w.field("queries", static_cast<std::uint64_t>(ct.queries));
+    w.field("scanned_elements",
+            static_cast<std::uint64_t>(ct.elements));
+    w.field("calibrated_ghz", ct.cyclesPerNs);
+    w.field("naive_cpe", ct.naiveCpe);
+    w.field("indexed_cpe", ct.indexedCpe);
+    w.field("speedup",
+            ct.indexedCpe > 0.0 ? ct.naiveCpe / ct.indexedCpe : 0.0);
+    w.field("results_identical", ct.identical);
+    w.endObject();
+}
+
+/**
+ * Sweep acceleration: the same auto-knee bisection with the
+ * cross-probe plan cache off vs. on (results must be bit-identical —
+ * the cache memoizes a deterministic compiler), plus a paper-scale
+ * (scale = 1) auto-knee to pin that full-size capacity searches are
+ * interactive.
+ */
+struct SweepSpeedTimes
+{
+    std::vector<std::string> designs;
+    double coldMs = 0.0;    ///< sweep_cache = off
+    double cachedMs = 0.0;  ///< sweep_cache = on
+    bool kneesIdentical = false;
+    std::vector<double> knee;
+    std::uint64_t hits = 0, misses = 0, entries = 0;
+
+    double paperMs = 0.0;  ///< paper-scale auto-knee, cache on
+    std::vector<double> paperKnee;
+    std::uint64_t paperProbes = 0;
+    std::uint64_t paperHits = 0;
+};
+
+SweepSpeedTimes
+timeSweepSpeed(unsigned scale)
+{
+    SweepSpeedTimes out;
+    ServeSpec spec = demoServeSpec(scale);
+    spec.designs = {"baseuvm", "g10"};
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateProbes = 12;
+    spec.partitionPolicy = PartitionPolicy::OnDemand;
+    out.designs = spec.designs;
+
+    ExperimentEngine engine;
+    ServeSweepResult cold, cached;
+    spec.sweepPlanCache = false;
+    out.coldMs = bestMs(1, [&] {
+        cold = ServeSweep(spec).run(engine);
+    });
+    spec.sweepPlanCache = true;
+    out.cachedMs = bestMs(1, [&] {
+        cached = ServeSweep(spec).run(engine);
+    });
+    out.knee = cached.sustainedRate;
+    out.kneesIdentical = cold.sustainedRate == cached.sustainedRate;
+    out.hits = cached.planCacheHits;
+    out.misses = cached.planCacheMisses;
+    out.entries = cached.planCacheEntries;
+
+    // Paper scale: one G10 node bisecting the BERT knee at full
+    // platform size — the interactive-capacity-search pin.
+    ServeSpec paper;
+    paper.scaleDown = 1;
+    paper.slots = 2;
+    paper.queueCapacity = 4;
+    paper.requests = 8;
+    paper.ratesAuto = true;
+    paper.rateProbes = 8;
+    paper.designs = {"g10"};
+    ServeJobClass bert;
+    bert.model = ModelKind::BertBase;
+    paper.classes = {bert};
+    ServeSweepResult pres;
+    out.paperMs = bestMs(1, [&] {
+        pres = ServeSweep(paper).run(engine);
+    });
+    out.paperKnee = pres.sustainedRate;
+    for (std::uint64_t p : pres.rateProbes)
+        out.paperProbes += p;
+    out.paperHits = pres.planCacheHits;
+    return out;
+}
+
+void
+writeSweepSpeedEntry(JsonWriter& w, const SweepSpeedTimes& st)
+{
+    w.beginObject();
+    w.key("designs").beginArray();
+    for (const std::string& d : st.designs)
+        w.value(d);
+    w.endArray();
+    w.field("cold_search_ms", st.coldMs);
+    w.field("cached_search_ms", st.cachedMs);
+    w.field("speedup",
+            st.cachedMs > 0.0 ? st.coldMs / st.cachedMs : 0.0);
+    w.field("knees_identical", st.kneesIdentical);
+    w.key("knee_rps").beginArray();
+    for (double k : st.knee)
+        w.value(k);
+    w.endArray();
+    w.field("cache_hits", st.hits);
+    w.field("cache_misses", st.misses);
+    w.field("cache_entries", st.entries);
+    w.field("paper_scale_knee_ms", st.paperMs);
+    w.key("paper_knee_rps").beginArray();
+    for (double k : st.paperKnee)
+        w.value(k);
+    w.endArray();
+    w.field("paper_probes", st.paperProbes);
+    w.field("paper_cache_hits", st.paperHits);
+    w.endObject();
+}
+
 /** `git describe --always --dirty`, empty when unavailable. */
 std::string
 gitDescribe()
@@ -503,6 +747,16 @@ main(int argc, char** argv)
               << scale << " scale)\n";
     CapacityTimes capacity = timeElasticCapacity(scale);
 
+    // Sweep acceleration: the knee search with the cross-probe plan
+    // cache off vs on (bit-identical knees), plus a paper-scale knee.
+    std::cerr << "perf trajectory: sweep speed (cache off/on, paper "
+                 "scale)\n";
+    SweepSpeedTimes sweepSpeed = timeSweepSpeed(scale);
+
+    // Cycles-per-element of the StepFunction range-max hot loop.
+    std::cerr << "perf trajectory: StepFunction maxOver CPE\n";
+    CpeTimes cpe = timeStepFunctionCpe(reps);
+
     // Fleet sweep: the g10fleet demo (4 heterogeneous nodes x 3
     // placements over one stream) — the router's trajectory entry.
     std::cerr << "perf trajectory: fleet sweep (demo fleet, 1/"
@@ -539,6 +793,10 @@ main(int argc, char** argv)
         writeServeEntry(w, servedElastic);
         w.key("elastic_capacity");
         writeCapacityEntry(w, capacity);
+        w.key("sweep_speed");
+        writeSweepSpeedEntry(w, sweepSpeed);
+        w.key("step_function_cpe");
+        writeCpeEntry(w, cpe);
         w.key("fleet_sweep");
         writeFleetEntry(w, fleetSweep);
         w.key("workloads").beginArray();

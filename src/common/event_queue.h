@@ -45,6 +45,16 @@ class EventQueue
     TimeNs now() const { return now_; }
 
     /**
+     * Pre-size the heap for @p events additional pending events (e.g.
+     * sized from the compiled plan / request count before a replay
+     * loop) so steady scheduling never regrows the vector mid-run.
+     */
+    void reserve(std::size_t events)
+    {
+        heap_.reserve(heap_.size() + events);
+    }
+
+    /**
      * Schedule @p cb to run at absolute time @p when.
      *
      * @pre when >= now(); scheduling in the past is an internal error.

@@ -19,7 +19,55 @@ StepFunction::ensureBreakpoint(TimeNs t)
     double prev = (idx == 0) ? 0.0 : vals_[idx - 1];
     times_.insert(it, t);
     vals_.insert(vals_.begin() + static_cast<std::ptrdiff_t>(idx), prev);
+    indexShiftedAt(idx);
     return idx;
+}
+
+void
+StepFunction::indexShiftedAt(std::size_t idx)
+{
+    std::size_t nb = numBlocks();
+    blockMax_.resize(nb);
+    blockValid_.resize(nb, 0);
+    // Everything from the insertion block on holds a different slice of
+    // vals_ now; an append only dirties the final block.
+    std::fill(blockValid_.begin() +
+                  static_cast<std::ptrdiff_t>(idx >> kBlockShift),
+              blockValid_.end(), static_cast<unsigned char>(0));
+}
+
+double
+StepFunction::blockMaxOf(std::size_t b) const
+{
+    if (!blockValid_[b]) {
+        std::size_t lo = b << kBlockShift;
+        std::size_t hi = std::min(times_.size(), lo + kBlockSize);
+        double m = vals_[lo];
+        for (std::size_t i = lo + 1; i < hi; ++i)
+            m = std::max(m, vals_[i]);
+        blockMax_[b] = m;
+        blockValid_[b] = 1;
+    }
+    return blockMax_[b];
+}
+
+double
+StepFunction::maxRange(std::size_t lo, std::size_t hi, double best) const
+{
+    while (lo < hi) {
+        std::size_t b = lo >> kBlockShift;
+        std::size_t blockEnd =
+            std::min(times_.size(), (b + 1) << kBlockShift);
+        if (lo == (b << kBlockShift) && blockEnd <= hi) {
+            best = std::max(best, blockMaxOf(b));
+            lo = blockEnd;
+            continue;
+        }
+        std::size_t stop = std::min(hi, blockEnd);
+        for (; lo < stop; ++lo)
+            best = std::max(best, vals_[lo]);
+    }
+    return best;
 }
 
 void
@@ -37,6 +85,22 @@ StepFunction::add(TimeNs t0, TimeNs t1, double delta)
         span_before = std::max(span_before, vals_[i]);
         vals_[i] += delta;
         span_after = std::max(span_after, vals_[i]);
+    }
+
+    // Maintain the block index across the range-add: a block fully
+    // inside [i0, i1) keeps its max witness (max(fl(v+d)) ==
+    // fl(max(v)+d) since rounding is monotone); a partially covered
+    // block goes stale.
+    for (std::size_t b = i0 >> kBlockShift; b <= ((i1 - 1) >> kBlockShift);
+         ++b) {
+        if (!blockValid_[b])
+            continue;
+        std::size_t lo = b << kBlockShift;
+        std::size_t hi = std::min(times_.size(), lo + kBlockSize);
+        if (i0 <= lo && hi <= i1)
+            blockMax_[b] += delta;
+        else
+            blockValid_[b] = 0;
     }
 
     if (!maxDirty_) {
@@ -65,11 +129,9 @@ StepFunction::maxOver(TimeNs t0, TimeNs t1) const
 {
     if (t1 <= t0)
         return 0.0;
-    double best = valueAt(t0);
-    for (std::size_t i = upperBound(t0);
-         i < times_.size() && times_[i] < t1; ++i)
-        best = std::max(best, vals_[i]);
-    return best;
+    std::size_t lo = upperBound(t0);
+    double best = (lo == 0) ? 0.0 : vals_[lo - 1];
+    return maxRange(lo, lowerBound(t1), best);
 }
 
 double
@@ -88,10 +150,7 @@ double
 StepFunction::maxValue() const
 {
     if (maxDirty_) {
-        double best = 0.0;
-        for (double v : vals_)
-            best = std::max(best, v);
-        cachedMax_ = best;
+        cachedMax_ = maxRange(0, times_.size(), 0.0);
         maxDirty_ = false;
     }
     return cachedMax_;
@@ -104,11 +163,41 @@ StepFunction::integralAbove(TimeNs t0, TimeNs t1, double threshold,
     if (t1 <= t0)
         return 0.0;
     double area = 0.0;
-    for (Cursor c = cursor(t0, t1); !c.done(); c.next()) {
-        double excess = c.value() - threshold;
-        if (excess > 0.0) {
-            double contrib = std::min(excess, cap_per_t);
-            area += contrib * static_cast<double>(c.end() - c.begin());
+
+    // Head segment [t0, first breakpoint past t0), value in force at t0.
+    std::size_t lo = upperBound(t0);
+    double headVal = (lo == 0) ? 0.0 : vals_[lo - 1];
+    TimeNs headEnd = (lo < times_.size())
+        ? std::min<TimeNs>(times_[lo], t1)
+        : t1;
+    double headExcess = headVal - threshold;
+    if (headExcess > 0.0)
+        area += std::min(headExcess, cap_per_t) *
+            static_cast<double>(headEnd - t0);
+
+    // Body: breakpoints inside the window, skipping whole blocks whose
+    // max sits at or below the threshold — every segment there fails
+    // the excess test and would never have touched the accumulator, so
+    // the result is bit-identical to the plain segment walk.
+    std::size_t hi = lowerBound(t1);
+    std::size_t i = lo;
+    while (i < hi) {
+        std::size_t b = i >> kBlockShift;
+        std::size_t stop =
+            std::min(hi, std::min(times_.size(), (b + 1) << kBlockShift));
+        if (blockMaxOf(b) <= threshold) {
+            i = stop;
+            continue;
+        }
+        for (; i < stop; ++i) {
+            double excess = vals_[i] - threshold;
+            if (excess > 0.0) {
+                TimeNs end = (i + 1 < times_.size())
+                    ? std::min<TimeNs>(times_[i + 1], t1)
+                    : t1;
+                area += std::min(excess, cap_per_t) *
+                    static_cast<double>(end - times_[i]);
+            }
         }
     }
     return area;
@@ -183,6 +272,8 @@ StepFunction::compact()
     }
     times_.resize(w);
     vals_.resize(w);
+    blockMax_.assign(numBlocks(), 0.0);
+    blockValid_.assign(numBlocks(), 0);
 }
 
 }  // namespace g10

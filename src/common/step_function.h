@@ -25,6 +25,17 @@
  * regrouping that introduces; the golden-determinism suite pins the
  * combined result.)
  *
+ * Windowed queries (maxOver, the maxValue rescan, integralAbove) go
+ * through a block range-max index: every 64 consecutive breakpoints
+ * cache their value maximum, invalidated lazily — a breakpoint
+ * insertion shifts the tail of the flat arrays, so blocks from the
+ * insertion point on are marked stale and repaired on next touch,
+ * while a pure range-add over fully covered blocks updates the cached
+ * max in place (rounding is monotone, so max(fl(v_i+d)) ==
+ * fl(max(v_i)+d) exactly). The index never changes results: the max
+ * of a fixed multiset of doubles is independent of scan grouping, and
+ * integralAbove only skips blocks whose contribution is exactly zero.
+ *
  * Iteration over segments goes through the allocation-free Cursor
  * instead of materializing a std::vector<Segment> per query; the
  * bandwidth model's drain walks exit early without ever building the
@@ -183,6 +194,10 @@ class StepFunction
     void compact();
 
   private:
+    /// Breakpoints per range-max block (see file comment).
+    static constexpr std::size_t kBlockShift = 6;
+    static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
+
     /** Index of the first breakpoint with time > @p t. */
     std::size_t
     upperBound(TimeNs t) const
@@ -192,16 +207,50 @@ class StepFunction
             times_.begin());
     }
 
+    /** Index of the first breakpoint with time >= @p t. */
+    std::size_t
+    lowerBound(TimeNs t) const
+    {
+        return static_cast<std::size_t>(
+            std::lower_bound(times_.begin(), times_.end(), t) -
+            times_.begin());
+    }
+
     /**
      * Index of the breakpoint at exactly @p t, inserting one carrying
      * the current value if absent.
      */
     std::size_t ensureBreakpoint(TimeNs t);
 
+    /** Block count covering @c vals_. */
+    std::size_t
+    numBlocks() const
+    {
+        return (times_.size() + kBlockSize - 1) >> kBlockShift;
+    }
+
+    /**
+     * Resize the block index after an insertion at @p idx and mark
+     * every block from the insertion point on stale (their contents
+     * shifted one slot right).
+     */
+    void indexShiftedAt(std::size_t idx);
+
+    /** Cached max of block @p b, repairing a stale block by rescan. */
+    double blockMaxOf(std::size_t b) const;
+
+    /** max(@p best, max of vals_[lo, hi)) via the block index. */
+    double maxRange(std::size_t lo, std::size_t hi, double best) const;
+
     // Breakpoints ascending; vals_[i] is the value from times_[i] until
     // times_[i+1]. The value before times_[0] is 0.
     std::vector<TimeNs> times_;
     std::vector<double> vals_;
+
+    // Range-max block index over vals_: blockMax_[b] is the max of
+    // vals_[b*64, (b+1)*64) while blockValid_[b]; repaired lazily.
+    mutable std::vector<double> blockMax_;
+    mutable std::vector<unsigned char> blockValid_;
 
     // Cached global peak (floored at 0). Exact while !maxDirty_;
     // maxValue() rescans lazily otherwise.

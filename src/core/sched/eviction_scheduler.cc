@@ -169,11 +169,17 @@ EvictionScheduler::run()
     // topology or no longer help are dropped individually. Either
     // way, the greedy search below only runs for whatever pressure
     // the delta left uncovered.
+    // The pressure peak only moves when tryCommit() lands a migration,
+    // so every convergence check below reuses this hoisted value and
+    // refreshes it exactly once per successful commit instead of
+    // re-asking the (possibly dirty) curve each iteration.
+    double peak = out.pressure.maxValue();
+
     if (params_.warmStart != nullptr) {
         const auto& prior = params_.warmStart->migrations;
         for (std::size_t wi = 0; wi < prior.size(); ++wi) {
             const ScheduledMigration& wm = prior[wi];
-            if (out.pressure.maxValue() <= cap) {
+            if (peak <= cap) {
                 // Capacity grew past the remaining picks' benefit.
                 out.warmDropped += prior.size() - wi;
                 break;
@@ -201,17 +207,19 @@ EvictionScheduler::run()
             if (tryCommit(pi, host_cap, &out)) {
                 committed[pi] = true;
                 ++out.warmReplayed;
+                peak = out.pressure.maxValue();
             } else {
                 ++out.warmDropped;
             }
         }
     }
 
-    // When the replayed schedule already brings pressure under
-    // capacity, the greedy search has nothing to do — skip seeding
-    // the candidate heap entirely (the warm start's whole point).
-    const bool search = params_.warmStart == nullptr ||
-                        out.pressure.maxValue() > cap;
+    // When pressure already fits under capacity — the model simply
+    // fits, or the replayed warm start brought it under — the greedy
+    // search has nothing to do: the loop below would discard every
+    // candidate unpopped, so skip seeding the heap (and its
+    // O(periods) scoring scans) entirely.
+    const bool search = peak > cap;
 
     // Seed the lazy-greedy heap with optimistic scores.
     auto cmp = [](const Candidate& a, const Candidate& b) {
@@ -239,7 +247,7 @@ EvictionScheduler::run()
     }
 
     while (!heap.empty()) {
-        if (out.pressure.maxValue() <= cap)
+        if (peak <= cap)
             break;  // memory pressure fits; Algorithm 1 line 3
 
         Candidate top = heap.top();
@@ -260,11 +268,13 @@ EvictionScheduler::run()
             continue;
         }
 
-        if (tryCommit(top.periodIndex, host_cap, &out))
+        if (tryCommit(top.periodIndex, host_cap, &out)) {
             committed[top.periodIndex] = true;
+            peak = out.pressure.maxValue();
+        }
     }
 
-    out.finalPeakBytes = static_cast<Bytes>(out.pressure.maxValue());
+    out.finalPeakBytes = static_cast<Bytes>(peak);
     std::sort(out.migrations.begin(), out.migrations.end(),
               [](const ScheduledMigration& a, const ScheduledMigration& b) {
                   return a.evictStart < b.evictStart;

@@ -106,11 +106,14 @@ std::vector<Bytes>
 VitalityAnalysis::activeBytesPerKernel() const
 {
     std::vector<Bytes> out(trace_->numKernels(), 0);
+    const TraceUseIndex& idx = trace_->useIndex();
     for (const auto& k : trace_->kernels()) {
         Bytes sum = 0;
-        for (TensorId t : k.allTensors())
-            sum += trace_->tensor(t).bytes;
-        out[static_cast<std::size_t>(k.id)] = sum;
+        const auto ki = static_cast<std::size_t>(k.id);
+        for (std::uint32_t ti = idx.kernelTensorsOff[ki];
+             ti < idx.kernelTensorsOff[ki + 1]; ++ti)
+            sum += trace_->tensor(idx.kernelTensors[ti]).bytes;
+        out[ki] = sum;
     }
     return out;
 }

@@ -7,6 +7,7 @@
 #include "engine/partition.h"
 #include "obs/tracer.h"
 #include "policies/registry.h"
+#include "serve/plan_cache.h"
 #include "sim/runtime/sim_runtime.h"
 
 namespace g10 {
@@ -108,7 +109,16 @@ FleetSim::FleetSim(const FleetSpec& spec) : spec_(spec)
 
     router_ = std::make_unique<Router>(spec_, classes_, serviceEst_,
                                        floors_);
+
+    for (const ServeSpec& ns : nodeSpecs_) {
+        if (ns.sweepPlanCache) {
+            planCache_ = std::make_unique<SweepPlanCache>();
+            break;
+        }
+    }
 }
+
+FleetSim::~FleetSim() = default;
 
 std::vector<std::vector<ServeClassBaseline>>
 FleetSim::computeBaselines(ExperimentEngine& engine) const
@@ -278,6 +288,9 @@ FleetSim::run(ExperimentEngine& engine, const FleetObsRequest& obs)
                      classes_, floors_, reqs, out.baselines[n]);
         sim.setObservers(
             sink, obs.collectCounters ? &regs[p * nn + n] : nullptr);
+        sim.setPlanCache(nodeSpecs_[n].sweepPlanCache
+                             ? planCache_.get()
+                             : nullptr);
         cell = sim.run();
     };
 

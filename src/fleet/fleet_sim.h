@@ -151,6 +151,7 @@ class FleetSim
 {
   public:
     explicit FleetSim(const FleetSpec& spec);
+    ~FleetSim();  // defined where SweepPlanCache is complete
 
     /** Run every (placement, node) cell through @p engine's pool. */
     FleetResult run(ExperimentEngine& engine);
@@ -191,6 +192,13 @@ class FleetSim
     std::vector<ServeSpec> nodeSpecs_;    ///< stable: ServeSim holds refs
     std::vector<ServeRequest> stream_;    ///< the shared fleet stream
     std::unique_ptr<Router> router_;
+
+    /** One compile cache for the whole fleet: identical nodes compile
+     *  each (model, capacity, seed-chain) plan once, and every
+     *  placement's grid reuses it (keys fingerprint the node's system
+     *  config, so heterogeneous nodes coexist). Null when every node
+     *  spec turned sweep_cache off. */
+    std::unique_ptr<SweepPlanCache> planCache_;
 
     /** Per-node unloaded baselines [node][class]. */
     std::vector<std::vector<ServeClassBaseline>>

@@ -71,7 +71,39 @@ KernelTrace::addKernel(Kernel kernel)
 {
     kernel.id = static_cast<KernelId>(kernels_.size());
     kernels_.push_back(std::move(kernel));
+    std::atomic_store(&useIndex_,
+                      std::shared_ptr<const TraceUseIndex>());
     return kernels_.back().id;
+}
+
+const TraceUseIndex&
+KernelTrace::useIndex() const
+{
+    std::shared_ptr<const TraceUseIndex> idx =
+        std::atomic_load(&useIndex_);
+    if (idx != nullptr)
+        return *idx;
+
+    auto built = std::make_shared<TraceUseIndex>();
+    built->uses = buildUseLists();
+    built->kernelTensorsOff.reserve(kernels_.size() + 1);
+    built->kernelTensorsOff.push_back(0);
+    for (const Kernel& k : kernels_) {
+        std::vector<TensorId> all = k.allTensors();
+        built->kernelTensors.insert(built->kernelTensors.end(),
+                                    all.begin(), all.end());
+        built->kernelTensorsOff.push_back(
+            static_cast<std::uint32_t>(built->kernelTensors.size()));
+    }
+
+    // First publisher wins; a losing racer built an identical index
+    // and returns the winner's (kept alive by the member).
+    std::shared_ptr<const TraceUseIndex> expected;
+    std::shared_ptr<const TraceUseIndex> publish = std::move(built);
+    if (std::atomic_compare_exchange_strong(&useIndex_, &expected,
+                                            publish))
+        return *publish;
+    return *expected;
 }
 
 const Tensor&

@@ -12,6 +12,7 @@
 #ifndef G10_GRAPH_TRACE_H
 #define G10_GRAPH_TRACE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,26 @@
 #include "graph/tensor.h"
 
 namespace g10 {
+
+/**
+ * Derived read-only indexes over a trace's kernel list, built once and
+ * shared by every runtime replaying the trace (a sweep can replay the
+ * same trace hundreds of times; rebuilding these per replay dominated
+ * runtime setup).
+ */
+struct TraceUseIndex
+{
+    /** Kernel ids using each tensor, ascending (workspace counts). */
+    std::vector<std::vector<KernelId>> uses;
+
+    /**
+     * Kernel::allTensors() for every kernel (sorted, deduplicated),
+     * flattened in CSR layout: kernel k's tensors live at
+     * [kernelTensorsOff[k], kernelTensorsOff[k + 1]).
+     */
+    std::vector<TensorId> kernelTensors;
+    std::vector<std::uint32_t> kernelTensorsOff;
+};
 
 /**
  * An immutable-after-build sequence of kernels plus the tensor set they
@@ -72,6 +93,14 @@ class KernelTrace
      */
     std::vector<std::vector<KernelId>> buildUseLists() const;
 
+    /**
+     * The cached use-list / kernel-tensor index, built lazily on first
+     * access and shared by all readers (thread-safe: concurrent first
+     * calls race to publish identical indexes and one wins). addKernel
+     * invalidates it, so hold no reference across trace mutation.
+     */
+    const TraceUseIndex& useIndex() const;
+
     /** Sum of all tensor sizes (the program's total memory demand). */
     Bytes totalTensorBytes() const;
 
@@ -91,6 +120,10 @@ class KernelTrace
     int batchSize_ = 1;
     std::vector<Tensor> tensors_;
     std::vector<Kernel> kernels_;
+
+    // Lazily published index (accessed via std::atomic_* shared_ptr
+    // functions). Copies share it; addKernel resets it.
+    mutable std::shared_ptr<const TraceUseIndex> useIndex_;
 };
 
 }  // namespace g10

@@ -22,15 +22,17 @@ void
 DeepUmPolicy::beforeKernel(SimRuntime& rt, KernelId k)
 {
     const auto nk = static_cast<KernelId>(rt.numKernels());
+    const TraceUseIndex& idx = rt.trace().useIndex();
     // In steady state DeepUM's correlation tables predict exactly the
     // recorded kernel sequence, so the prefetcher walks the next W
     // kernels (wrapping across the iteration boundary, as its UM blocks
     // persist across iterations).
     for (int ahead = 1; ahead <= lookahead_; ++ahead) {
-        KernelId j = static_cast<KernelId>(
+        const auto j = static_cast<std::size_t>(
             (static_cast<std::int64_t>(k) + ahead) % nk);
-        const Kernel& kern = rt.trace().kernel(j);
-        for (TensorId t : kern.allTensors()) {
+        for (std::uint32_t ti = idx.kernelTensorsOff[j];
+             ti < idx.kernelTensorsOff[j + 1]; ++ti) {
+            const TensorId t = idx.kernelTensors[ti];
             const TensorRt& ts = rt.tensorState(t);
             if (!ts.allocated)
                 continue;  // not yet materialized; nothing to fetch
@@ -94,8 +96,12 @@ FlashNeuronPolicy::FlashNeuronPolicy(const KernelTrace& trace,
     });
 
     EvictionSchedule schedule;
+    // The projected peak only moves when an offload is recorded below;
+    // hoist it so the convergence check costs one rescan per selection
+    // instead of one per visited tensor.
+    double peak = pressure.maxValue();
     for (TensorId t : order) {
-        if (pressure.maxValue() <= cap)
+        if (peak <= cap)
             break;
         const auto pi = static_cast<std::size_t>(
             best_period[static_cast<std::size_t>(t)]);
@@ -121,9 +127,10 @@ FlashNeuronPolicy::FlashNeuronPolicy(const KernelTrace& trace,
         schedule.migrations.push_back(m);
         pressure.add(m.evictComplete, m.prefetchStart,
                      -static_cast<double>(size));
+        peak = pressure.maxValue();
         ++selected_;
     }
-    plannedPeak_ = static_cast<Bytes>(pressure.maxValue());
+    plannedPeak_ = static_cast<Bytes>(peak);
     plan_ = buildMigrationPlan(*vitality_, schedule);
 }
 

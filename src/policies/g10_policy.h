@@ -35,6 +35,18 @@ class G10Policy : public Policy
      * @param plan         compiled migration plan (owned)
      */
     G10Policy(std::string display_name, CompiledPlan plan)
+        : name_(std::move(display_name)),
+          plan_(std::make_shared<const CompiledPlan>(std::move(plan)))
+    {}
+
+    /**
+     * Share an already-compiled plan (a SweepPlanCache hit, or a plan
+     * another variant with the same compile options produced). The
+     * policy only replays the plan, so sharing is safe across
+     * concurrent simulations.
+     */
+    G10Policy(std::string display_name,
+              std::shared_ptr<const CompiledPlan> plan)
         : name_(std::move(display_name)), plan_(std::move(plan))
     {}
 
@@ -44,11 +56,17 @@ class G10Policy : public Policy
 
     MemLoc capacityEvictDest(SimRuntime& rt, TensorId t) override;
 
-    const CompiledPlan& compiled() const { return plan_; }
+    const CompiledPlan& compiled() const { return *plan_; }
+
+    /** The plan as a shareable handle (seeds later warm compiles). */
+    const std::shared_ptr<const CompiledPlan>& compiledShared() const
+    {
+        return plan_;
+    }
 
   private:
     std::string name_;
-    CompiledPlan plan_;
+    std::shared_ptr<const CompiledPlan> plan_;
 };
 
 /**
@@ -76,6 +94,32 @@ std::unique_ptr<G10Policy> makeG10Host(const KernelTrace& trace,
                                        const SystemConfig& config,
                                        const EvictionSchedule* warm_start =
                                            nullptr);
+
+/**
+ * Compile-options class of one family member (@p tag is a DesignPoint
+ * value): members with equal keys run the compiler with identical
+ * options and therefore produce bit-identical plans — G10 and G10-Host
+ * share a class (both allow SSD + host destinations; they differ only
+ * in the runtime's UVM-extension charging), G10-GDS (SSD only) is its
+ * own. Cache keys use this instead of the tag so a sweep over g10 and
+ * g10host compiles each plan once.
+ */
+int planCompileOptionsKey(int tag);
+
+/**
+ * Compile the plan for family member @p tag without wrapping it in a
+ * policy — the form plan caches store and share.
+ */
+std::shared_ptr<const CompiledPlan> compileFamilyPlan(
+    int tag, const KernelTrace& trace, const SystemConfig& config,
+    const EvictionSchedule* warm_start = nullptr);
+
+/**
+ * Wrap an already-compiled (possibly cached/shared) plan in family
+ * member @p tag's policy, with its display name.
+ */
+std::unique_ptr<G10Policy> makeFamilyPolicy(
+    int tag, std::shared_ptr<const CompiledPlan> plan);
 
 }  // namespace g10
 

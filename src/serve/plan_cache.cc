@@ -1,0 +1,120 @@
+#include "plan_cache.h"
+
+#include <cstring>
+
+namespace g10 {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void
+mix(std::uint64_t* h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        *h ^= (v >> (8 * i)) & 0xffU;
+        *h *= kFnvPrime;
+    }
+}
+
+void
+mixDouble(std::uint64_t* h, double d)
+{
+    // Hash the bit pattern: fingerprint equality must mean the
+    // compiler sees bit-identical inputs, not approximately equal.
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d), "double is 64-bit");
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t
+fingerprintSystemConfig(const SystemConfig& sys)
+{
+    std::uint64_t h = kFnvOffset;
+    mix(&h, static_cast<std::uint64_t>(sys.gpuMemBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.hostMemBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.pageBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.chunkBytes));
+    mixDouble(&h, sys.pcieGBps);
+    mixDouble(&h, sys.ssdReadGBps);
+    mixDouble(&h, sys.ssdWriteGBps);
+    mix(&h, static_cast<std::uint64_t>(sys.ssdReadLatencyNs));
+    mix(&h, static_cast<std::uint64_t>(sys.ssdWriteLatencyNs));
+    mix(&h, static_cast<std::uint64_t>(sys.ssdCapacityBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.gpuFaultLatencyNs));
+    mix(&h, static_cast<std::uint64_t>(sys.hostSwOverheadNs));
+    mix(&h, static_cast<std::uint64_t>(sys.nonUvmCopyBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.transferSetBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.faultBatchBytes));
+    mix(&h, static_cast<std::uint64_t>(sys.kernelLaunchOverheadNs));
+    return h;
+}
+
+std::uint64_t
+fingerprintSchedule(const EvictionSchedule& sched)
+{
+    std::uint64_t h = kFnvOffset;
+    mix(&h, static_cast<std::uint64_t>(sched.scheduledForGpuBytes));
+    mix(&h, static_cast<std::uint64_t>(sched.migrations.size()));
+    for (const ScheduledMigration& m : sched.migrations) {
+        mix(&h, static_cast<std::uint64_t>(m.periodIndex));
+        mix(&h, static_cast<std::uint64_t>(m.tensor));
+        mix(&h, static_cast<std::uint64_t>(m.bytes));
+        mix(&h, static_cast<std::uint64_t>(m.dest));
+        mix(&h, static_cast<std::uint64_t>(m.evictStart));
+        mix(&h, static_cast<std::uint64_t>(m.evictComplete));
+        mix(&h, static_cast<std::uint64_t>(m.prefetchStart));
+        mix(&h, static_cast<std::uint64_t>(m.prefetchComplete));
+        mix(&h, static_cast<std::uint64_t>(m.wrapsIteration));
+    }
+    return h != 0 ? h : 1;  // 0 is reserved for "cold compile"
+}
+
+std::shared_ptr<const CompiledPlan>
+SweepPlanCache::getOrCompile(const PlanKey& key,
+                             const CompileFn& compile)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = plans_.find(key);
+        if (it != plans_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compile outside the lock: compiles take ~10-100 ms and must not
+    // serialize unrelated keys. A lost race recompiles an identical
+    // plan; first insert wins so every caller shares one object.
+    std::shared_ptr<const CompiledPlan> plan = compile();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = plans_.emplace(key, plan);
+    ++misses_;
+    return inserted ? plan : it->second;
+}
+
+std::uint64_t
+SweepPlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+std::uint64_t
+SweepPlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+std::uint64_t
+SweepPlanCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.size();
+}
+
+}  // namespace g10

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/event_queue.h"
 #include "common/logging.h"
 #include "common/stats.h"
@@ -10,6 +11,7 @@
 #include "obs/tracer.h"
 #include "policies/g10_policy.h"
 #include "policies/registry.h"
+#include "serve/plan_cache.h"
 #include "sim/runtime/sim_runtime.h"
 
 namespace g10 {
@@ -50,11 +52,13 @@ serveClassGpuFloor(const KernelTrace& trace, Bytes page)
 
 namespace {
 
-/** Warm-start plan cache: per model, the last compiled schedule
- *  (whatever batch size or partition capacity it was compiled at —
- *  the replay re-validates every pick against the new trace and
- *  capacity, so staleness is safe). */
-using PlanCache = std::map<int, EvictionSchedule>;
+/** Warm-start seed chain: per model, the last compiled plan of this
+ *  cell (whatever batch size or partition capacity it was compiled at
+ *  — the replay re-validates every pick against the new trace and
+ *  capacity, so staleness is safe). Shared handles: a seed may live in
+ *  the sweep-wide SweepPlanCache and in several cells at once. */
+using PlanCache =
+    std::map<int, std::shared_ptr<const CompiledPlan>>;
 
 /** G10-family membership (the designs with a compile pipeline). */
 bool
@@ -67,16 +71,34 @@ g10FamilyTag(const std::string& design, int* tag_out)
            *tag_out == static_cast<int>(DesignPoint::G10Host);
 }
 
-/** Compile one G10-family design, optionally warm-started. */
-std::unique_ptr<G10Policy>
-compileFamily(int tag, const KernelTrace& trace,
-              const SystemConfig& sys, const EvictionSchedule* warm)
+/**
+ * Compile one G10-family plan, optionally warm-started by @p seed and
+ * memoized in @p sweepCache (null = compile directly). The cache key
+ * captures every compile input — options, trace identity (model,
+ * batch, scale), system fingerprint, seed fingerprint — so a hit is
+ * bit-identical to the compile it replaces.
+ */
+std::shared_ptr<const CompiledPlan>
+compilePlan(int tag, const KernelTrace& trace,
+            const ServeJobClass& cls, unsigned scaleDown,
+            const SystemConfig& sys,
+            const std::shared_ptr<const CompiledPlan>& seed,
+            SweepPlanCache* sweepCache)
 {
-    if (tag == static_cast<int>(DesignPoint::G10))
-        return makeG10(trace, sys, warm);
-    if (tag == static_cast<int>(DesignPoint::G10Gds))
-        return makeG10Gds(trace, sys, warm);
-    return makeG10Host(trace, sys, warm);
+    const EvictionSchedule* warm =
+        seed != nullptr ? &seed->schedule : nullptr;
+    if (sweepCache == nullptr)
+        return compileFamilyPlan(tag, trace, sys, warm);
+    PlanKey key;
+    key.options = planCompileOptionsKey(tag);
+    key.model = static_cast<int>(cls.model);
+    key.batch = cls.batchSize;
+    key.scaleDown = scaleDown;
+    key.sysFp = fingerprintSystemConfig(sys);
+    key.seedFp = warm != nullptr ? fingerprintSchedule(*warm) : 0;
+    return sweepCache->getOrCompile(key, [&] {
+        return compileFamilyPlan(tag, trace, sys, warm);
+    });
 }
 
 /** What an admission-time compile did (feeds the cell metrics). */
@@ -97,8 +119,9 @@ struct CompileOutcome
  */
 DesignInstance
 makeServeInstance(const std::string& design, const KernelTrace& trace,
-                  const ServeJobClass& cls, const SystemConfig& sys,
-                  PlanCache* cache, CompileOutcome* oc)
+                  const ServeJobClass& cls, unsigned scaleDown,
+                  const SystemConfig& sys, PlanCache* cache,
+                  SweepPlanCache* sweepCache, CompileOutcome* oc)
 {
     int tag = 0;
     *oc = CompileOutcome{};
@@ -106,23 +129,23 @@ makeServeInstance(const std::string& design, const KernelTrace& trace,
         return PolicyRegistry::instance().make(design, trace, sys);
 
     const int model_key = static_cast<int>(cls.model);
-    const EvictionSchedule* warm = nullptr;
+    std::shared_ptr<const CompiledPlan> seed;
     auto it = cache->find(model_key);
     if (it != cache->end()) {
-        warm = &it->second;
+        seed = it->second;
         oc->warm = true;
         oc->capacityCrossed =
-            it->second.scheduledForGpuBytes != sys.gpuMemBytes;
+            seed->schedule.scheduledForGpuBytes != sys.gpuMemBytes;
     }
 
+    std::shared_ptr<const CompiledPlan> plan = compilePlan(
+        tag, trace, cls, scaleDown, sys, seed, sweepCache);
+    oc->replayed = plan->schedule.warmReplayed;
+    oc->dropped = plan->schedule.warmDropped;
     DesignInstance out;
-    std::unique_ptr<G10Policy> policy =
-        compileFamily(tag, trace, sys, warm);
-    oc->replayed = policy->compiled().schedule.warmReplayed;
-    oc->dropped = policy->compiled().schedule.warmDropped;
     out.uvmExtension = tag == static_cast<int>(DesignPoint::G10);
-    (*cache)[model_key] = policy->compiled().schedule;
-    out.policy = std::move(policy);
+    (*cache)[model_key] = plan;
+    out.policy = makeFamilyPolicy(tag, std::move(plan));
     return out;
 }
 
@@ -201,10 +224,18 @@ ServeSim::run()
     SsdDevice ssd(scaled);
     FabricChannels channels;
     GpuComputeTimeline gpu;
+    // Per-job runtime scratch comes from a bump arena: jobs churn, so
+    // their vectors' free()s are wasted work — the arena drops them
+    // all at once. An injected arena (sequential knee probes) carries
+    // its high-water chunk from probe to probe; a cell running on its
+    // own (grid / fleet) uses a local one. Declared before `active`
+    // below so every SimRuntime dies before its memory does.
+    Arena localArena;
     SharedResources shared;
     shared.ssd = &ssd;
     shared.channels = &channels;
     shared.gpu = &gpu;
+    shared.arena = arena_ != nullptr ? arena_ : &localArena;
 
     AdmissionQueue queue(spec_.admit, spec_.queueCapacity,
                          spec_.starvationNs);
@@ -259,10 +290,11 @@ ServeSim::run()
             return;
         const auto* gp =
             static_cast<const G10Policy*>(a.design.policy.get());
-        const EvictionSchedule& prior = gp->compiled().schedule;
-        std::unique_ptr<G10Policy> np = compileFamily(
-            a.familyTag, traces_[a.classIndex], a.lease.sys, &prior);
-        const EvictionSchedule& ns = np->compiled().schedule;
+        std::shared_ptr<const CompiledPlan> plan = compilePlan(
+            a.familyTag, traces_[a.classIndex],
+            classes_[a.classIndex], spec_.scaleDown, a.lease.sys,
+            gp->compiledShared(), planCache_);
+        const EvictionSchedule& ns = plan->schedule;
         ++m.replans;
         m.warmReplayedMigrations += ns.warmReplayed;
         m.warmDroppedMigrations += ns.warmDropped;
@@ -272,7 +304,10 @@ ServeSim::run()
             tp->warmReplan(static_cast<int>(a.request),
                            ns.warmReplayed, ns.warmDropped,
                            a.rt->now());
-        planCache[static_cast<int>(classes_[a.classIndex].model)] = ns;
+        planCache[static_cast<int>(classes_[a.classIndex].model)] =
+            plan;
+        std::unique_ptr<G10Policy> np =
+            makeFamilyPolicy(a.familyTag, std::move(plan));
         a.rt->setPolicy(*np);
         a.design.policy = std::move(np);
     };
@@ -480,8 +515,9 @@ ServeSim::run()
         leaseForAdmission(a);
         CompileOutcome oc;
         a.design = makeServeInstance(design_, traces_[r.classIndex],
-                                     cls, a.lease.sys, &planCache,
-                                     &oc);
+                                     cls, spec_.scaleDown,
+                                     a.lease.sys, &planCache,
+                                     planCache_, &oc);
         out.jobs[req].warmCompiled = oc.warm;
         if (tp && a.g10family)
             tp->planCacheLookup(oc.warm);
@@ -731,6 +767,11 @@ ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
     for (const std::string& d : spec_.designs)
         PolicyRegistry::instance().resolve(d);  // fatal on unknown
 
+    if (spec_.sweepPlanCache) {
+        ownedPlanCache_ = std::make_unique<SweepPlanCache>();
+        planCache_ = ownedPlanCache_.get();
+    }
+
     if (spec_.arrival.kind == ArrivalKind::Trace) {
         // Job classes are derived from the trace: one per distinct
         // (model, batch, iterations, priority) request shape.
@@ -786,6 +827,15 @@ ServeSweep::ServeSweep(const ServeSpec& spec) : spec_(spec)
     minGpu_.reserve(traces_.size());
     for (const KernelTrace& t : traces_)
         minGpu_.push_back(serveClassGpuFloor(t, page));
+}
+
+ServeSweep::~ServeSweep() = default;
+
+void
+ServeSweep::sharePlanCache(SweepPlanCache* cache)
+{
+    planCache_ = cache;
+    ownedPlanCache_.reset();
 }
 
 std::vector<ServeRequest>
@@ -859,10 +909,28 @@ ServeSweep::computeBaselines(ExperimentEngine& engine) const
     std::vector<std::vector<ServeClassBaseline>> baselines(
         nd, std::vector<ServeClassBaseline>(nc));
     for (std::size_t c = 0; c < nc; ++c) {
-        std::vector<DesignInstance> designs =
-            engine.compileDesignsOnTrace(traces_[c], slotSys,
-                                         spec_.designs);
+        // G10-family designs compile through the sweep cache: the
+        // slot-capacity plans built here share keys with every cell's
+        // first (cold, slot-sized) admission compile, so the knee
+        // probes start warm. Compile + sim fuse into one parallel
+        // task per design; sims are independent either way.
+        std::vector<DesignInstance> designs(nd);
         engine.parallelFor(nd, [&](std::size_t d) {
+            int tag = 0;
+            if (planCache_ != nullptr &&
+                g10FamilyTag(spec_.designs[d], &tag)) {
+                std::shared_ptr<const CompiledPlan> plan =
+                    compilePlan(tag, traces_[c], classes_[c],
+                                spec_.scaleDown, slotSys, nullptr,
+                                planCache_);
+                designs[d].uvmExtension =
+                    tag == static_cast<int>(DesignPoint::G10);
+                designs[d].policy =
+                    makeFamilyPolicy(tag, std::move(plan));
+            } else {
+                designs[d] = PolicyRegistry::instance().make(
+                    spec_.designs[d], traces_[c], slotSys);
+            }
             RunConfig rc;
             rc.sys = slotSys;
             rc.iterations = classes_[c].iterations;
@@ -899,16 +967,28 @@ ServeSweep::runAutoRates(ExperimentEngine& engine,
         double lo = 0.0;  // highest rate known sustained
         double hi = 0.0;  // lowest rate known overloaded (0 = none)
 
+        // One arena per design task, reset between probes: the
+        // high-water chunk of probe N serves probe N+1 without a
+        // single scratch malloc.
+        Arena arena;
+
         auto probe = [&](double rate) -> bool {
-            ServeSim sim(spec_, spec_.designs[d], rate, traces_,
-                         classes_, minGpu_, requestsAtRate(rate),
-                         out->baselines[d]);
-            sim.setObservers(
-                d == 0 && used == 0 ? obs.sink : nullptr,
-                obs.collectCounters ? &regs[d] : nullptr);
-            cellsByDesign[d].push_back(sim.run());
+            bool sustained = false;
+            {
+                ServeSim sim(spec_, spec_.designs[d], rate, traces_,
+                             classes_, minGpu_, requestsAtRate(rate),
+                             out->baselines[d]);
+                sim.setObservers(
+                    d == 0 && used == 0 ? obs.sink : nullptr,
+                    obs.collectCounters ? &regs[d] : nullptr);
+                sim.setPlanCache(planCache_);
+                sim.setArena(&arena);
+                cellsByDesign[d].push_back(sim.run());
+                sustained = cellsByDesign[d].back().sustained();
+            }
+            arena.reset();
             ++used;
-            return cellsByDesign[d].back().sustained();
+            return sustained;
         };
 
         // Phase 1: grow geometrically until the bounded queue sheds
@@ -966,8 +1046,17 @@ ServeSweep::run(ExperimentEngine& engine, const ServeObsRequest& obs)
 
     out.baselines = computeBaselines(engine);
 
+    auto recordCacheTotals = [&] {
+        if (planCache_ == nullptr)
+            return;
+        out.planCacheHits = planCache_->hits();
+        out.planCacheMisses = planCache_->misses();
+        out.planCacheEntries = planCache_->entries();
+    };
+
     if (spec_.ratesAuto) {
         runAutoRates(engine, obs, &out);
+        recordCacheTotals();
         return out;
     }
 
@@ -993,6 +1082,7 @@ ServeSweep::run(ExperimentEngine& engine, const ServeObsRequest& obs)
                      out.baselines[d]);
         sim.setObservers(i == 0 ? obs.sink : nullptr,
                          obs.collectCounters ? &regs[i] : nullptr);
+        sim.setPlanCache(planCache_);
         out.cells[i] = sim.run();
     });
     if (obs.collectCounters)
@@ -1008,6 +1098,7 @@ ServeSweep::run(ExperimentEngine& engine, const ServeObsRequest& obs)
             if (out.cells[d * nr + r].sustained())
                 out.sustainedRate[d] = std::max(
                     out.sustainedRate[d], spec_.rates[r]);
+    recordCacheTotals();
     return out;
 }
 

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,8 @@
 
 namespace g10 {
 
+class Arena;
+class SweepPlanCache;
 class TraceSink;
 
 /** One offered request, after arrival generation / trace replay. */
@@ -237,6 +240,17 @@ struct ServeSweepResult
     std::vector<std::uint64_t> rateProbes;
 
     /**
+     * Cross-probe plan-cache totals (all zero when the sweep-scoped
+     * cache is off). Deterministic in auto-knee mode (probes run
+     * sequentially per design over disjoint key spaces); in grid mode
+     * parallel cells can race on a key, so these are reporting-only
+     * and never golden-pinned — cell results always are deterministic.
+     */
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+    std::uint64_t planCacheEntries = 0;
+
+    /**
      * Sweep-wide observability counters (empty unless the sweep ran
      * with ServeObsRequest::collectCounters): per-cell registries
      * merged in grid order, so the totals are identical for every
@@ -286,6 +300,23 @@ class ServeSim
         counters_ = counters;
     }
 
+    /**
+     * Route this cell's G10-family compiles through @p cache (may be
+     * null = compile directly). The cache memoizes the pure compile
+     * call only; the cell's own per-model warm-start chain and its
+     * warm/cold metrics are unchanged, so results stay bit-identical —
+     * cached or not (see SweepPlanCache).
+     */
+    void setPlanCache(SweepPlanCache* cache) { planCache_ = cache; }
+
+    /**
+     * Back this cell's per-job runtime scratch with @p arena (may be
+     * null = the cell creates its own). The caller must not reset()
+     * the arena until run() returns; sequential probes over one arena
+     * reset() between cells to reuse the high-water allocation.
+     */
+    void setArena(Arena* arena) { arena_ = arena; }
+
   private:
     const ServeSpec& spec_;
     std::string design_;
@@ -297,6 +328,8 @@ class ServeSim
     const std::vector<ServeClassBaseline>& baselines_;
     TraceSink* sink_ = nullptr;
     CounterRegistry* counters_ = nullptr;
+    SweepPlanCache* planCache_ = nullptr;
+    Arena* arena_ = nullptr;
 };
 
 /** Observability hookup for one sweep (all fields optional). */
@@ -321,6 +354,7 @@ class ServeSweep
 {
   public:
     explicit ServeSweep(const ServeSpec& spec);
+    ~ServeSweep();  // defined where SweepPlanCache is complete
 
     /**
      * Run every cell through @p engine's pool. Cells are independent
@@ -333,6 +367,15 @@ class ServeSweep
     ServeSweepResult run(ExperimentEngine& engine,
                          const ServeObsRequest& obs);
 
+    /**
+     * Share an externally owned plan cache instead of this sweep's own
+     * (pass null to disable caching outright, overriding the spec
+     * toggle). Callers running several sweeps over the same spec
+     * family (benchmarks timing static vs elastic, the fleet's nodes)
+     * use this so later sweeps start warm.
+     */
+    void sharePlanCache(SweepPlanCache* cache);
+
   private:
     ServeSpec spec_;
     std::vector<ServeJobClass> classes_;   ///< resolved classes
@@ -340,6 +383,10 @@ class ServeSweep
     std::vector<Bytes> minGpu_;            ///< per-class floors
     std::vector<TraceRequest> traceReqs_;  ///< ArrivalKind::Trace only
     std::vector<std::size_t> traceClass_;  ///< class of each trace req
+
+    /** Sweep-scoped compile cache (spec.sweepPlanCache); null = off. */
+    std::unique_ptr<SweepPlanCache> ownedPlanCache_;
+    SweepPlanCache* planCache_ = nullptr;
 
     /** The offered request sequence at @p rate (req/s or trace
      *  multiplier); identical class sequence at every rate. */

@@ -300,6 +300,14 @@ parseServeFile(const std::string& path)
                 fatal("%s:%zu: rate_probes must be >= 2", path.c_str(),
                       lineno);
             spec.rateProbes = static_cast<int>(v);
+        } else if (key == "sweep_cache") {
+            if (value == "on")
+                spec.sweepPlanCache = true;
+            else if (value == "off")
+                spec.sweepPlanCache = false;
+            else
+                fatal("%s:%zu: sweep_cache must be 'on' or 'off'",
+                      path.c_str(), lineno);
         } else if (key == "designs") {
             for (const std::string& item :
                  splitCommaList(value, path, lineno, key)) {
@@ -332,8 +340,8 @@ parseServeFile(const std::string& path)
                   "max_active, queue, admission, starvation_ms, "
                   "slo_factor, requests, arrival, burst_on_ms, "
                   "burst_off_ms, trace, rates, rate_lo, rate_hi, "
-                  "rate_probes, designs, gpu_mem_gb, host_mem_gb, "
-                  "ssd_gbps, pcie_gbps)",
+                  "rate_probes, sweep_cache, designs, gpu_mem_gb, "
+                  "host_mem_gb, ssd_gbps, pcie_gbps)",
                   path.c_str(), lineno, key.c_str());
         }
     }

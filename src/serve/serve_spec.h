@@ -167,6 +167,17 @@ struct ServeSpec
     /** Max probes (cells) per design in auto mode. */
     int rateProbes = 10;
 
+    /**
+     * Memoize G10-family plan compiles across the whole sweep — rate
+     * probes, grid cells, and the unloaded-baseline compiles share
+     * one cache (`sweep_cache = on|off`). Pure wall-clock: results
+     * are bit-identical either way (the compiler is deterministic, so
+     * a cache hit returns exactly the plan a recompile would build),
+     * which is what makes the auto-knee bisection cheap — probe N+1
+     * replays probe N's per-model compile chain from the cache.
+     */
+    bool sweepPlanCache = true;
+
     /** The auto search's actual first probe rate: rateLo, defaulted,
      *  and clamped under the rateHi ceiling when one is set. */
     double resolvedRateLo() const
@@ -207,6 +218,9 @@ struct ServeSpec
  *   rates       = auto        # or: bisect for the capacity knee
  *   rate_lo / rate_hi = <auto-search bracket (optional)>
  *   rate_probes = 10          # max probes per design (auto mode)
+ *   sweep_cache = on          # on | off: cross-probe plan-compile
+ *                             # cache (wall-clock only; results are
+ *                             # bit-identical either way)
  *   designs     = baseuvm,deepum,g10
  *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps = <platform knobs>
  *

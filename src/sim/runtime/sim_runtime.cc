@@ -21,7 +21,12 @@ SimRuntime::SimRuntime(const KernelTrace& trace, Policy& policy,
                     : std::make_unique<SsdDevice>(config.sys)),
       ssd_(shared.ssd != nullptr ? shared.ssd : ownedSsd_.get()),
       fabric_(config.sys, ssd_, config.uvmExtension, shared.channels),
-      gpu_(shared.gpu), rng_(config.seed)
+      gpu_(shared.gpu), rng_(config.seed),
+      mem_(shared.arena != nullptr ? shared.arena
+                                   : std::pmr::get_default_resource()),
+      tensors_(mem_), bornAt_(mem_), diesAfter_(mem_),
+      perturbedDur_(mem_), lruPrev_(mem_), lruNext_(mem_),
+      pendingFrees_(mem_)
 {
     if (policy.infiniteMemory()) {
         // The ideal baseline never evicts: give it room for everything.
@@ -49,10 +54,13 @@ SimRuntime::prepare()
     const std::size_t nk = trace_->numKernels();
     const std::size_t nt = trace_->numTensors();
 
-    uses_ = trace_->buildUseLists();
+    useIndex_ = &trace_->useIndex();
+    const std::vector<std::vector<KernelId>>& uses = useIndex_->uses;
     tensors_.assign(nt, TensorRt{});
-    bornAt_.assign(nk, {});
-    diesAfter_.assign(nk, {});
+    bornAt_.clear();
+    bornAt_.resize(nk);
+    diesAfter_.clear();
+    diesAfter_.resize(nk);
     perturbedDur_.assign(nk, 0);
 
     // Empty LRU ring: the sentinel (node nt) points at itself.
@@ -65,12 +73,12 @@ SimRuntime::prepare()
     for (std::size_t ti = 0; ti < nt; ++ti) {
         const Tensor& t = trace_->tensor(static_cast<TensorId>(ti));
         tensors_[ti].footprint = footprintOf(t.bytes);
-        if (uses_[ti].empty())
+        if (uses[ti].empty())
             continue;
         if (!t.isGlobal()) {
-            bornAt_[static_cast<std::size_t>(uses_[ti].front())]
+            bornAt_[static_cast<std::size_t>(uses[ti].front())]
                 .push_back(t.id);
-            diesAfter_[static_cast<std::size_t>(uses_[ti].back())]
+            diesAfter_[static_cast<std::size_t>(uses[ti].back())]
                 .push_back(t.id);
         }
     }
@@ -444,7 +452,19 @@ SimRuntime::runKernel(KernelId k)
     const TimeNs iter_begin_time = streamTime_;
 
     // The working set of the executing kernel is unevictable.
-    auto all = kern.allTensors();
+    const TensorId* allBegin =
+        useIndex_->kernelTensors.data() +
+        useIndex_->kernelTensorsOff[static_cast<std::size_t>(k)];
+    const TensorId* allEnd =
+        useIndex_->kernelTensors.data() +
+        useIndex_->kernelTensorsOff[static_cast<std::size_t>(k) + 1];
+    struct
+    {
+        const TensorId* b;
+        const TensorId* e;
+        const TensorId* begin() const { return b; }
+        const TensorId* end() const { return e; }
+    } all{allBegin, allEnd};
     for (TensorId t : all)
         pinUntil(t, globalIndex_);
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,6 +81,15 @@ struct SharedResources
     SsdDevice* ssd = nullptr;            ///< one flash device, shared wear
     FabricChannels* channels = nullptr;  ///< PCIe/SSD/host-SW timelines
     GpuComputeTimeline* gpu = nullptr;   ///< time-shared execution units
+
+    /**
+     * Memory resource backing the runtime's scratch state (use lists,
+     * LRU arrays, pending-free heap). Null = the default new/delete
+     * resource. Sweep drivers pass a probe-scoped Arena here and
+     * reset() it between probes; the resource must outlive the
+     * runtime. Allocation placement never affects simulated results.
+     */
+    std::pmr::memory_resource* arena = nullptr;
 };
 
 /** Drives one simulation; see simulate() for the one-call entry point. */
@@ -183,7 +193,7 @@ class SimRuntime
     /** Kernel ids using each tensor, ascending (shared index). */
     const std::vector<std::vector<KernelId>>& useLists() const
     {
-        return uses_;
+        return trace_->useIndex().uses;
     }
 
     /** Residency record (read-only for policies). */
@@ -315,11 +325,18 @@ class SimRuntime
     GpuComputeTimeline* gpu_ = nullptr;  ///< null = exclusive GPU
     Rng rng_;
 
-    std::vector<TensorRt> tensors_;
-    std::vector<std::vector<KernelId>> uses_;
-    std::vector<std::vector<TensorId>> bornAt_;
-    std::vector<std::vector<TensorId>> diesAfter_;
-    std::vector<TimeNs> perturbedDur_;
+    // Scratch allocator (probe-scoped arena in sweeps, else new/delete).
+    std::pmr::memory_resource* mem_;
+
+    std::pmr::vector<TensorRt> tensors_;
+    std::pmr::vector<std::pmr::vector<TensorId>> bornAt_;
+    std::pmr::vector<std::pmr::vector<TensorId>> diesAfter_;
+    std::pmr::vector<TimeNs> perturbedDur_;
+
+    // The trace's shared use-list / kernel-tensor index (set in
+    // prepare()): runKernel() walks precomputed slices instead of
+    // re-sorting a fresh Kernel::allTensors() vector per execution.
+    const TraceUseIndex* useIndex_ = nullptr;
 
     Bytes gpuUsedBytes_ = 0;
     Bytes hostUsedBytes_ = 0;
@@ -337,12 +354,12 @@ class SimRuntime
     // forward pointer so a makeSpace() cursor parked on a just-evicted
     // entry can keep walking (nodes are never re-linked mid-makeSpace).
     static constexpr std::int32_t kLruDetached = -1;
-    std::vector<std::int32_t> lruPrev_;
-    std::vector<std::int32_t> lruNext_;
+    std::pmr::vector<std::int32_t> lruPrev_;
+    std::pmr::vector<std::int32_t> lruNext_;
     std::int32_t lruSentinel_ = 0;  ///< == numTensors(), set in prepare()
 
     // Outstanding eviction space returns.
-    std::vector<PendingFree> pendingFrees_;  // min-heap by `at`
+    std::pmr::vector<PendingFree> pendingFrees_;  // min-heap by `at`
 
     // Guards the resumable victim cursors: while makeSpace() runs, no
     // code path may re-link LRU nodes (see Policy::capacityEvictDest's

@@ -241,6 +241,41 @@ TEST(StepFunction, CompactBoundsResidualBreakpoints)
     EXPECT_DOUBLE_EQ(f.maxValue(), 0.0);
 }
 
+TEST(StepFunction, BlockIndexSurvivesEveryInvalidationPath)
+{
+    // Force each maintenance path of the range-max block index in
+    // sequence — populate, covered-range delta update, partial-range
+    // invalidation, breakpoint insertion shifting later blocks — and
+    // cross-check maxOver against a fresh (index-cold) twin after
+    // every step. Blocks are 64 breakpoints wide, so 4096 one-tick
+    // steps span many blocks.
+    StepFunction f;
+    for (TimeNs t = 0; t < 4096; ++t)
+        f.add(t, t + 1, static_cast<double>((t * 37) % 101));
+
+    auto check = [&](TimeNs t0, TimeNs t1) {
+        StepFunction cold;
+        for (const auto& seg : f.segments(0, 1 << 20))
+            cold.add(seg.begin, seg.end, seg.value);
+        ASSERT_DOUBLE_EQ(f.maxOver(t0, t1), cold.maxOver(t0, t1))
+            << "[" << t0 << ", " << t1 << ")";
+    };
+
+    check(0, 4096);     // populate every block max
+    check(100, 3500);   // partial head/tail blocks + cached middles
+
+    f.add(0, 4096, 5.0);      // fully covers all blocks: delta update
+    check(0, 4096);
+    f.add(10, 20, -3.0);      // inside one block: invalidates it
+    check(0, 64);
+    f.add(63, 65, 40.0);      // straddles a block boundary
+    check(0, 4096);
+    f.add(-100, 7, 2.5);      // new breakpoint before block 0: shift
+    check(-100, 4096);
+    f.compact();              // rebuild from scratch
+    check(-100, 4096);
+}
+
 // ---- Randomized differential test -----------------------------------
 
 /**

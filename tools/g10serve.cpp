@@ -41,6 +41,7 @@ usage(std::ostream& os, int code)
     os << "usage: g10serve <serve-file> [--format table|json|csv] "
           "[--workers N]\n"
           "                [--partition static|proportional|ondemand]\n"
+          "                [--sweep-cache on|off]\n"
           "       g10serve --demo [scale] [--partition ...]\n"
           "       g10serve --list-designs [--format ...]\n"
           "       g10serve --help\n"
@@ -48,6 +49,10 @@ usage(std::ostream& os, int code)
           "--partition overrides the scenario's partition_policy\n"
           "(elastic capacity: proportional equal-share of the active\n"
           "jobs, or ondemand split/merge with hysteresis).\n"
+          "\n"
+          "--sweep-cache on|off overrides the scenario's sweep_cache:\n"
+          "the cross-probe plan-compile cache (on by default). Pure\n"
+          "wall-clock; results are bit-identical either way.\n"
           "\n"
           "Observability:\n"
           "  --trace <out.json>  Chrome trace-event timeline of the\n"
@@ -95,15 +100,30 @@ main(int argc, char** argv)
 {
     using namespace g10;
 
-    // --workers and --partition are options with a value; peel them
-    // off before the shared parser sees the remaining flags.
+    // --workers, --partition and --sweep-cache are options with a
+    // value; peel them off before the shared parser sees the
+    // remaining flags.
     unsigned workers = 0;  // 0 = one per hardware thread
     bool have_partition = false;
     PartitionPolicy partition = PartitionPolicy::Static;
+    bool have_sweep_cache = false;
+    bool sweep_cache = true;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--workers") {
+        if (std::string(argv[i]) == "--sweep-cache") {
+            if (i + 1 >= argc)
+                fatal("--sweep-cache needs a value (on | off)");
+            std::string v = argv[++i];
+            if (v == "on")
+                sweep_cache = true;
+            else if (v == "off")
+                sweep_cache = false;
+            else
+                fatal("unknown --sweep-cache '%s' (on | off)",
+                      v.c_str());
+            have_sweep_cache = true;
+        } else if (std::string(argv[i]) == "--workers") {
             if (i + 1 >= argc)
                 fatal("--workers needs a value");
             long long v = 0;
@@ -163,6 +183,8 @@ main(int argc, char** argv)
 
     if (have_partition)
         spec.partitionPolicy = partition;
+    if (have_sweep_cache)
+        spec.sweepPlanCache = sweep_cache;
 
     if (args.format == ReportFormat::Table) {
         std::cout << "# g10serve: " << spec.designs.size()
