@@ -428,6 +428,24 @@ writeMixResultJson(std::ostream& os, const MixResult& result)
 }
 
 void
+writeDistributionJson(JsonWriter& w, const Distribution& dist)
+{
+    w.beginObject();
+    w.field("count", static_cast<std::uint64_t>(dist.count()));
+    if (dist.count() > 0) {
+        w.field("sum", dist.sum());
+        w.field("mean", dist.mean());
+        w.field("min", dist.min());
+        w.field("max", dist.max());
+        w.field("p50", dist.percentile(0.50));
+        w.field("p95", dist.percentile(0.95));
+        w.field("p99", dist.percentile(0.99));
+        w.field("p999", dist.percentile(0.999));
+    }
+    w.endObject();
+}
+
+void
 writeMetricsJson(std::ostream& os, const CounterRegistry& reg)
 {
     JsonWriter w(os);
@@ -442,18 +460,217 @@ writeMetricsJson(std::ostream& os, const CounterRegistry& reg)
     w.beginObject();
     for (const auto& [name, dist] : reg.distributions()) {
         w.key(name);
-        w.beginObject();
-        w.field("count", static_cast<std::uint64_t>(dist.count()));
-        w.field("sum", dist.sum());
-        w.field("mean", dist.mean());
-        w.field("min", dist.min());
-        w.field("max", dist.max());
-        w.field("p50", dist.percentile(0.50));
-        w.field("p95", dist.percentile(0.95));
-        w.field("p99", dist.percentile(0.99));
-        w.endObject();
+        writeDistributionJson(w, dist);
     }
     w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+namespace {
+
+/** Dense stall-cause table as an object keyed by cause name. */
+void
+writeCauseNsJson(JsonWriter& w, const TimeNs (&cause)[kNumStallCauses])
+{
+    w.beginObject();
+    for (int c = 0; c < kNumStallCauses; ++c)
+        w.field(stallCauseName(static_cast<StallCause>(c)),
+                static_cast<std::int64_t>(cause[c]));
+    w.endObject();
+}
+
+void
+writeForensicsSeriesJson(JsonWriter& w,
+                         const std::vector<ForensicsPoint>& series)
+{
+    w.beginArray();
+    for (const ForensicsPoint& p : series) {
+        w.beginObject();
+        w.field("ts_ns", static_cast<std::int64_t>(p.ts));
+        w.field("value", p.value);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+}  // namespace
+
+void
+writeCriticalPathJson(std::ostream& os, const CriticalPathReport& report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.trace_analysis.v1");
+    w.field("analysis", "critical_path");
+    w.field("pid", static_cast<std::int64_t>(report.pid));
+    w.field("worst_iteration",
+            static_cast<std::int64_t>(report.worstIteration()));
+    w.key("iterations");
+    w.beginArray();
+    for (const IterationPath& it : report.iterations) {
+        w.beginObject();
+        w.field("index", static_cast<std::int64_t>(it.index));
+        w.field("begin_ns", static_cast<std::int64_t>(it.beginNs));
+        w.field("end_ns", static_cast<std::int64_t>(it.endNs));
+        w.field("compute_ns",
+                static_cast<std::int64_t>(it.computeNs));
+        w.field("stall_ns", static_cast<std::int64_t>(it.stallNs()));
+        w.field("kernels", static_cast<std::int64_t>(it.kernels));
+        w.key("stall_by_cause_ns");
+        writeCauseNsJson(w, it.causeNs);
+        w.key("chain");
+        w.beginObject();
+        w.field("stall_ns",
+                static_cast<std::int64_t>(it.chain.totalNs()));
+        w.key("stall_by_cause_ns");
+        writeCauseNsJson(w, it.chain.causeNs);
+        w.key("steps");
+        w.beginArray();
+        for (const CriticalPathStep& s : it.chain.steps) {
+            w.beginObject();
+            w.field("k", static_cast<std::int64_t>(s.kernel));
+            w.field("kernel", s.name);
+            w.field("start_ns",
+                    static_cast<std::int64_t>(s.startNs));
+            w.field("dur_ns", static_cast<std::int64_t>(s.durNs));
+            w.field("stall_ns",
+                    static_cast<std::int64_t>(s.stallNs()));
+            w.key("stall_by_cause_ns");
+            writeCauseNsJson(w, s.causeNs);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeDiffAttributionJson(std::ostream& os, const DiffAttribution& diff)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.trace_analysis.v1");
+    w.field("analysis", "diff");
+    w.field("base", diff.baseLabel);
+    w.field("test", diff.testLabel);
+    w.field("base_measured_ns",
+            static_cast<std::int64_t>(diff.baseMeasuredNs));
+    w.field("test_measured_ns",
+            static_cast<std::int64_t>(diff.testMeasuredNs));
+    w.field("delta_ns", static_cast<std::int64_t>(diff.deltaNs()));
+    w.field("ideal_delta_ns",
+            static_cast<std::int64_t>(diff.idealDeltaNs));
+    w.key("cause_delta_ns");
+    writeCauseNsJson(w, diff.causeDeltaNs);
+    w.field("noise_delta_ns",
+            static_cast<std::int64_t>(diff.noiseDeltaNs));
+    w.field("exact", diff.exact());
+    w.key("kernels");
+    w.beginArray();
+    for (const DiffAttributionRow& r : diff.rows) {
+        if (r.deltaNs() == 0 && r.idealDeltaNs == 0)
+            continue;  // untouched kernels would dominate the doc
+        w.beginObject();
+        w.field("k", static_cast<std::int64_t>(r.kernel));
+        w.field("kernel", r.name);
+        w.field("base_ns",
+                static_cast<std::int64_t>(r.baseActualNs));
+        w.field("test_ns",
+                static_cast<std::int64_t>(r.testActualNs));
+        w.field("delta_ns", static_cast<std::int64_t>(r.deltaNs()));
+        w.field("ideal_delta_ns",
+                static_cast<std::int64_t>(r.idealDeltaNs));
+        w.key("cause_delta_ns");
+        writeCauseNsJson(w, r.causeDeltaNs);
+        w.field("noise_delta_ns",
+                static_cast<std::int64_t>(r.noiseDeltaNs));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeFlameJson(std::ostream& os, const FlameAggregation& flame)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.trace_analysis.v1");
+    w.field("analysis", "flame");
+    w.field("pid", static_cast<std::int64_t>(flame.pid));
+    w.field("total_stall_ns", flame.totalStallNs);
+    w.key("stacks");
+    w.beginArray();
+    for (const FlameStack& s : flame.stacks) {
+        w.beginObject();
+        w.field("frames", s.frames);
+        w.field("stall_ns", s.stallNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeFleetForensicsJson(std::ostream& os,
+                        const FleetForensics& forensics)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "g10.trace_analysis.v1");
+    w.field("analysis", "forensics");
+    w.field("departures", forensics.departures);
+    w.field("failures", forensics.failures);
+    w.field("rejections", forensics.rejections);
+    w.key("nodes");
+    w.beginArray();
+    for (const NodeSeries& n : forensics.nodes) {
+        w.beginObject();
+        w.field("node", static_cast<std::int64_t>(n.node));
+        w.field("admitted", n.admitted);
+        w.field("departed", n.departed);
+        w.field("failed", n.failed);
+        w.field("rejected", n.rejected);
+        w.field("slo_missed", n.sloMissed);
+        w.field("max_queue_depth", n.maxQueueDepth);
+        w.field("max_inflight", n.maxOccupancy);
+        w.key("queue_depth");
+        writeForensicsSeriesJson(w, n.queueDepth);
+        w.key("occupancy");
+        writeForensicsSeriesJson(w, n.occupancy);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("breaches");
+    w.beginArray();
+    for (const SloBreach& b : forensics.breaches) {
+        w.beginObject();
+        w.field("pid", static_cast<std::int64_t>(b.pid));
+        w.field("node", static_cast<std::int64_t>(b.node));
+        w.field("class", b.cls);
+        w.field("arrival_ns",
+                static_cast<std::int64_t>(b.arrivalNs));
+        w.field("depart_ns", static_cast<std::int64_t>(b.departNs));
+        w.field("latency_ns",
+                static_cast<std::int64_t>(b.latencyNs()));
+        w.field("slo_limit_ns",
+                static_cast<std::int64_t>(b.sloLimitNs));
+        w.field("overshoot_ns",
+                static_cast<std::int64_t>(b.overshootNs()));
+        w.field("queue_ns", static_cast<std::int64_t>(b.queueNs));
+        w.field("stall_ns", static_cast<std::int64_t>(b.stallNs));
+        w.field("resize_ns", static_cast<std::int64_t>(b.resizeNs));
+        w.field("dominant", b.dominantWait());
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     os << "\n";
 }

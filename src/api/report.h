@@ -21,6 +21,10 @@
 #include "common/json_writer.h"
 #include "engine/multi_tenant.h"
 #include "fleet/fleet_sim.h"
+#include "obs/analysis/critical_path.h"
+#include "obs/analysis/diff_attribution.h"
+#include "obs/analysis/flame.h"
+#include "obs/analysis/forensics.h"
 #include "obs/counters.h"
 #include "serve/serve_sim.h"
 
@@ -68,10 +72,39 @@ void writeFleetResultJson(std::ostream& os, const FleetResult& result);
 /**
  * Serialize a CounterRegistry snapshot (`g10.metrics.v1`): every
  * monotonic counter by name, and per-distribution summary stats
- * (count/sum/mean/min/max and p50/p95/p99). The `--metrics` surface
- * of the CLIs.
+ * (count/sum/mean/min/max and p50/p95/p99/p999). The `--metrics`
+ * surface of the CLIs.
  */
 void writeMetricsJson(std::ostream& os, const CounterRegistry& reg);
+
+/**
+ * Serialize one Distribution summary as a nested object onto an open
+ * writer. An empty distribution emits `{"count": 0}` only, so the
+ * absence of samples is distinguishable from a degenerate all-zero
+ * distribution.
+ */
+void writeDistributionJson(JsonWriter& w, const Distribution& dist);
+
+// ---- Trace-analysis documents (`g10.trace_analysis.v1`) -------------
+//
+// All four analyzers share one schema tag and carry an `analysis`
+// discriminator ("critical_path", "diff", "flame", "forensics") so
+// tooling can dispatch on the pair. Times are integer nanoseconds.
+
+/** Serialize a critical-path report (`analysis: "critical_path"`). */
+void writeCriticalPathJson(std::ostream& os,
+                           const CriticalPathReport& report);
+
+/** Serialize a differential attribution (`analysis: "diff"`). */
+void writeDiffAttributionJson(std::ostream& os,
+                              const DiffAttribution& diff);
+
+/** Serialize a flame aggregation (`analysis: "flame"`). */
+void writeFlameJson(std::ostream& os, const FlameAggregation& flame);
+
+/** Serialize fleet forensics (`analysis: "forensics"`). */
+void writeFleetForensicsJson(std::ostream& os,
+                             const FleetForensics& forensics);
 
 // ---- Format-dispatched printers -------------------------------------
 

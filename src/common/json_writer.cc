@@ -188,6 +188,17 @@ JsonWriter::value(std::uint64_t v)
 }
 
 JsonWriter&
+JsonWriter::rawNumber(const std::string& token)
+{
+    prefix(false);
+    keyPending_ = false;
+    os_ << token;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter&
 JsonWriter::null()
 {
     prefix(false);

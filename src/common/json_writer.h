@@ -50,6 +50,14 @@ class JsonWriter
     JsonWriter& value(std::uint64_t v);
     JsonWriter& null();
 
+    /**
+     * Emit @p token verbatim as a number value. The caller guarantees
+     * it is a valid JSON number literal; used where value(double)'s
+     * %.12g would lose precision (exact decimal microsecond
+     * timestamps in the chrome-trace writer).
+     */
+    JsonWriter& rawNumber(const std::string& token);
+
     /** key(k) + value(v) in one call. */
     template <typename T>
     JsonWriter&

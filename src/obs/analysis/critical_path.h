@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Critical-path extraction over a traced training run: segment the
+ * kernel stream into iterations, bind each stall span to its kernel,
+ * and find — per iteration — the longest chain of consecutive kernels
+ * whose completion was delayed by a blocking stall (alloc / fault /
+ * compute_queue / data). The paper's "where does the iteration go"
+ * question, answered from the event stream alone so it works on
+ * re-ingested --trace files as well as live MemoryTraceSink runs.
+ *
+ * Iteration segmentation needs no markers: kernel ids strictly
+ * increase within one iteration (the runtime replays the schedule in
+ * order), so a kernel id <= its predecessor starts a new iteration.
+ * Stall spans are emitted immediately after their kernel span and
+ * bind to the most recent kernel with the same id.
+ */
+
+#ifndef G10_OBS_ANALYSIS_CRITICAL_PATH_H
+#define G10_OBS_ANALYSIS_CRITICAL_PATH_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/sched/schedule_types.h"
+#include "obs/trace_event.h"
+
+namespace g10 {
+
+/** One kernel on a stall-dependency chain. */
+struct CriticalPathStep
+{
+    KernelId kernel = 0;
+    std::string name;
+    TimeNs startNs = 0;
+    TimeNs durNs = 0;  ///< kernel execution span
+    TimeNs causeNs[kNumStallCauses] = {0, 0, 0, 0};
+
+    TimeNs stallNs() const
+    {
+        TimeNs s = 0;
+        for (TimeNs c : causeNs)
+            s += c;
+        return s;
+    }
+};
+
+/** The longest run of consecutive stalled kernels in one iteration. */
+struct StallChain
+{
+    std::vector<CriticalPathStep> steps;  ///< empty = no stalls at all
+    TimeNs causeNs[kNumStallCauses] = {0, 0, 0, 0};
+
+    TimeNs totalNs() const
+    {
+        TimeNs s = 0;
+        for (TimeNs c : causeNs)
+            s += c;
+        return s;
+    }
+};
+
+/** One iteration's decomposition plus its worst chain. */
+struct IterationPath
+{
+    int index = 0;          ///< 0-based iteration number in the trace
+    TimeNs beginNs = 0;     ///< first kernel start
+    TimeNs endNs = 0;       ///< last kernel end (incl. trailing stall)
+    TimeNs computeNs = 0;   ///< sum of kernel execution spans
+    TimeNs causeNs[kNumStallCauses] = {0, 0, 0, 0};
+    int kernels = 0;
+    StallChain chain;       ///< longest consecutive stalled run
+
+    TimeNs spanNs() const { return endNs - beginNs; }
+
+    TimeNs stallNs() const
+    {
+        TimeNs s = 0;
+        for (TimeNs c : causeNs)
+            s += c;
+        return s;
+    }
+};
+
+/** Whole-trace critical-path report for one job. */
+struct CriticalPathReport
+{
+    int pid = 0;
+    std::vector<IterationPath> iterations;
+
+    /** Index of the iteration with the most stall time; -1 if none. */
+    int worstIteration() const;
+};
+
+/**
+ * Extract the per-iteration critical paths of @p pid's kernel/stall
+ * spans in @p events. Purely a fold over the stream — deterministic
+ * for a given event sequence, which the worker-count bit-identity
+ * test relies on.
+ */
+CriticalPathReport extractCriticalPath(
+    const std::vector<TraceEvent>& events, int pid = 0);
+
+/**
+ * Print the per-iteration table, then the worst iteration's chain
+ * (up to @p top_n steps ranked by stall time).
+ */
+void printCriticalPath(std::ostream& os, const CriticalPathReport& r,
+                       std::size_t top_n = 20);
+
+}  // namespace g10
+
+#endif  // G10_OBS_ANALYSIS_CRITICAL_PATH_H

@@ -1,0 +1,103 @@
+#include "obs/analysis/diff_attribution.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/table.h"
+
+namespace g10 {
+
+namespace {
+
+double
+toMs(TimeNs ns)
+{
+    return static_cast<double>(ns) / 1e6;
+}
+
+}  // namespace
+
+DiffAttribution
+diffStallAttribution(const StallAttribution& base,
+                     const StallAttribution& test,
+                     const std::string& base_label,
+                     const std::string& test_label)
+{
+    DiffAttribution out;
+    out.baseLabel = base_label;
+    out.testLabel = test_label;
+    out.baseMeasuredNs = base.measuredNs;
+    out.testMeasuredNs = test.measuredNs;
+    out.idealDeltaNs = base.idealNs - test.idealNs;
+    for (int c = 0; c < kNumStallCauses; ++c)
+        out.causeDeltaNs[c] = base.causeNs[c] - test.causeNs[c];
+    out.noiseDeltaNs = base.noiseNs - test.noiseNs;
+
+    const std::size_t n =
+        std::max(base.rows.size(), test.rows.size());
+    static const StallAttributionRow kZero;
+    out.rows.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const StallAttributionRow& b =
+            k < base.rows.size() ? base.rows[k] : kZero;
+        const StallAttributionRow& t =
+            k < test.rows.size() ? test.rows[k] : kZero;
+        DiffAttributionRow& r = out.rows[k];
+        r.kernel = static_cast<KernelId>(k);
+        r.name = !b.name.empty() ? b.name : t.name;
+        r.baseActualNs = b.actualNs;
+        r.testActualNs = t.actualNs;
+        r.idealDeltaNs = b.idealNs - t.idealNs;
+        for (int c = 0; c < kNumStallCauses; ++c)
+            r.causeDeltaNs[c] = b.causeNs[c] - t.causeNs[c];
+        r.noiseDeltaNs = b.noiseNs() - t.noiseNs();
+    }
+    return out;
+}
+
+void
+printDiffAttribution(std::ostream& os, const DiffAttribution& d,
+                     std::size_t top_n)
+{
+    Table table("per-kernel savings, " + d.baseLabel + " - " +
+                d.testLabel + " (measured iteration, ms)");
+    table.setHeader({"k", "kernel", "base", "test", "delta", "ideal",
+                     "alloc", "fault", "queue", "data", "noise"});
+
+    std::vector<const DiffAttributionRow*> ranked;
+    for (const DiffAttributionRow& r : d.rows)
+        if (r.deltaNs() != 0)
+            ranked.push_back(&r);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const DiffAttributionRow* x,
+                        const DiffAttributionRow* y) {
+                         return std::llabs(x->deltaNs()) >
+                                std::llabs(y->deltaNs());
+                     });
+    if (ranked.size() > top_n)
+        ranked.resize(top_n);
+
+    for (const DiffAttributionRow* r : ranked)
+        table.addRowOf(static_cast<long long>(r->kernel), r->name,
+                       toMs(r->baseActualNs), toMs(r->testActualNs),
+                       toMs(r->deltaNs()), toMs(r->idealDeltaNs),
+                       toMs(r->causeDeltaNs[0]),
+                       toMs(r->causeDeltaNs[1]),
+                       toMs(r->causeDeltaNs[2]),
+                       toMs(r->causeDeltaNs[3]),
+                       toMs(r->noiseDeltaNs));
+    table.addRowOf("total", "(all kernels)", toMs(d.baseMeasuredNs),
+                   toMs(d.testMeasuredNs), toMs(d.deltaNs()),
+                   toMs(d.idealDeltaNs), toMs(d.causeDeltaNs[0]),
+                   toMs(d.causeDeltaNs[1]), toMs(d.causeDeltaNs[2]),
+                   toMs(d.causeDeltaNs[3]), toMs(d.noiseDeltaNs));
+    table.print(os);
+
+    os << "diff check: ideal + alloc + fault + queue + data + noise = "
+       << toMs(d.idealDeltaNs + d.causeDeltaTotalNs() + d.noiseDeltaNs)
+       << " ms; " << d.baseLabel << " - " << d.testLabel << " = "
+       << toMs(d.deltaNs()) << " ms ("
+       << (d.exact() ? "exact" : "MISMATCH") << ")\n";
+}
+
+}  // namespace g10

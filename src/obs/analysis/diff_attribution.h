@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Differential stall attribution: align two attributed runs (a
+ * baseline and a test — e.g. baseuvm vs. g10 on the same model)
+ * kernel by kernel and decompose the end-to-end iteration-time delta
+ * into per-cause, per-kernel savings.
+ *
+ * Exactness is inherited, not approximated: within each run,
+ * measured − ideal = Σ causes + noise holds in integer nanoseconds by
+ * construction (the attribution invariant), so the difference of two
+ * runs decomposes as delta = Δideal + Σ Δcause + Δnoise with no
+ * residual. printDiffAttribution ends with a reconciliation line that
+ * CI greps for "(exact)".
+ */
+
+#ifndef G10_OBS_ANALYSIS_DIFF_ATTRIBUTION_H
+#define G10_OBS_ANALYSIS_DIFF_ATTRIBUTION_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.h"
+
+namespace g10 {
+
+/** One kernel's contribution to the base-vs-test delta. All deltas
+ *  are base − test: positive = the test run is faster there. */
+struct DiffAttributionRow
+{
+    KernelId kernel = 0;
+    std::string name;
+    TimeNs baseActualNs = 0;
+    TimeNs testActualNs = 0;
+    TimeNs idealDeltaNs = 0;
+    TimeNs causeDeltaNs[kNumStallCauses] = {0, 0, 0, 0};
+    TimeNs noiseDeltaNs = 0;
+
+    TimeNs deltaNs() const { return baseActualNs - testActualNs; }
+};
+
+/** Whole-run differential decomposition (base − test throughout). */
+struct DiffAttribution
+{
+    std::string baseLabel;
+    std::string testLabel;
+    std::vector<DiffAttributionRow> rows;
+    TimeNs baseMeasuredNs = 0;
+    TimeNs testMeasuredNs = 0;
+    TimeNs idealDeltaNs = 0;
+    TimeNs causeDeltaNs[kNumStallCauses] = {0, 0, 0, 0};
+    TimeNs noiseDeltaNs = 0;
+
+    TimeNs deltaNs() const { return baseMeasuredNs - testMeasuredNs; }
+
+    TimeNs causeDeltaTotalNs() const
+    {
+        TimeNs s = 0;
+        for (TimeNs c : causeDeltaNs)
+            s += c;
+        return s;
+    }
+
+    /** The reconciliation identity; true by construction. */
+    bool exact() const
+    {
+        return deltaNs() ==
+               idealDeltaNs + causeDeltaTotalNs() + noiseDeltaNs;
+    }
+};
+
+/**
+ * Align @p base and @p test kernel-by-kernel (missing rows on either
+ * side count as zero — the runs may have different kernel counts) and
+ * compute the differential decomposition.
+ */
+DiffAttribution diffStallAttribution(const StallAttribution& base,
+                                     const StallAttribution& test,
+                                     const std::string& base_label,
+                                     const std::string& test_label);
+
+/**
+ * Print the @p top_n kernels by |delta| plus totals, ending with the
+ * CI-gated reconciliation line
+ * `diff check: ... (exact)`.
+ */
+void printDiffAttribution(std::ostream& os, const DiffAttribution& d,
+                          std::size_t top_n = 20);
+
+}  // namespace g10
+
+#endif  // G10_OBS_ANALYSIS_DIFF_ATTRIBUTION_H

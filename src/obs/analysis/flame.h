@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Flame aggregation: roll per-kernel stall time up the layer-name
+ * hierarchy. Kernel names are '_'-joined paths ("layer1_0_c_conv",
+ * "loss_fwd"), so splitting on '_' gives a natural stack; the stall
+ * cause becomes the leaf frame. The output is the collapsed-stack
+ * format every flamegraph renderer ingests
+ * (`layer1;0;c;conv;alloc 123456` — one line per stack, value in
+ * nanoseconds), plus the same tree as JSON for tooling.
+ */
+
+#ifndef G10_OBS_ANALYSIS_FLAME_H
+#define G10_OBS_ANALYSIS_FLAME_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace g10 {
+
+/** One collapsed stack with its accumulated stall nanoseconds. */
+struct FlameStack
+{
+    std::string frames;  ///< ';'-joined path, leaf = stall cause
+    std::uint64_t stallNs = 0;
+};
+
+/** Stall time rolled up by kernel-name hierarchy for one job. */
+struct FlameAggregation
+{
+    int pid = 0;
+    std::vector<FlameStack> stacks;  ///< sorted by frames (stable)
+    std::uint64_t totalStallNs = 0;
+};
+
+/**
+ * Aggregate the measured stall spans of @p pid in @p events into
+ * collapsed stacks. Deterministic: stacks are keyed and sorted
+ * lexicographically, independent of event order.
+ */
+FlameAggregation aggregateFlame(const std::vector<TraceEvent>& events,
+                                int pid = 0);
+
+/** Emit `frames value` lines — the collapsed-stack interchange file. */
+void writeCollapsedStacks(std::ostream& os, const FlameAggregation& f);
+
+}  // namespace g10
+
+#endif  // G10_OBS_ANALYSIS_FLAME_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-level SLO breach forensics from a serving/fleet trace:
+ * per-node queue-depth and GPU-occupancy time series, plus a table
+ * attributing every missed-deadline request to its dominant wait
+ * component — admission queueing, runtime stalls, or an elastic
+ * partition resize that squeezed the job mid-flight.
+ *
+ * Everything is recovered from serve/stall/partition events alone
+ * (departure events are self-contained since they carry arrival and
+ * SLO verdict), so the same analysis runs on a live fleet result or a
+ * re-ingested --trace file. Node identity comes from the fleet pid
+ * convention: node i's requests live at pid i*stride + local index.
+ */
+
+#ifndef G10_OBS_ANALYSIS_FORENSICS_H
+#define G10_OBS_ANALYSIS_FORENSICS_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace g10 {
+
+/** One sample of a per-node series, in simulated time. */
+struct ForensicsPoint
+{
+    TimeNs ts = 0;
+    std::int64_t value = 0;
+};
+
+/** Per-node utilization picture. */
+struct NodeSeries
+{
+    int node = 0;
+    std::vector<ForensicsPoint> queueDepth;  ///< admission queue
+    std::vector<ForensicsPoint> occupancy;   ///< in-flight requests
+    std::int64_t maxQueueDepth = 0;
+    std::int64_t maxOccupancy = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t departed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t sloMissed = 0;
+};
+
+/** One missed-deadline request and where its time went. */
+struct SloBreach
+{
+    int pid = 0;   ///< global (strided) request pid
+    int node = 0;
+    std::string cls;          ///< request class name
+    TimeNs arrivalNs = 0;
+    TimeNs departNs = 0;
+    TimeNs sloLimitNs = 0;
+    TimeNs queueNs = 0;   ///< arrival -> admission
+    TimeNs stallNs = 0;   ///< runtime stalls before any resize
+    TimeNs resizeNs = 0;  ///< stalls at/after the first shrink/split
+
+    TimeNs latencyNs() const { return departNs - arrivalNs; }
+    TimeNs overshootNs() const { return latencyNs() - sloLimitNs; }
+
+    /** "queue", "stall", or "resize" — the largest component (ties
+     *  resolve in that order). */
+    const char* dominantWait() const;
+};
+
+/** Whole-fleet forensics report. */
+struct FleetForensics
+{
+    std::vector<NodeSeries> nodes;    ///< sorted by node id
+    std::vector<SloBreach> breaches;  ///< in departure order
+    std::uint64_t departures = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t rejections = 0;
+};
+
+/**
+ * Analyze @p events with the fleet pid convention (@p pid_stride =
+ * kFleetPidStride for fleet traces; single-node serve traces work
+ * with any stride larger than the request count — every pid maps to
+ * node 0). A pure fold over the stream, deterministic for a given
+ * event sequence.
+ */
+FleetForensics analyzeFleetForensics(
+    const std::vector<TraceEvent>& events, int pid_stride = 100000);
+
+/**
+ * Print the per-node utilization table and the @p top_n worst
+ * breaches by overshoot, each with its dominant wait component.
+ */
+void printFleetForensics(std::ostream& os, const FleetForensics& f,
+                         std::size_t top_n = 20);
+
+}  // namespace g10
+
+#endif  // G10_OBS_ANALYSIS_FORENSICS_H

@@ -1,0 +1,190 @@
+#include "obs/analysis/trace_reader.h"
+
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/json_writer.h"
+
+namespace g10 {
+
+namespace {
+
+/** Canonical static strings the writers can have emitted. */
+const char*
+canonicalTraceString(const std::string& s)
+{
+    static constexpr const char* kKnown[] = {
+        kTrackKernel, kTrackStall, kTrackPcieIn, kTrackPcieOut,
+        kTrackMemory, kTrackServe, kCatKernel, kCatStall, kCatTransfer,
+        kCatEvict, kCatSsd, kCatServe, kCatPartition,
+        // Arg keys, from the Tracer emit sites.
+        "k", "measured", "ideal_ns", "actual_ns", "cause", "bytes",
+        "tensor", "runs", "erases", "from_bytes", "to_bytes",
+        "evicted_bytes", "arrival_ns", "gpu_bytes", "warm_plan",
+        "slo_limit_ns", "slo_met", "replayed", "dropped", "depth",
+    };
+    for (const char* known : kKnown)
+        if (s == known)
+            return known;
+    return nullptr;
+}
+
+/** Exact nanoseconds from a parsed microsecond value. */
+TimeNs
+nanosecondsOf(double us)
+{
+    return static_cast<TimeNs>(std::llround(us * 1e3));
+}
+
+bool
+fail(std::string* err, const std::string& msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+/** Integer member lookup that tolerates absence (returns false). */
+bool
+intMemberOf(const JsonValue& rec, const char* key, int* out)
+{
+    const JsonValue* v = rec.find(key);
+    if (!v || !v->isNumber())
+        return false;
+    *out = static_cast<int>(v->number);
+    return true;
+}
+
+}  // namespace
+
+const char*
+internTraceString(const std::string& s)
+{
+    if (const char* canonical = canonicalTraceString(s))
+        return canonical;
+    // std::set nodes never move, so c_str() stays valid for the life
+    // of the pool (process lifetime — traces intern a handful of
+    // distinct strings, not one per event).
+    static std::mutex mutex;
+    static std::set<std::string>* pool = new std::set<std::string>();
+    std::lock_guard<std::mutex> lock(mutex);
+    return pool->insert(s).first->c_str();
+}
+
+bool
+readChromeTrace(const std::string& text, TraceDocument* out,
+                std::string* err)
+{
+    JsonValue doc;
+    std::string parseErr;
+    if (!parseJson(text, &doc, &parseErr))
+        return fail(err, "not valid JSON: " + parseErr);
+    const JsonValue* records = doc.find("traceEvents");
+    if (!records || !records->isArray())
+        return fail(err, "missing 'traceEvents' array");
+
+    TraceDocument result;
+    std::map<std::pair<int, int>, const char*> tracks;  // (pid,tid)
+    for (std::size_t i = 0; i < records->items.size(); ++i) {
+        const JsonValue& rec = records->items[i];
+        const std::string where =
+            "record " + std::to_string(i) + ": ";
+        if (!rec.isObject())
+            return fail(err, where + "not an object");
+        const JsonValue* ph = rec.find("ph");
+        if (!ph || !ph->isString())
+            return fail(err, where + "missing 'ph'");
+
+        if (ph->str == "M") {
+            const JsonValue* metaName = rec.find("name");
+            const JsonValue* args = rec.find("args");
+            const JsonValue* name =
+                args ? args->find("name") : nullptr;
+            int pid = 0;
+            int tid = 0;
+            if (!metaName || !name || !name->isString() ||
+                !intMemberOf(rec, "pid", &pid) ||
+                !intMemberOf(rec, "tid", &tid))
+                return fail(err, where + "malformed metadata");
+            if (metaName->str == "process_name")
+                result.processNames[pid] = name->str;
+            else if (metaName->str == "thread_name")
+                tracks[{pid, tid}] = internTraceString(name->str);
+            else
+                return fail(err, where + "unknown metadata '" +
+                                     metaName->str + "'");
+            continue;
+        }
+        if (ph->str != "X" && ph->str != "i")
+            return fail(err, where + "unsupported phase '" + ph->str +
+                                 "'");
+
+        TraceEvent ev;
+        ev.kind = ph->str == "X" ? TraceEventKind::Span
+                                 : TraceEventKind::Instant;
+        const JsonValue* name = rec.find("name");
+        const JsonValue* cat = rec.find("cat");
+        const JsonValue* ts = rec.find("ts");
+        if (!name || !name->isString() || !cat || !cat->isString() ||
+            !ts || !ts->isNumber())
+            return fail(err, where + "missing name/cat/ts");
+        ev.name = name->str;
+        ev.category = internTraceString(cat->str);
+        ev.ts = nanosecondsOf(ts->number);
+        int tid = 0;
+        if (!intMemberOf(rec, "pid", &ev.pid) ||
+            !intMemberOf(rec, "tid", &tid))
+            return fail(err, where + "missing pid/tid");
+        if (ev.kind == TraceEventKind::Span) {
+            const JsonValue* dur = rec.find("dur");
+            if (!dur || !dur->isNumber())
+                return fail(err, where + "span without 'dur'");
+            ev.dur = nanosecondsOf(dur->number);
+        }
+        const auto lane = tracks.find({ev.pid, tid});
+        if (lane == tracks.end())
+            return fail(err, where + "event before its thread_name");
+        ev.track = lane->second;
+        if (const JsonValue* args = rec.find("args")) {
+            for (const auto& [key, value] : args->members) {
+                if (key == "detail") {
+                    ev.detail = value.str;
+                    continue;
+                }
+                if (!value.isNumber())
+                    return fail(err, where + "non-numeric arg '" +
+                                         key + "'");
+                ev.args.push_back(
+                    {internTraceString(key),
+                     static_cast<std::int64_t>(
+                         std::llround(value.number))});
+            }
+        }
+        result.events.push_back(std::move(ev));
+    }
+    *out = std::move(result);
+    return true;
+}
+
+bool
+readChromeTraceFile(const std::string& path, TraceDocument* out,
+                    std::string* err)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fail(err, "cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return fail(err, "error reading '" + path + "'");
+    std::string parseErr;
+    if (!readChromeTrace(buf.str(), out, &parseErr))
+        return fail(err, path + ": " + parseErr);
+    return true;
+}
+
+}  // namespace g10

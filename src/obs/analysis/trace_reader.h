@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Chrome-trace re-ingestion: parse a trace-event JSON document (the
+ * output of writeChromeTrace or FileTraceSink) back into the typed
+ * TraceEvent stream the analyzers consume.
+ *
+ * This is the inverse of chrome_trace.h up to lane bookkeeping: "M"
+ * metadata records rebuild the (pid, tid) -> track mapping and the
+ * process-name table, "X"/"i" records become Span/Instant events with
+ * nanosecond timestamps recovered from the exact decimal microsecond
+ * literals the writer emits. Category, track, and argument-key
+ * strings are interned into a process-lifetime pool so re-ingested
+ * events satisfy TraceEvent's static-string contract and compare
+ * equal (field by field) to the originals — the round-trip golden
+ * test pins this.
+ */
+
+#ifndef G10_OBS_ANALYSIS_TRACE_READER_H
+#define G10_OBS_ANALYSIS_TRACE_READER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace g10 {
+
+/** A re-ingested trace: the event stream plus display metadata. */
+struct TraceDocument
+{
+    std::vector<TraceEvent> events;
+    std::map<int, std::string> processNames;  ///< pid -> display name
+};
+
+/**
+ * Intern @p s into a process-lifetime string pool and return a stable
+ * pointer — the bridge from parsed (dynamic) strings to TraceEvent's
+ * `const char*` category/track/arg-key fields. Known names (the kCat
+ * and kTrack constants, the runtime's arg keys) return the canonical
+ * constant so pointer identity survives the round trip.
+ */
+const char* internTraceString(const std::string& s);
+
+/**
+ * Parse the chrome-trace document in @p text into @p out. Events keep
+ * file order (the writer emits them in emission order). Unknown
+ * record types ("C", "B"/"E", ...) fail — the reader only accepts
+ * what the in-repo writers produce.
+ *
+ * @param err when non-null, receives a description of the first error
+ * @return false on malformed input
+ */
+bool readChromeTrace(const std::string& text, TraceDocument* out,
+                     std::string* err = nullptr);
+
+/** readChromeTrace over the contents of @p path. */
+bool readChromeTraceFile(const std::string& path, TraceDocument* out,
+                         std::string* err = nullptr);
+
+}  // namespace g10
+
+#endif  // G10_OBS_ANALYSIS_TRACE_READER_H

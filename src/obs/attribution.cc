@@ -25,6 +25,41 @@ toMs(TimeNs ns)
 
 }  // namespace
 
+namespace {
+
+/** Shared accumulation over pre-sized rows (names already set). */
+void
+accumulateStallEvents(const std::vector<TraceEvent>& events, int pid,
+                      StallAttribution* out)
+{
+    for (const TraceEvent& ev : events) {
+        if (ev.pid != pid || argOf(ev, "measured", 0) == 0)
+            continue;
+        auto k = static_cast<std::size_t>(argOf(ev, "k", -1));
+        if (k >= out->rows.size())
+            continue;
+        if (ev.category == std::string(kCatKernel)) {
+            out->rows[k].idealNs += argOf(ev, "ideal_ns", 0);
+            out->rows[k].actualNs += argOf(ev, "actual_ns", 0);
+            if (out->rows[k].name.empty())
+                out->rows[k].name = ev.name;
+        } else if (ev.category == std::string(kCatStall)) {
+            auto cause = argOf(ev, "cause", -1);
+            if (cause >= 0 && cause < kNumStallCauses)
+                out->rows[k].causeNs[cause] += ev.dur;
+        }
+    }
+    for (const StallAttributionRow& r : out->rows) {
+        out->idealNs += r.idealNs;
+        out->measuredNs += r.actualNs;
+        for (int c = 0; c < kNumStallCauses; ++c)
+            out->causeNs[c] += r.causeNs[c];
+        out->noiseNs += r.noiseNs();
+    }
+}
+
+}  // namespace
+
 StallAttribution
 buildStallAttribution(const std::vector<TraceEvent>& events,
                       const KernelTrace& trace, int pid)
@@ -36,29 +71,27 @@ buildStallAttribution(const std::vector<TraceEvent>& events,
         out.rows[k].name = trace.kernel(static_cast<KernelId>(k)).name;
     }
 
+    accumulateStallEvents(events, pid, &out);
+    return out;
+}
+
+StallAttribution
+buildStallAttributionFromEvents(const std::vector<TraceEvent>& events,
+                                int pid)
+{
+    StallAttribution out;
+    std::int64_t maxK = -1;
     for (const TraceEvent& ev : events) {
         if (ev.pid != pid || argOf(ev, "measured", 0) == 0)
             continue;
-        auto k = static_cast<std::size_t>(argOf(ev, "k", -1));
-        if (k >= out.rows.size())
-            continue;
-        if (ev.category == std::string(kCatKernel)) {
-            out.rows[k].idealNs += argOf(ev, "ideal_ns", 0);
-            out.rows[k].actualNs += argOf(ev, "actual_ns", 0);
-        } else if (ev.category == std::string(kCatStall)) {
-            auto cause = argOf(ev, "cause", -1);
-            if (cause >= 0 && cause < kNumStallCauses)
-                out.rows[k].causeNs[cause] += ev.dur;
-        }
+        if (ev.category == std::string(kCatKernel) ||
+            ev.category == std::string(kCatStall))
+            maxK = std::max(maxK, argOf(ev, "k", -1));
     }
-
-    for (const StallAttributionRow& r : out.rows) {
-        out.idealNs += r.idealNs;
-        out.measuredNs += r.actualNs;
-        for (int c = 0; c < kNumStallCauses; ++c)
-            out.causeNs[c] += r.causeNs[c];
-        out.noiseNs += r.noiseNs();
-    }
+    out.rows.resize(static_cast<std::size_t>(maxK + 1));
+    for (std::size_t k = 0; k < out.rows.size(); ++k)
+        out.rows[k].kernel = static_cast<KernelId>(k);
+    accumulateStallEvents(events, pid, &out);
     return out;
 }
 

@@ -80,6 +80,15 @@ StallAttribution buildStallAttribution(
     int pid = 0);
 
 /**
+ * buildStallAttribution without a KernelTrace: kernel display names
+ * come from the kernel spans themselves, and the table is sized by
+ * the largest kernel id seen. This is what lets g10trace attribute a
+ * re-ingested --trace file with no model/config context.
+ */
+StallAttribution buildStallAttributionFromEvents(
+    const std::vector<TraceEvent>& events, int pid = 0);
+
+/**
  * Print the attribution as an aligned table: the @p top_n kernels by
  * stall time plus a totals row, followed by a one-line invariant check
  * (causes + noise == measured − ideal).

@@ -23,6 +23,25 @@ assignTids(const std::vector<TraceEvent>& events)
     return tids;
 }
 
+/**
+ * Integer nanoseconds as an exact decimal microsecond literal
+ * ("1234.567"). value(double)'s %.12g would drop nanosecond digits
+ * once a run passes ~16 minutes of simulated time; an exact token
+ * keeps re-ingestion (readChromeTrace) lossless at any timestamp.
+ */
+std::string
+microsecondsToken(TimeNs ns)
+{
+    char buf[40];
+    const long long us = static_cast<long long>(ns) / 1000;
+    const long long frac = static_cast<long long>(ns) % 1000;
+    if (frac == 0)
+        std::snprintf(buf, sizeof buf, "%lld", us);
+    else
+        std::snprintf(buf, sizeof buf, "%lld.%03lld", us, frac);
+    return buf;
+}
+
 void
 writeArgs(JsonWriter& w, const TraceEvent& ev)
 {
@@ -58,9 +77,9 @@ writeChromeEventJson(JsonWriter& w, const TraceEvent& ev, int tid)
     w.field("cat", ev.category);
     w.field("ph", ev.kind == TraceEventKind::Span ? "X" : "i");
     // Trace-event timestamps are microseconds; keep sub-us detail.
-    w.field("ts", static_cast<double>(ev.ts) / 1e3);
+    w.key("ts").rawNumber(microsecondsToken(ev.ts));
     if (ev.kind == TraceEventKind::Span)
-        w.field("dur", static_cast<double>(ev.dur) / 1e3);
+        w.key("dur").rawNumber(microsecondsToken(ev.dur));
     else
         w.field("s", "t");  // instant scope: thread
     w.field("pid", static_cast<std::int64_t>(ev.pid));

@@ -71,8 +71,10 @@ void
 FileTraceSink::onEvent(const TraceEvent& ev)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (finished_)
+    if (finished_) {
+        ++dropped_;
         return;
+    }
     const int tid = lanesFor(ev);
     separator();
     JsonWriter w(out_, 0);
@@ -84,8 +86,18 @@ void
 FileTraceSink::finish()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (finished_)
+    if (finished_) {
+        // Late events could only have arrived after the first
+        // finish(); surface them once (the destructor re-enters here).
+        if (dropped_ > 0 && !warnedDrops_) {
+            warnedDrops_ = true;
+            warn("trace '%s' is truncated: %llu events arrived after "
+                 "finish() and were dropped",
+                 path_.c_str(),
+                 static_cast<unsigned long long>(dropped_));
+        }
         return;
+    }
     finished_ = true;
     out_ << "\n]}\n";
     out_.close();

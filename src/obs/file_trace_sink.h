@@ -59,12 +59,18 @@ class FileTraceSink : public TraceSink
     /**
      * Write the document tail and close the file (idempotent; the
      * destructor calls it). Events arriving after finish() are
-     * dropped. fatal() when the stream errored.
+     * dropped — but counted (droppedEvents()), and the next finish()
+     * call (typically the destructor's) emits a one-line warn so a
+     * truncated trace is detectable. fatal() when the stream errored.
      */
     void finish();
 
     /** Events written so far (metadata records not counted). */
     std::uint64_t eventsWritten() const { return events_; }
+
+    /** Events that arrived after finish() and were not written. The
+     *  CLIs surface this as the `trace.dropped_events` counter. */
+    std::uint64_t droppedEvents() const { return dropped_; }
 
     const std::string& path() const { return path_; }
 
@@ -83,8 +89,10 @@ class FileTraceSink : public TraceSink
     std::map<std::pair<int, std::string>, int> tids_;
     int nextTid_ = 1;
     std::uint64_t events_ = 0;
+    std::uint64_t dropped_ = 0;  ///< events seen after finish()
     bool first_ = true;     ///< no array element written yet
     bool finished_ = false;
+    bool warnedDrops_ = false;
 };
 
 }  // namespace g10

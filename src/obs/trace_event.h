@@ -89,6 +89,16 @@ const char* stallCauseName(StallCause cause);
 /** Number of StallCause values (for dense tables). */
 inline constexpr int kNumStallCauses = 4;
 
+/** Lookup of one numeric arg by key; @p def when absent. */
+inline std::int64_t
+traceArgOf(const TraceEvent& ev, const char* key, std::int64_t def = 0)
+{
+    for (const TraceArg& a : ev.args)
+        if (std::string(a.key) == key)
+            return a.value;
+    return def;
+}
+
 }  // namespace g10
 
 #endif  // G10_OBS_TRACE_EVENT_H

@@ -218,13 +218,16 @@ Tracer::admission(int pid, const std::string& cls, TimeNs arrival,
 }
 
 void
-Tracer::departure(int pid, const std::string& cls, TimeNs ts,
-                  bool failed)
+Tracer::departure(int pid, const std::string& cls, TimeNs arrival,
+                  TimeNs ts, bool failed, TimeNs slo_limit_ns,
+                  bool slo_met)
 {
     if (counters_) {
         counters_->add("serve.departed");
         if (failed)
             counters_->add("serve.failed");
+        if (!failed && slo_limit_ns > 0 && !slo_met)
+            counters_->add("serve.slo_missed");
     }
     if (!sink_)
         return;
@@ -235,6 +238,9 @@ Tracer::departure(int pid, const std::string& cls, TimeNs ts,
     ev.pid = pid;
     ev.track = kTrackServe;
     ev.ts = ts;
+    ev.args = {{"arrival_ns", arrival},
+               {"slo_limit_ns", slo_limit_ns},
+               {"slo_met", slo_met ? 1 : 0}};
     ev.detail = cls;
     emit(std::move(ev));
 }

@@ -78,6 +78,32 @@ class PidOffsetSink : public TraceSink
 };
 
 /**
+ * A sink adapter that forwards every event to two inner sinks. The
+ * fleet CLI uses one to stream a trace to disk (FileTraceSink) while
+ * buffering the same events in memory for --forensics analysis.
+ */
+class TeeTraceSink : public TraceSink
+{
+  public:
+    TeeTraceSink(TraceSink* first, TraceSink* second)
+        : first_(first), second_(second)
+    {
+    }
+
+    void onEvent(const TraceEvent& ev) override
+    {
+        if (first_)
+            first_->onEvent(ev);
+        if (second_)
+            second_->onEvent(ev);
+    }
+
+  private:
+    TraceSink* first_;
+    TraceSink* second_;
+};
+
+/**
  * The facade producers emit through. Either half may be absent: a
  * Tracer with only a CounterRegistry costs no event allocations, and
  * one with only a sink keeps no aggregates.
@@ -132,9 +158,17 @@ class Tracer
     void admission(int pid, const std::string& cls, TimeNs arrival,
                    TimeNs admit, Bytes gpu_bytes, bool warm_plan);
 
-    /** A request finished (or failed) and left the GPU. */
-    void departure(int pid, const std::string& cls, TimeNs ts,
-                   bool failed);
+    /**
+     * A request finished (or failed) and left the GPU. The event is
+     * self-contained for post-hoc SLO forensics: it carries the
+     * request's arrival time, the class's SLO deadline
+     * (@p slo_limit_ns, 0 when the class has no usable unloaded
+     * baseline), and whether the deadline was met — so a saved trace
+     * can attribute every breach without the in-memory result.
+     */
+    void departure(int pid, const std::string& cls, TimeNs arrival,
+                   TimeNs ts, bool failed, TimeNs slo_limit_ns,
+                   bool slo_met);
 
     /** A request was rejected (queue overflow / admission policy). */
     void rejection(int pid, const std::string& cls, TimeNs ts);

@@ -670,10 +670,25 @@ ServeSim::run()
         ServeJobOutcome& o = out.jobs[a.request];
         o.finishNs = a.rt->now();
         o.failed = st.failed;
-        if (tp)
+        if (tp) {
+            // SLO verdict at departure time — the same expression the
+            // post-loop metrics evaluate — so a saved trace carries
+            // every breach (see Tracer::departure).
+            const ServeClassBaseline& base = baselines_[a.classIndex];
+            TimeNs sloLimit = 0;
+            bool sloMet = false;
+            if (!st.failed && !base.failed && base.unloadedNs > 0) {
+                const double limit =
+                    spec_.sloFactor *
+                    static_cast<double>(base.unloadedNs);
+                sloLimit = static_cast<TimeNs>(limit);
+                sloMet = static_cast<double>(o.latencyNs()) <= limit;
+            }
             tp->departure(static_cast<int>(a.request),
-                          classes_[a.classIndex].name, a.rt->now(),
-                          st.failed);
+                          classes_[a.classIndex].name,
+                          requests_[a.request].arrivalNs, a.rt->now(),
+                          st.failed, sloLimit, sloMet);
+        }
         a.rt->releaseSsdLog();
         partitions.release(&a.lease);
         const TimeNs freedAt = a.rt->now();

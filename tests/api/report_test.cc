@@ -213,5 +213,46 @@ TEST(Report, DesignListPrintsEveryRegisteredDesign)
     EXPECT_TRUE(doc.at("designs").items[0].at("builtin").boolean);
 }
 
+TEST(Report, MetricsDistributionsCarryTailPercentiles)
+{
+    CounterRegistry reg;
+    reg.add("c", 3);
+    for (int i = 1; i <= 1000; ++i)
+        reg.sample("lat", static_cast<double>(i));
+
+    std::ostringstream os;
+    writeMetricsJson(os, reg);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &err)) << err;
+    EXPECT_EQ(doc.at("schema").str, "g10.metrics.v1");
+    const JsonValue& lat = doc.at("distributions").at("lat");
+    EXPECT_DOUBLE_EQ(lat.at("count").number, 1000.0);
+    EXPECT_DOUBLE_EQ(lat.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").number, 1000.0);
+    // p999 sits between p99 and max — the tail the SLO forensics read.
+    EXPECT_GT(lat.at("p999").number, lat.at("p99").number);
+    EXPECT_LE(lat.at("p999").number, lat.at("max").number);
+}
+
+TEST(Report, EmptyDistributionSerializesAsCountZeroOnly)
+{
+    // CounterRegistry never creates empty distributions (sample()
+    // is the only constructor path), but writeDistributionJson is
+    // public for the analysis tooling and must not fabricate zeros.
+    Distribution empty;
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        writeDistributionJson(w, empty);
+    }
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(os.str(), &doc, &err)) << err;
+    EXPECT_DOUBLE_EQ(doc.at("count").number, 0.0);
+    EXPECT_EQ(doc.find("min"), nullptr);
+    EXPECT_EQ(doc.find("p999"), nullptr);
+}
+
 }  // namespace
 }  // namespace g10

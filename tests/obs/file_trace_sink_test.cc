@@ -108,10 +108,14 @@ TEST(FileTraceSink, FinishIsIdempotentAndDropsLateEvents)
     std::string path = tempPath("finish");
     FileTraceSink sink(path);
     sink.onEvent(span(0, "kernel", 1000, 500));
+    EXPECT_EQ(sink.droppedEvents(), 0u);
     sink.finish();
     sink.finish();  // no-op
-    sink.onEvent(span(0, "kernel", 2000, 500));  // dropped
+    sink.onEvent(span(0, "kernel", 2000, 500));  // dropped, counted
+    sink.onEvent(span(0, "kernel", 3000, 500));  // dropped, counted
     EXPECT_EQ(sink.eventsWritten(), 1u);
+    EXPECT_EQ(sink.droppedEvents(), 2u);
+    sink.finish();  // still a no-op; warns about the drops once
 
     JsonValue doc;
     std::string err;

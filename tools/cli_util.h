@@ -39,24 +39,37 @@ struct CliArgs
     /** Tool-specific boolean flags seen (e.g. "--mix", "--demo"). */
     std::set<std::string> flags;
 
+    /** Tool-specific value flags seen (e.g. "--attribution-diff"). */
+    std::map<std::string, std::string> values;
+
     std::vector<std::string> positional;
 
     /** Non-empty when an unknown option was seen (caller prints usage). */
     std::string error;
 
     bool has(const std::string& flag) const { return flags.count(flag); }
+
+    /** Value of a value flag; @p def when the flag was not given. */
+    std::string
+    valueOf(const std::string& flag, const std::string& def = "") const
+    {
+        auto it = values.find(flag);
+        return it != values.end() ? it->second : def;
+    }
 };
 
 /**
  * Parse argv. Flags may appear in any position; `--format`, `--trace`,
  * and `--log-level` consume the next argument (fatal when missing or
- * invalid; `--log-level` takes effect immediately). Options outside
- * the common set and @p boolFlags set `error` instead of aborting so
- * the tool can print its own usage text.
+ * invalid; `--log-level` takes effect immediately), as does every
+ * flag in @p valueFlags. Options outside the common set, @p boolFlags,
+ * and @p valueFlags set `error` instead of aborting so the tool can
+ * print its own usage text.
  */
 inline CliArgs
 parseCliArgs(int argc, char** argv,
-             const std::set<std::string>& boolFlags = {})
+             const std::set<std::string>& boolFlags = {},
+             const std::set<std::string>& valueFlags = {})
 {
     CliArgs out;
     for (int i = 1; i < argc; ++i) {
@@ -87,6 +100,10 @@ parseCliArgs(int argc, char** argv,
             setLogLevel(lvl);
         } else if (boolFlags.count(arg)) {
             out.flags.insert(arg);
+        } else if (valueFlags.count(arg)) {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", arg.c_str());
+            out.values[arg] = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             out.error = "unknown option '" + arg + "'";
             return out;

@@ -59,6 +59,11 @@ usage(std::ostream& os, int code)
           "                      process group per node\n"
           "  --metrics           print a g10.metrics.v1 document with\n"
           "                      counters merged across every cell\n"
+          "  --forensics         per-node queue/occupancy series and\n"
+          "                      an SLO-breach table attributing each\n"
+          "                      miss to queue vs. stall vs. resize\n"
+          "                      (first placement policy; see g10trace\n"
+          "                      forensics for saved traces)\n"
           "  --log-level <l>     silent|warn|info|debug (default warn)\n"
           "\n"
           "Fleet file: '#' comments; 'key = value' lines.\n"
@@ -129,7 +134,8 @@ main(int argc, char** argv)
     }
 
     tools::CliArgs args = tools::parseCliArgs(
-        static_cast<int>(rest.size()), rest.data(), {"--demo"});
+        static_cast<int>(rest.size()), rest.data(),
+        {"--demo", "--forensics"});
     if (args.help)
         return usage(std::cout, 0);
     if (!args.error.empty()) {
@@ -198,9 +204,16 @@ main(int argc, char** argv)
         }
     }
 
+    // --forensics needs the event stream in memory; with --trace too,
+    // a tee feeds both the file and the analyzer from one pass.
+    MemoryTraceSink memSink;
+    TeeTraceSink teeSink(traceSink.get(),
+                         args.has("--forensics") ? &memSink : nullptr);
+
     FleetObsRequest obs;
     obs.collectCounters = args.metrics;
-    obs.sink = traceSink.get();
+    obs.sink = (traceSink || args.has("--forensics")) ? &teeSink
+                                                      : nullptr;
 
     FleetResult res = fleet.run(engine, obs);
     int code = printFleetResult(std::cout, res, args.format);
@@ -211,7 +224,21 @@ main(int argc, char** argv)
                    traceSink->eventsWritten()),
                traceSink->path().c_str());
     }
-    if (args.metrics)
+    if (args.has("--forensics")) {
+        FleetForensics forensics = analyzeFleetForensics(
+            memSink.events(), kFleetPidStride);
+        if (args.format == ReportFormat::Json) {
+            writeFleetForensicsJson(std::cout, forensics);
+        } else {
+            std::cout << "\n";
+            printFleetForensics(std::cout, forensics);
+        }
+    }
+    if (args.metrics) {
+        if (traceSink)
+            res.counters.add("trace.dropped_events",
+                             traceSink->droppedEvents());
         writeMetricsJson(std::cout, res.counters);
+    }
     return code;
 }

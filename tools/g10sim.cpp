@@ -47,6 +47,7 @@
 #include "api/g10.h"
 #include "common/parse_util.h"
 #include "graph/trace_io.h"
+#include "obs/analysis/diff_attribution.h"
 #include "obs/attribution.h"
 #include "tools/cli_util.h"
 
@@ -76,6 +77,11 @@ usage(std::ostream& os, int code)
           "  --metrics           print a g10.metrics.v1 JSON document\n"
           "  --attribution       per-kernel stall attribution table\n"
           "                      (config runs only)\n"
+          "  --attribution-diff <design>\n"
+          "                      also run <design> as a baseline on\n"
+          "                      the same trace and print per-kernel\n"
+          "                      per-cause savings (config runs only;\n"
+          "                      see also g10trace diff)\n"
           "  --log-level <l>     silent|warn|info|debug (default warn)\n"
           "\n"
           "Config file: '#' comments; 'key = value' lines. Keys:\n"
@@ -303,11 +309,13 @@ runConfig(const std::string& path, const tools::CliArgs& args)
         std::cout << "\n";
     }
 
-    // Observability: --attribution needs the event stream even when
-    // no --trace path was given, so it forces event collection.
+    // Observability: --attribution and --attribution-diff need the
+    // event stream even when no --trace path was given, so they force
+    // event collection.
+    const std::string diffBase = args.valueOf("--attribution-diff");
     tools::CliObservers obs;
-    obs.wantEvents =
-        !args.tracePath.empty() || args.has("--attribution");
+    obs.wantEvents = !args.tracePath.empty() ||
+                     args.has("--attribution") || !diffBase.empty();
     obs.wantCounters = args.metrics;
 
     RunResult result =
@@ -318,6 +326,27 @@ runConfig(const std::string& path, const tools::CliArgs& args)
             buildStallAttribution(obs.sink.events(), trace);
         std::cout << "\n";
         printStallAttribution(std::cout, attr);
+    }
+    if (!diffBase.empty()) {
+        // Baseline leg: same trace, same platform, only the design
+        // swapped — so every delta is attributable to the design.
+        ExperimentConfig baseCfg = cfg;
+        baseCfg.design =
+            PolicyRegistry::instance().resolve(diffBase).name;
+        tools::CliObservers baseObs;
+        baseObs.wantEvents = true;
+        runExperimentResultOnTrace(trace, baseCfg,
+                                   baseObs.tracerOrNull());
+        DiffAttribution diff = diffStallAttribution(
+            buildStallAttribution(baseObs.sink.events(), trace),
+            buildStallAttribution(obs.sink.events(), trace),
+            baseCfg.design, cfg.design);
+        if (format == ReportFormat::Json) {
+            writeDiffAttributionJson(std::cout, diff);
+        } else {
+            std::cout << "\n";
+            printDiffAttribution(std::cout, diff);
+        }
     }
     if (!args.tracePath.empty()) {
         std::map<int, std::string> names;
@@ -338,7 +367,8 @@ main(int argc, char** argv)
     using namespace g10;
 
     tools::CliArgs args = tools::parseCliArgs(
-        argc, argv, {"--mix", "--dump-trace", "--attribution"});
+        argc, argv, {"--mix", "--dump-trace", "--attribution"},
+        {"--attribution-diff"});
     if (args.help)
         return usage(std::cout, 0);
     if (!args.error.empty()) {
@@ -355,7 +385,9 @@ main(int argc, char** argv)
     if (args.has("--dump-trace"))
         return dumpTrace(args.positional);
     if (args.has("--mix")) {
-        if (args.positional.size() != 1 || args.has("--attribution"))
+        if (args.positional.size() != 1 ||
+            args.has("--attribution") ||
+            !args.valueOf("--attribution-diff").empty())
             return usage(std::cerr, 1);
         return runMix(args.positional[0], args);
     }
