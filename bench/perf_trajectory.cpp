@@ -34,6 +34,7 @@
 #include <fstream>
 #include <iostream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -665,6 +666,99 @@ writeSweepSpeedEntry(JsonWriter& w, const SweepSpeedTimes& st)
     w.endObject();
 }
 
+/**
+ * Speculative parallel knee search: the elastic-capacity scenario's
+ * auto-knee with `speculate = off` vs `on` at a fixed 4-worker pool.
+ * Off, the two design lanes are the only parallelism (each lane's
+ * bisection is a strictly sequential decision chain); on, idle
+ * workers pre-run both possible successors of every in-flight probe,
+ * so the decided path mostly reads memoized results. The tracked
+ * deliverable is the wall-clock speedup *and* that the two full
+ * result documents stay byte-identical (knees, cells, jobs — not
+ * just the knee rates). Note: on a 1-core host the speedup
+ * degenerates toward 1.0 (speculation only soaks idle cores); the CI
+ * gate re-times this entry on a multi-core runner.
+ */
+struct ParallelKneeTimes
+{
+    std::vector<std::string> designs;
+    unsigned workers = 4;
+    double sequentialMs = 0.0;   ///< speculate = off
+    double speculativeMs = 0.0;  ///< speculate = on
+    bool kneesIdentical = false;
+    std::vector<double> knee;
+    std::uint64_t probesDecided = 0;
+    std::uint64_t probesIssued = 0;
+    std::uint64_t specUsed = 0;
+    std::uint64_t specWasted = 0;
+    std::uint64_t probeCacheHits = 0;
+};
+
+ParallelKneeTimes
+timeParallelKnee(unsigned scale)
+{
+    ParallelKneeTimes out;
+    ServeSpec spec = demoServeSpec(scale);
+    spec.designs = {"baseuvm", "g10"};
+    spec.rates.clear();
+    spec.ratesAuto = true;
+    spec.rateProbes = 12;
+    out.designs = spec.designs;
+
+    ExperimentEngine engine(out.workers);
+    ServeSweepResult seq, spec_on;
+    spec.speculativeProbes = false;
+    out.sequentialMs = bestMs(1, [&] {
+        seq = ServeSweep(spec).run(engine);
+    });
+    spec.speculativeProbes = true;
+    out.speculativeMs = bestMs(1, [&] {
+        spec_on = ServeSweep(spec).run(engine);
+    });
+
+    // Byte-identity over the *whole* serialized documents.
+    std::ostringstream a, b;
+    writeServeResultJson(a, seq);
+    writeServeResultJson(b, spec_on);
+    out.kneesIdentical = a.str() == b.str();
+
+    out.knee = spec_on.sustainedRate;
+    for (std::uint64_t p : spec_on.rateProbes)
+        out.probesDecided += p;
+    out.probesIssued = spec_on.probesIssued;
+    out.specUsed = spec_on.probeSpecUsed;
+    out.specWasted = spec_on.probeSpecWasted;
+    out.probeCacheHits = spec_on.probeCacheHits;
+    return out;
+}
+
+void
+writeParallelKneeEntry(JsonWriter& w, const ParallelKneeTimes& pt)
+{
+    w.beginObject();
+    w.key("designs").beginArray();
+    for (const std::string& d : pt.designs)
+        w.value(d);
+    w.endArray();
+    w.field("workers", static_cast<std::uint64_t>(pt.workers));
+    w.field("sequential_ms", pt.sequentialMs);
+    w.field("speculative_ms", pt.speculativeMs);
+    w.field("speedup", pt.speculativeMs > 0.0
+                           ? pt.sequentialMs / pt.speculativeMs
+                           : 0.0);
+    w.field("knees_identical", pt.kneesIdentical);
+    w.key("knee_rps").beginArray();
+    for (double k : pt.knee)
+        w.value(k);
+    w.endArray();
+    w.field("probes_decided", pt.probesDecided);
+    w.field("probes_issued", pt.probesIssued);
+    w.field("speculation_used", pt.specUsed);
+    w.field("speculation_wasted", pt.specWasted);
+    w.field("probe_cache_hits", pt.probeCacheHits);
+    w.endObject();
+}
+
 /** `git describe --always --dirty`, empty when unavailable. */
 std::string
 gitDescribe()
@@ -753,6 +847,12 @@ main(int argc, char** argv)
                  "scale)\n";
     SweepSpeedTimes sweepSpeed = timeSweepSpeed(scale);
 
+    // Speculative parallel knee: speculate off vs on at 4 workers,
+    // full-document byte-identity plus the wall-clock delta.
+    std::cerr << "perf trajectory: parallel knee (speculate off/on, "
+                 "4 workers)\n";
+    ParallelKneeTimes parallelKnee = timeParallelKnee(scale);
+
     // Cycles-per-element of the StepFunction range-max hot loop.
     std::cerr << "perf trajectory: StepFunction maxOver CPE\n";
     CpeTimes cpe = timeStepFunctionCpe(reps);
@@ -795,6 +895,8 @@ main(int argc, char** argv)
         writeCapacityEntry(w, capacity);
         w.key("sweep_speed");
         writeSweepSpeedEntry(w, sweepSpeed);
+        w.key("parallel_knee");
+        writeParallelKneeEntry(w, parallelKnee);
         w.key("step_function_cpe");
         writeCpeEntry(w, cpe);
         w.key("fleet_sweep");

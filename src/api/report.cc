@@ -894,7 +894,16 @@ writeFleetSpecJson(JsonWriter& w, const FleetResult& r)
         w.field("burst_on_ms", s.arrival.burstOnSec * 1e3);
         w.field("burst_off_ms", s.arrival.burstOffSec * 1e3);
     }
-    w.field("rate_per_s", s.rate);
+    if (s.ratesAuto) {
+        w.field("rate_search", "auto");
+        w.field("rate_lo", s.resolvedRateLo());
+        if (s.rateHi > 0.0)
+            w.field("rate_hi", s.rateHi);
+        w.field("rate_probes",
+                static_cast<std::int64_t>(s.rateProbes));
+    } else {
+        w.field("rate_per_s", s.rate);
+    }
     w.field("design", s.design);
     w.key("placements");
     w.beginArray();
@@ -966,7 +975,33 @@ writeFleetMetricsJson(JsonWriter& w, const FleetMetrics& m)
 Table
 fleetSummaryTable(const FleetResult& result)
 {
-    Table t("fleet summary (placement policies over one stream)");
+    // Auto-knee runs lead with the bisected capacity; fixed-rate
+    // runs keep the historical columns.
+    const bool knee = !result.placements.empty() &&
+                      result.placements.front().rateProbes > 0;
+    Table t(knee ? "fleet capacity knees (placement policies, "
+                   "bisected offered rate)"
+                 : "fleet summary (placement policies over one "
+                   "stream)");
+    if (knee) {
+        t.setHeader({"placement", "knee_rate_per_s", "probes",
+                     "offered", "rej", "fail", "slo", "tput_rps",
+                     "cap_per_node", "jain", "warm", "cold", "waf"});
+        for (const FleetPlacementResult& p : result.placements) {
+            const FleetMetrics& m = p.fleet;
+            t.addRowOf(placementKindName(p.kind), p.kneeRatePerS,
+                       static_cast<unsigned long long>(p.rateProbes),
+                       static_cast<unsigned long long>(m.offered),
+                       static_cast<unsigned long long>(m.rejected),
+                       static_cast<unsigned long long>(m.failed),
+                       m.sloAttainment, m.throughputRps,
+                       m.capacityPerNodeRps, m.utilJain,
+                       static_cast<unsigned long long>(m.warmCompiles),
+                       static_cast<unsigned long long>(m.coldCompiles),
+                       m.consolidatedWaf);
+        }
+        return t;
+    }
     t.setHeader({"placement", "offered", "rej", "fail", "slo",
                  "tput_rps", "cap_per_node", "util_min", "util_max",
                  "jain", "warm", "cold", "waf"});
@@ -1052,6 +1087,10 @@ writeFleetResultJson(std::ostream& os, const FleetResult& result)
     for (const FleetPlacementResult& p : result.placements) {
         w.beginObject();
         w.field("placement", placementKindName(p.kind));
+        if (p.rateProbes > 0) {
+            w.field("knee_rate_per_s", p.kneeRatePerS);
+            w.field("probes", p.rateProbes);
+        }
         w.key("fleet");
         writeFleetMetricsJson(w, p.fleet);
         w.key("nodes");

@@ -48,6 +48,31 @@ ExperimentEngine::workerLoop()
 }
 
 void
+ExperimentEngine::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+bool
+ExperimentEngine::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
 ExperimentEngine::parallelFor(std::size_t n,
                               const std::function<void(std::size_t)>& fn)
 {

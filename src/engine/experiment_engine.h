@@ -56,6 +56,26 @@ class ExperimentEngine
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)>& fn);
 
+    /**
+     * Enqueue one task for the pool — the incremental feed the probe
+     * scheduler uses: where parallelFor ships a pre-sized grid and
+     * blocks, submit() returns immediately and the caller tracks
+     * completion itself (ProbeScheduler counts in-flight probes under
+     * its own lock). The task runs on a worker or inside any thread's
+     * tryRunOne() pitch-in.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Pop and run one queued task on the calling thread; false when
+     * the queue was empty. Blocked consumers (a thread waiting on a
+     * result another task will produce) call this in a loop so a
+     * 1-worker pool — or a pool whose workers are all blocked as
+     * consumers themselves — still drains the queue instead of
+     * deadlocking.
+     */
+    bool tryRunOne();
+
     /** Run every config; results in input order. */
     std::vector<ExecStats>
     runGrid(const std::vector<ExperimentConfig>& grid);

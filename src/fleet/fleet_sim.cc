@@ -8,6 +8,7 @@
 #include "obs/tracer.h"
 #include "policies/registry.h"
 #include "serve/plan_cache.h"
+#include "serve/probe_scheduler.h"
 #include "sim/runtime/sim_runtime.h"
 
 namespace g10 {
@@ -82,14 +83,36 @@ FleetSim::FleetSim(const FleetSpec& spec) : spec_(spec)
     // The shared fleet stream, drawn once from the fleet seed: arrival
     // times from `seed`, class picks from `seed + 1` (the serve-sweep
     // idiom). The stream never looks at the node list, so it is
-    // node-count independent by construction.
+    // node-count independent by construction. Auto-knee probes redraw
+    // it at each probed rate (streamAtRate): the class sequence stays
+    // identical — only arrival spacing changes.
+    stream_ = streamAtRate(spec_.ratesAuto ? spec_.resolvedRateLo()
+                                           : spec_.rate);
+
+    router_ = std::make_unique<Router>(spec_, classes_, serviceEst_,
+                                       floors_);
+
+    for (const ServeSpec& ns : nodeSpecs_) {
+        if (ns.sweepPlanCache) {
+            planCache_ = std::make_unique<SweepPlanCache>();
+            break;
+        }
+    }
+}
+
+FleetSim::~FleetSim() = default;
+
+std::vector<ServeRequest>
+FleetSim::streamAtRate(double rate) const
+{
     std::vector<TimeNs> times = generateArrivals(
-        spec_.arrival, spec_.rate, spec_.requests, spec_.seed);
+        spec_.arrival, rate, spec_.requests, spec_.seed);
     std::mt19937_64 picks(spec_.seed + 1);
     double wsum = 0.0;
     for (const ServeJobClass& cls : classes_)
         wsum += cls.weight;
-    stream_.reserve(times.size());
+    std::vector<ServeRequest> stream;
+    stream.reserve(times.size());
     for (TimeNs t : times) {
         double u = unitInterval(picks) * wsum;
         double cum = 0.0;
@@ -104,21 +127,10 @@ FleetSim::FleetSim(const FleetSpec& spec) : spec_(spec)
         ServeRequest r;
         r.arrivalNs = t;
         r.classIndex = ci;
-        stream_.push_back(r);
+        stream.push_back(r);
     }
-
-    router_ = std::make_unique<Router>(spec_, classes_, serviceEst_,
-                                       floors_);
-
-    for (const ServeSpec& ns : nodeSpecs_) {
-        if (ns.sweepPlanCache) {
-            planCache_ = std::make_unique<SweepPlanCache>();
-            break;
-        }
-    }
+    return stream;
 }
-
-FleetSim::~FleetSim() = default;
 
 std::vector<std::vector<ServeClassBaseline>>
 FleetSim::computeBaselines(ExperimentEngine& engine) const
@@ -154,11 +166,11 @@ FleetSim::computeBaselines(ExperimentEngine& engine) const
 }
 
 FleetMetrics
-FleetSim::aggregate(const FleetPlacementResult& placement) const
+FleetSim::aggregate(const FleetPlacementResult& placement,
+                    TimeNs firstArrival) const
 {
     const std::size_t nn = placement.nodeCells.size();
     FleetMetrics m;
-    const TimeNs firstArrival = stream_.front().arrivalNs;
     TimeNs lastFinish = 0;
     std::uint64_t sloMet = 0;
     std::vector<double> busy(nn, 0.0);
@@ -249,6 +261,11 @@ FleetSim::run(ExperimentEngine& engine, const FleetObsRequest& obs)
 
     out.baselines = computeBaselines(engine);
 
+    if (spec_.ratesAuto) {
+        runKnee(engine, obs, &out);
+        return out;
+    }
+
     const std::size_t np = spec_.placements.size();
     const std::size_t nn = spec_.nodes.size();
 
@@ -317,8 +334,178 @@ FleetSim::run(ExperimentEngine& engine, const FleetObsRequest& obs)
             out.counters.merge(reg);
 
     for (std::size_t p = 0; p < np; ++p)
-        out.placements[p].fleet = aggregate(out.placements[p]);
+        out.placements[p].fleet =
+            aggregate(out.placements[p], stream_.front().arrivalNs);
     return out;
+}
+
+/** Everything a fleet probe's outcome is a pure function of: each
+ *  node's serve scenario (platform, slots, queue, seed split), the
+ *  affinity pins, the shared stream parameters, and the placement
+ *  list (the probe's lane is a placement index). */
+static std::uint64_t
+fingerprintFleetSpec(const FleetSpec& spec)
+{
+    SpecHash h;
+    h.mix(spec.nodes.size());
+    for (std::size_t n = 0; n < spec.nodes.size(); ++n) {
+        h.mix(fingerprintServeSpec(spec.nodeServeSpec(n)));
+        h.mixString(spec.nodes[n].name);
+        h.mix(spec.nodes[n].families.size());
+        for (ModelKind fam : spec.nodes[n].families)
+            h.mix(static_cast<std::uint64_t>(fam));
+    }
+    h.mixString(spec.design);
+    h.mix(spec.seed);
+    h.mix(static_cast<std::uint64_t>(spec.requests));
+    h.mix(spec.placements.size());
+    for (PlacementKind k : spec.placements)
+        h.mix(static_cast<std::uint64_t>(k));
+    return h.digest();
+}
+
+void
+FleetSim::runKnee(ExperimentEngine& engine, const FleetObsRequest& obs,
+                  FleetResult* out)
+{
+    const std::size_t np = spec_.placements.size();
+    const std::size_t nn = spec_.nodes.size();
+    const double rootRate = spec_.resolvedRateLo();
+
+    // One probe = the whole fleet at one offered rate: re-time the
+    // shared stream, route it, and run every node sequentially inside
+    // the probe (node counters accumulate in node order into the
+    // probe's registry — same order the fixed-rate grid merges). One
+    // SweepPlanCache and one ProbeCache span all nodes, placements,
+    // and probes. Probes for different placements — and speculative
+    // next rates within one — fan out across the pool; the decided
+    // bisection per placement reads memoized results in sequential
+    // order, so the knees and every node cell are byte-identical at
+    // any worker count, speculation on or off. The event sink
+    // observes only placement 0's root probe (nodes stream into it
+    // sequentially with the usual pid offsets).
+    ProbeCache probeCache;
+    ArenaPool arenas;
+
+    auto probeFn = [&](std::uint32_t p, double rate) -> ProbeResult {
+        ProbeResult pr;
+        std::vector<ServeRequest> stream = streamAtRate(rate);
+        pr.firstArrivalNs = stream.front().arrivalNs;
+        RoutedStream routed =
+            router_->route(spec_.placements[p], stream);
+        std::unique_ptr<Arena> arena = arenas.acquire();
+        const bool traced =
+            obs.sink != nullptr && p == 0 && rate == rootRate;
+        pr.cells.resize(nn);
+        pr.sustained = true;
+        for (std::size_t n = 0; n < nn; ++n) {
+            ServeCellResult& cell = pr.cells[n];
+            const std::vector<ServeRequest>& reqs = routed.perNode[n];
+            if (reqs.empty()) {
+                cell.design = spec_.design;
+                cell.designName = PolicyRegistry::instance()
+                                      .resolve(spec_.design)
+                                      .name;
+                cell.rate = rate;
+                continue;
+            }
+            ServeSim sim(nodeSpecs_[n], spec_.design, rate, traces_,
+                         classes_, floors_, reqs, out->baselines[n]);
+            PidOffsetSink offset(obs.sink,
+                                 static_cast<int>(n) * kFleetPidStride);
+            sim.setObservers(
+                traced ? &offset : nullptr,
+                obs.collectCounters ? &pr.counters : nullptr);
+            sim.setPlanCache(nodeSpecs_[n].sweepPlanCache
+                                 ? planCache_.get()
+                                 : nullptr);
+            sim.setArena(arena.get());
+            cell = sim.run();
+            arena->reset();
+            if (!cell.sustained())
+                pr.sustained = false;
+        }
+        arenas.release(std::move(arena));
+        return pr;
+    };
+
+    out->placements.resize(np);
+    std::vector<CounterRegistry> regs(np);
+    std::vector<TimeNs> firstArrival(np, 0);
+
+    ProbeStats stats;
+    {
+        ProbeScheduler sched(engine, probeCache,
+                             fingerprintFleetSpec(spec_), probeFn,
+                             spec_.speculativeProbes);
+        engine.parallelFor(np, [&](std::size_t p) {
+            FleetPlacementResult& pr = out->placements[p];
+            pr.kind = spec_.placements[p];
+            KneeCursor cur(rootRate, spec_.rateHi, spec_.rateProbes);
+            // The most recent sustained probe is always the current
+            // knee (lo only ever moves up to the probed rate), so the
+            // reported cells are the knee probe's — or the lowest
+            // probe's when nothing sustained.
+            std::shared_ptr<const ProbeResult> first, knee;
+            while (!cur.done()) {
+                std::shared_ptr<const ProbeResult> res =
+                    sched.acquire(static_cast<std::uint32_t>(p), cur);
+                if (first == nullptr)
+                    first = res;
+                if (res->sustained)
+                    knee = res;
+                if (obs.collectCounters)
+                    regs[p].merge(res->counters);
+                cur.advance(res->sustained);
+            }
+            pr.kneeRatePerS = cur.knee();
+            pr.rateProbes = static_cast<std::uint64_t>(cur.used());
+            const std::shared_ptr<const ProbeResult>& rep =
+                knee != nullptr ? knee : first;
+            if (rep != nullptr) {
+                pr.nodeCells = rep->cells;
+                firstArrival[p] = rep->firstArrivalNs;
+            } else {
+                // Zero probe budget: report an idle fleet.
+                pr.nodeCells.resize(nn);
+                for (std::size_t n = 0; n < nn; ++n) {
+                    pr.nodeCells[n].design = spec_.design;
+                    pr.nodeCells[n].designName =
+                        PolicyRegistry::instance()
+                            .resolve(spec_.design)
+                            .name;
+                    pr.nodeCells[n].rate = rootRate;
+                }
+                firstArrival[p] = stream_.front().arrivalNs;
+            }
+            pr.nodeOffered.resize(nn);
+            for (std::size_t n = 0; n < nn; ++n)
+                pr.nodeOffered[n] = pr.nodeCells[n].jobs.size();
+        });
+        stats = sched.stats();
+    }
+    out->probesIssued = stats.issued;
+    out->probesSpeculative = stats.speculated;
+    out->probeSpecUsed = stats.speculationUsed;
+    out->probeSpecWasted = stats.speculationWasted;
+    out->probeCacheHits = stats.cacheHits;
+
+    if (obs.collectCounters) {
+        for (CounterRegistry& reg : regs)
+            out->counters.merge(reg);
+        out->counters.add("sweep.probe.issued", stats.issued);
+        out->counters.add("sweep.probe.decided", stats.decided);
+        out->counters.add("sweep.probe.speculated", stats.speculated);
+        out->counters.add("sweep.probe.speculation_used",
+                          stats.speculationUsed);
+        out->counters.add("sweep.probe.speculation_wasted",
+                          stats.speculationWasted);
+        out->counters.add("sweep.probe.cache_hits", stats.cacheHits);
+    }
+
+    for (std::size_t p = 0; p < np; ++p)
+        out->placements[p].fleet =
+            aggregate(out->placements[p], firstArrival[p]);
 }
 
 }  // namespace g10

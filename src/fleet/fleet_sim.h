@@ -94,6 +94,18 @@ struct FleetPlacementResult
     std::vector<std::uint64_t> nodeOffered;
 
     FleetMetrics fleet;
+
+    /**
+     * Auto-knee mode (FleetSpec::ratesAuto): the bisected fleet
+     * capacity knee — the highest probed offered rate every node
+     * sustained (0 when even the lowest probe overloaded some node;
+     * nodeCells then record that lowest probe). In fixed-rate mode
+     * the knee stays 0 and rateProbes 0.
+     */
+    double kneeRatePerS = 0.0;
+
+    /** Probes the auto search spent on this placement. */
+    std::uint64_t rateProbes = 0;
 };
 
 /** Whole-fleet outcome (what g10fleet reports). */
@@ -116,8 +128,19 @@ struct FleetResult
 
     /** Fleet-wide observability counters (empty unless the run
      *  collected them): per-cell registries merged in
-     *  (placement, node) order, worker-count independent. */
+     *  (placement, node) order, worker-count independent. In
+     *  auto-knee mode, decided probes merge in probe order per
+     *  placement — wasted speculation is dropped wholesale. */
     CounterRegistry counters;
+
+    /** Auto-knee probe-scheduler totals (all zero in fixed-rate
+     *  mode). Reporting-only, like the serve sweep's: speculation
+     *  depends on pool timing, the decided path never does. */
+    std::uint64_t probesIssued = 0;
+    std::uint64_t probesSpeculative = 0;
+    std::uint64_t probeSpecUsed = 0;
+    std::uint64_t probeSpecWasted = 0;
+    std::uint64_t probeCacheHits = 0;
 
     /** True when no node cell had failed (crashed) jobs. */
     bool allSucceeded() const;
@@ -204,8 +227,26 @@ class FleetSim
     std::vector<std::vector<ServeClassBaseline>>
     computeBaselines(ExperimentEngine& engine) const;
 
-    /** Aggregate one placement's node cells into fleet metrics. */
-    FleetMetrics aggregate(const FleetPlacementResult& placement) const;
+    /** Aggregate one placement's node cells into fleet metrics.
+     *  @p firstArrival anchors the makespan: the shared stream's
+     *  first arrival in fixed-rate mode, the knee probe's in auto
+     *  mode (each probed rate redraws arrival times). */
+    FleetMetrics aggregate(const FleetPlacementResult& placement,
+                           TimeNs firstArrival) const;
+
+    /** The shared stream re-timed at offered rate @p rate (identical
+     *  class sequence — picks draw from their own RNG stream). */
+    std::vector<ServeRequest> streamAtRate(double rate) const;
+
+    /**
+     * `rate = auto`: per placement, bisect the fleet-wide offered
+     * rate for the capacity knee through the speculative probe
+     * scheduler. One probe = route the re-timed stream, then run
+     * every node sequentially inside the probe; one SweepPlanCache
+     * and one ProbeCache span all nodes and placements.
+     */
+    void runKnee(ExperimentEngine& engine, const FleetObsRequest& obs,
+                 FleetResult* out);
 };
 
 }  // namespace g10

@@ -389,10 +389,39 @@ parseFleetFile(const std::string& path)
                 fatal("%s:%zu: burst_off_ms must be >= 0", path.c_str(),
                       lineno);
         } else if (key == "rate") {
-            spec.rate = parseDouble(value, path, lineno, key);
-            if (spec.rate <= 0.0)
-                fatal("%s:%zu: rate must be > 0", path.c_str(), lineno);
+            if (value == "auto") {
+                spec.ratesAuto = true;
+            } else {
+                spec.rate = parseDouble(value, path, lineno, key);
+                if (spec.rate <= 0.0)
+                    fatal("%s:%zu: rate must be > 0", path.c_str(),
+                          lineno);
+            }
             have_rate = true;
+        } else if (key == "rate_lo") {
+            spec.rateLo = parseDouble(value, path, lineno, key);
+            if (spec.rateLo <= 0.0)
+                fatal("%s:%zu: rate_lo must be > 0", path.c_str(),
+                      lineno);
+        } else if (key == "rate_hi") {
+            spec.rateHi = parseDouble(value, path, lineno, key);
+            if (spec.rateHi <= 0.0)
+                fatal("%s:%zu: rate_hi must be > 0", path.c_str(),
+                      lineno);
+        } else if (key == "rate_probes") {
+            long long v = parseInt(value, path, lineno, key);
+            if (v < 2)
+                fatal("%s:%zu: rate_probes must be >= 2", path.c_str(),
+                      lineno);
+            spec.rateProbes = static_cast<int>(v);
+        } else if (key == "speculate") {
+            if (value == "on")
+                spec.speculativeProbes = true;
+            else if (value == "off")
+                spec.speculativeProbes = false;
+            else
+                fatal("%s:%zu: speculate must be 'on' or 'off'",
+                      path.c_str(), lineno);
         } else if (key == "design") {
             if (!PolicyRegistry::instance().contains(value))
                 fatal("%s:%zu: unknown design '%s' (registered: %s)",
@@ -428,7 +457,8 @@ parseFleetFile(const std::string& path)
                   "scale, seed, slots, queue, partition_policy, "
                   "resize_hysteresis, admission, starvation_ms, "
                   "slo_factor, requests, arrival, burst_on_ms, "
-                  "burst_off_ms, rate, design, placements, "
+                  "burst_off_ms, rate, rate_lo, rate_hi, "
+                  "rate_probes, speculate, design, placements, "
                   "gpu_mem_gb, host_mem_gb, ssd_gbps, pcie_gbps)",
                   path.c_str(), lineno, key.c_str());
         }
@@ -437,6 +467,9 @@ parseFleetFile(const std::string& path)
     // Cross-key consistency.
     if (!have_rate)
         fatal("%s: fleet file needs 'rate = ...'", path.c_str());
+    if (spec.rateLo > 0.0 && spec.rateHi > 0.0 &&
+        spec.rateHi < spec.rateLo)
+        fatal("%s: rate_hi must be >= rate_lo", path.c_str());
     if (spec.classes.empty())
         fatal("%s: fleet file defines no job classes", path.c_str());
     if (spec.nodes.empty())

@@ -110,6 +110,39 @@ struct FleetSpec
     /** Fleet-wide offered arrival rate in requests/second. */
     double rate = 1.0;
 
+    /**
+     * `rate = auto`: instead of evaluating one hand-guessed rate,
+     * bisect per placement for the fleet's sustained-throughput knee
+     * — grow the offered rate geometrically until some node's queue
+     * overflows, then bisect the bracket. Probes share one plan cache
+     * and one probe cache across all nodes and placements, and run
+     * through the same speculative scheduler as the serve sweep.
+     */
+    bool ratesAuto = false;
+
+    /** First probe rate of the auto search; 0 = 0.05 req/s. */
+    double rateLo = 0.0;
+
+    /** Optional auto-search ceiling; 0 = unbounded (probe-limited). */
+    double rateHi = 0.0;
+
+    /** Max probes per placement in auto mode. */
+    int rateProbes = 10;
+
+    /** Speculative parallel knee probes (`speculate = on|off`); pure
+     *  wall-clock, byte-identical results either way. */
+    bool speculativeProbes = true;
+
+    /** The auto search's actual first probe rate: rateLo, defaulted,
+     *  and clamped under the rateHi ceiling when one is set. */
+    double resolvedRateLo() const
+    {
+        double lo = rateLo > 0.0 ? rateLo : 0.05;
+        if (rateHi > 0.0 && lo > rateHi)
+            lo = rateHi;
+        return lo;
+    }
+
     /** The design every node runs (registry name). */
     std::string design = "g10";
 
@@ -157,6 +190,11 @@ std::uint64_t fleetNodeSeed(std::uint64_t fleetSeed, std::size_t node);
  *   arrival     = poisson     # poisson | bursty
  *   burst_on_ms / burst_off_ms = <bursty windows>
  *   rate        = 1.0         # fleet-wide requests/second
+ *   rate        = auto        # or: bisect for the fleet knee
+ *   rate_lo / rate_hi = <auto-search bracket (optional)>
+ *   rate_probes = 10          # max probes per placement (auto mode)
+ *   speculate   = on          # on | off: speculative knee probes
+ *                             # (wall-clock only; byte-identical)
  *   design      = g10         # the design every node runs
  *   placements  = jsq,planaware,affinity
  *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps = <defaults>

@@ -12,6 +12,7 @@
 #include "policies/g10_policy.h"
 #include "policies/registry.h"
 #include "serve/plan_cache.h"
+#include "serve/probe_scheduler.h"
 #include "sim/runtime/sim_runtime.h"
 
 namespace g10 {
@@ -226,10 +227,12 @@ ServeSim::run()
     GpuComputeTimeline gpu;
     // Per-job runtime scratch comes from a bump arena: jobs churn, so
     // their vectors' free()s are wasted work — the arena drops them
-    // all at once. An injected arena (sequential knee probes) carries
-    // its high-water chunk from probe to probe; a cell running on its
-    // own (grid / fleet) uses a local one. Declared before `active`
-    // below so every SimRuntime dies before its memory does.
+    // all at once. An injected arena (knee probes draw one per
+    // in-flight probe from an ArenaPool, so concurrent probes never
+    // share) carries its high-water chunk from probe to probe; a cell
+    // running on its own (grid / fleet) uses a local one. Declared
+    // before `active` below so every SimRuntime dies before its
+    // memory does.
     Arena localArena;
     SharedResources shared;
     shared.ssd = &ssd;
@@ -971,78 +974,90 @@ ServeSweep::runAutoRates(ExperimentEngine& engine,
     out->sustainedRate.assign(nd, 0.0);
     out->rateProbes.assign(nd, 0);
 
-    // Each design bisects independently (deterministic, probe order
-    // recorded in its cells); designs fan out across the pool. Each
-    // design accumulates into its own registry (probes within a
-    // design run sequentially), merged in design order below; the
-    // event sink observes only the first probe of the first design.
-    engine.parallelFor(nd, [&](std::size_t d) {
-        const int budget = spec_.rateProbes;
-        int used = 0;
-        double lo = 0.0;  // highest rate known sustained
-        double hi = 0.0;  // lowest rate known overloaded (0 = none)
+    // Each design bisects independently: one consumer per design
+    // walks a KneeCursor (the sequential phase-1 doubling + phase-2
+    // bisection, verbatim) and acquires each decided probe from the
+    // scheduler, which runs it — and, while the consumer waits,
+    // speculatively runs the possible next rates — on the pool. The
+    // decided path only *reads* memoized results in sequential order,
+    // so cells, knees, and counters are byte-identical to the
+    // sequential search at any pool size. Each decided probe's
+    // registry merges into its design's in probe order, designs merge
+    // in design order below; the event sink observes only the first
+    // probe of the first design (which is always decided, never
+    // speculative: a lane's root is issued before any speculation on
+    // that lane). Probes draw arenas from a shared pool — one per
+    // in-flight probe — so a warm high-water chunk still serves probe
+    // after probe without the old one-arena-per-design sequential
+    // assumption.
+    const double rootRate = spec_.resolvedRateLo();
+    ProbeCache probeCache;
+    ArenaPool arenas;
 
-        // One arena per design task, reset between probes: the
-        // high-water chunk of probe N serves probe N+1 without a
-        // single scratch malloc.
-        Arena arena;
-
-        auto probe = [&](double rate) -> bool {
-            bool sustained = false;
-            {
-                ServeSim sim(spec_, spec_.designs[d], rate, traces_,
-                             classes_, minGpu_, requestsAtRate(rate),
-                             out->baselines[d]);
-                sim.setObservers(
-                    d == 0 && used == 0 ? obs.sink : nullptr,
-                    obs.collectCounters ? &regs[d] : nullptr);
-                sim.setPlanCache(planCache_);
-                sim.setArena(&arena);
-                cellsByDesign[d].push_back(sim.run());
-                sustained = cellsByDesign[d].back().sustained();
-            }
-            arena.reset();
-            ++used;
-            return sustained;
-        };
-
-        // Phase 1: grow geometrically until the bounded queue sheds
-        // (or a ceiling/budget stops the search). The first probe
-        // already respects the rate_hi ceiling.
-        double r = spec_.resolvedRateLo();
-        while (used < budget) {
-            if (probe(r)) {
-                lo = r;
-                if (spec_.rateHi > 0.0 && r >= spec_.rateHi)
-                    break;  // sustained at the ceiling
-                r *= 4.0;
-                if (spec_.rateHi > 0.0)
-                    r = std::min(r, spec_.rateHi);
-            } else {
-                hi = r;
-                break;
-            }
+    auto probeFn = [&](std::uint32_t d, double rate) -> ProbeResult {
+        ProbeResult pr;
+        std::unique_ptr<Arena> arena = arenas.acquire();
+        {
+            ServeSim sim(spec_, spec_.designs[d], rate, traces_,
+                         classes_, minGpu_, requestsAtRate(rate),
+                         out->baselines[d]);
+            sim.setObservers(
+                d == 0 && rate == rootRate ? obs.sink : nullptr,
+                obs.collectCounters ? &pr.counters : nullptr);
+            sim.setPlanCache(planCache_);
+            sim.setArena(arena.get());
+            pr.cells.push_back(sim.run());
+            pr.sustained = pr.cells.back().sustained();
         }
+        arenas.release(std::move(arena));
+        return pr;
+    };
 
-        // Phase 2: bisect the bracket down to ~5% of the knee.
-        while (used < budget && hi > 0.0 && hi - lo > 0.05 * hi) {
-            const double mid = 0.5 * (lo + hi);
-            if (probe(mid))
-                lo = mid;
-            else
-                hi = mid;
-        }
-
-        out->sustainedRate[d] = lo;
-        out->rateProbes[d] = static_cast<std::uint64_t>(used);
-    });
+    ProbeStats stats;
+    {
+        ProbeScheduler sched(engine, probeCache,
+                             fingerprintServeSpec(spec_), probeFn,
+                             spec_.speculativeProbes);
+        engine.parallelFor(nd, [&](std::size_t d) {
+            KneeCursor cur(rootRate, spec_.rateHi, spec_.rateProbes);
+            while (!cur.done()) {
+                std::shared_ptr<const ProbeResult> res =
+                    sched.acquire(static_cast<std::uint32_t>(d), cur);
+                cellsByDesign[d].push_back(res->cells.front());
+                if (obs.collectCounters)
+                    regs[d].merge(res->counters);
+                cur.advance(res->sustained);
+            }
+            out->sustainedRate[d] = cur.knee();
+            out->rateProbes[d] = static_cast<std::uint64_t>(cur.used());
+        });
+        // The searches are done; the dtor drains whatever speculation
+        // is still in flight before the captures above go away.
+        stats = sched.stats();
+    }
+    out->probesIssued = stats.issued;
+    out->probesSpeculative = stats.speculated;
+    out->probeSpecUsed = stats.speculationUsed;
+    out->probeSpecWasted = stats.speculationWasted;
+    out->probeCacheHits = stats.cacheHits;
 
     for (std::size_t d = 0; d < nd; ++d)
         for (ServeCellResult& cell : cellsByDesign[d])
             out->cells.push_back(std::move(cell));
-    if (obs.collectCounters)
+    if (obs.collectCounters) {
         for (CounterRegistry& reg : regs)
             out->counters.merge(reg);
+        // Scheduler accounting rides the same registry (visible via
+        // --metrics, never serialized into the result document).
+        out->counters.add("sweep.probe.issued", stats.issued);
+        out->counters.add("sweep.probe.decided", stats.decided);
+        out->counters.add("sweep.probe.speculated", stats.speculated);
+        out->counters.add("sweep.probe.speculation_used",
+                          stats.speculationUsed);
+        out->counters.add("sweep.probe.speculation_wasted",
+                          stats.speculationWasted);
+        out->counters.add("sweep.probe.cache_hits", stats.cacheHits);
+    }
 }
 
 ServeSweepResult

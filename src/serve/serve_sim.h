@@ -241,14 +241,30 @@ struct ServeSweepResult
 
     /**
      * Cross-probe plan-cache totals (all zero when the sweep-scoped
-     * cache is off). Deterministic in auto-knee mode (probes run
-     * sequentially per design over disjoint key spaces); in grid mode
-     * parallel cells can race on a key, so these are reporting-only
-     * and never golden-pinned — cell results always are deterministic.
+     * cache is off). Deterministic in auto-knee mode on a 1-worker
+     * pool (probes run sequentially per design over disjoint key
+     * spaces); grid-mode parallel cells — and speculative knee probes
+     * on bigger pools — can race on a key, so these are
+     * reporting-only and never golden-pinned. Cell results always are
+     * deterministic.
      */
     std::uint64_t planCacheHits = 0;
     std::uint64_t planCacheMisses = 0;
     std::uint64_t planCacheEntries = 0;
+
+    /**
+     * Auto-knee probe-scheduler totals (all zero in grid mode):
+     * probe executions issued, how many of those were speculative,
+     * the speculative split into consumed vs mispredicted, and
+     * acquires that found a finished result waiting. Reporting-only
+     * (speculation depends on pool timing) and never serialized; the
+     * decided path the cells record is byte-identical regardless.
+     */
+    std::uint64_t probesIssued = 0;
+    std::uint64_t probesSpeculative = 0;
+    std::uint64_t probeSpecUsed = 0;
+    std::uint64_t probeSpecWasted = 0;
+    std::uint64_t probeCacheHits = 0;
 
     /**
      * Sweep-wide observability counters (empty unless the sweep ran

@@ -308,6 +308,14 @@ parseServeFile(const std::string& path)
             else
                 fatal("%s:%zu: sweep_cache must be 'on' or 'off'",
                       path.c_str(), lineno);
+        } else if (key == "speculate") {
+            if (value == "on")
+                spec.speculativeProbes = true;
+            else if (value == "off")
+                spec.speculativeProbes = false;
+            else
+                fatal("%s:%zu: speculate must be 'on' or 'off'",
+                      path.c_str(), lineno);
         } else if (key == "designs") {
             for (const std::string& item :
                  splitCommaList(value, path, lineno, key)) {
@@ -340,8 +348,8 @@ parseServeFile(const std::string& path)
                   "max_active, queue, admission, starvation_ms, "
                   "slo_factor, requests, arrival, burst_on_ms, "
                   "burst_off_ms, trace, rates, rate_lo, rate_hi, "
-                  "rate_probes, sweep_cache, designs, gpu_mem_gb, "
-                  "host_mem_gb, ssd_gbps, pcie_gbps)",
+                  "rate_probes, sweep_cache, speculate, designs, "
+                  "gpu_mem_gb, host_mem_gb, ssd_gbps, pcie_gbps)",
                   path.c_str(), lineno, key.c_str());
         }
     }

@@ -178,6 +178,17 @@ struct ServeSpec
      */
     bool sweepPlanCache = true;
 
+    /**
+     * Speculatively evaluate the auto search's possible next probes
+     * on idle pool workers while the decided probe runs
+     * (`speculate = on|off`). Pure wall-clock, like sweep_cache: the
+     * decided bisection path only *reads* memoized probe results in
+     * sequential order, so the knee, every cell, and the serialized
+     * document are byte-identical either way (and at any worker
+     * count). Inert on pools with fewer than two workers.
+     */
+    bool speculativeProbes = true;
+
     /** The auto search's actual first probe rate: rateLo, defaulted,
      *  and clamped under the rateHi ceiling when one is set. */
     double resolvedRateLo() const
@@ -221,6 +232,9 @@ struct ServeSpec
  *   sweep_cache = on          # on | off: cross-probe plan-compile
  *                             # cache (wall-clock only; results are
  *                             # bit-identical either way)
+ *   speculate   = on          # on | off: speculative parallel knee
+ *                             # probes (wall-clock only; the decided
+ *                             # path is byte-identical either way)
  *   designs     = baseuvm,deepum,g10
  *   gpu_mem_gb / host_mem_gb / ssd_gbps / pcie_gbps = <platform knobs>
  *

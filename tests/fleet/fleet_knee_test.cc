@@ -1,0 +1,109 @@
+/** @file Fleet auto-knee (`rate = auto`): byte-identity of the full
+ *  fleet document across pool sizes and speculation on/off, knee
+ *  invariants against the probe budget, and fixed-rate mode staying
+ *  knee-free. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "api/report.h"
+#include "engine/experiment_engine.h"
+#include "fleet/fleet_sim.h"
+#include "fleet/fleet_spec.h"
+
+namespace g10 {
+namespace {
+
+std::string
+toJson(const FleetResult& r)
+{
+    std::ostringstream os;
+    writeFleetResultJson(os, r);
+    return os.str();
+}
+
+/** The demo fleet flipped into auto-knee mode, trimmed for test
+ *  wall-clock (two placements, a short stream, a tight budget). */
+FleetSpec
+kneeFleetSpec()
+{
+    FleetSpec spec = demoFleetSpec(64);
+    spec.requests = 12;
+    spec.ratesAuto = true;
+    spec.rateProbes = 5;
+    spec.placements = {PlacementKind::JoinShortestQueue,
+                       PlacementKind::ClassAffinity};
+    return spec;
+}
+
+TEST(FleetKnee, DocumentIsByteIdenticalToSequentialAcrossPoolSizes)
+{
+    FleetSpec seq = kneeFleetSpec();
+    seq.speculativeProbes = false;
+    ExperimentEngine serial(1);
+    const FleetResult ref = FleetSim(seq).run(serial);
+    const std::string refDoc = toJson(ref);
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE(::testing::Message() << "workers=" << workers);
+        FleetSpec spec = kneeFleetSpec();
+        spec.speculativeProbes = true;
+        ExperimentEngine engine(workers);
+        const FleetResult got = FleetSim(spec).run(engine);
+        EXPECT_EQ(toJson(got), refDoc);
+
+        EXPECT_EQ(got.probesSpeculative,
+                  got.probeSpecUsed + got.probeSpecWasted);
+        if (workers < 2)
+            EXPECT_EQ(got.probesSpeculative, 0u);
+    }
+}
+
+TEST(FleetKnee, KneeRespectsBudgetAndAnchorsTheReportedCells)
+{
+    const FleetSpec spec = kneeFleetSpec();
+    ExperimentEngine engine(4);
+    const FleetResult res = FleetSim(spec).run(engine);
+
+    ASSERT_EQ(res.placements.size(), spec.placements.size());
+    std::uint64_t decided = 0;
+    for (const FleetPlacementResult& p : res.placements) {
+        EXPECT_GE(p.rateProbes, 1u);
+        EXPECT_LE(p.rateProbes,
+                  static_cast<std::uint64_t>(spec.rateProbes));
+        decided += p.rateProbes;
+        EXPECT_GE(p.kneeRatePerS, 0.0);
+
+        // The reported node cells are the knee probe's (or, when even
+        // the first probe overloaded, the first probe's at rateLo).
+        ASSERT_EQ(p.nodeCells.size(), spec.nodes.size());
+        const double cellRate = p.kneeRatePerS > 0.0
+                                    ? p.kneeRatePerS
+                                    : spec.resolvedRateLo();
+        for (const ServeCellResult& cell : p.nodeCells)
+            EXPECT_EQ(cell.rate, cellRate);
+    }
+
+    // Scheduler accounting covers every placement's decided walk.
+    EXPECT_EQ(res.probesIssued, decided + res.probeSpecWasted);
+}
+
+TEST(FleetKnee, FixedRateModeStaysKneeFree)
+{
+    FleetSpec spec = demoFleetSpec(64);
+    spec.requests = 8;
+    spec.placements = {PlacementKind::JoinShortestQueue};
+    ExperimentEngine engine(2);
+    const FleetResult res = FleetSim(spec).run(engine);
+
+    ASSERT_EQ(res.placements.size(), 1u);
+    EXPECT_EQ(res.placements[0].kneeRatePerS, 0.0);
+    EXPECT_EQ(res.placements[0].rateProbes, 0u);
+    EXPECT_EQ(res.probesIssued, 0u);
+    EXPECT_EQ(res.probesSpeculative, 0u);
+}
+
+}  // namespace
+}  // namespace g10

@@ -46,12 +46,17 @@ usage(std::ostream& os, int code)
     os << "usage: g10fleet <fleet-file> [--format table|json|csv] "
           "[--workers N]\n"
           "                [--placement jsq|planaware|affinity]\n"
+          "                [--speculate on|off]\n"
           "       g10fleet --demo [scale] [--placement ...]\n"
           "       g10fleet --list-designs [--format ...]\n"
           "       g10fleet --help\n"
           "\n"
           "--placement restricts the sweep to one placement policy\n"
           "(the fleet file's `placements` list is the default sweep).\n"
+          "\n"
+          "--speculate on|off overrides the scenario's speculate:\n"
+          "speculative parallel knee probes (rate = auto; on by\n"
+          "default). Pure wall-clock; byte-identical either way.\n"
           "\n"
           "Observability:\n"
           "  --trace <out.json>  streaming Chrome trace-event timeline\n"
@@ -108,6 +113,8 @@ main(int argc, char** argv)
     unsigned workers = 0;  // 0 = one per hardware thread
     bool have_placement = false;
     PlacementKind placement = PlacementKind::JoinShortestQueue;
+    bool have_speculate = false;
+    bool speculate = true;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -128,6 +135,18 @@ main(int argc, char** argv)
                       "affinity)",
                       argv[i]);
             have_placement = true;
+        } else if (std::string(argv[i]) == "--speculate") {
+            if (i + 1 >= argc)
+                fatal("--speculate needs a value (on | off)");
+            std::string v = argv[++i];
+            if (v == "on")
+                speculate = true;
+            else if (v == "off")
+                speculate = false;
+            else
+                fatal("unknown --speculate '%s' (on | off)",
+                      v.c_str());
+            have_speculate = true;
         } else {
             rest.push_back(argv[i]);
         }
@@ -172,12 +191,18 @@ main(int argc, char** argv)
 
     if (have_placement)
         spec.placements = {placement};
+    if (have_speculate)
+        spec.speculativeProbes = speculate;
 
     if (args.format == ReportFormat::Table) {
         std::cout << "# g10fleet: " << spec.nodes.size() << " nodes x "
                   << spec.placements.size() << " placements, "
-                  << spec.requests << " requests at " << spec.rate
-                  << " req/s (" << arrivalKindName(spec.arrival.kind)
+                  << spec.requests << " requests at ";
+        if (spec.ratesAuto)
+            std::cout << "auto-bisected rate";
+        else
+            std::cout << spec.rate << " req/s";
+        std::cout << " (" << arrivalKindName(spec.arrival.kind)
                   << "), design " << spec.design << ", scale 1/"
                   << spec.scaleDown << "\n\n";
     }

@@ -41,7 +41,7 @@ usage(std::ostream& os, int code)
     os << "usage: g10serve <serve-file> [--format table|json|csv] "
           "[--workers N]\n"
           "                [--partition static|proportional|ondemand]\n"
-          "                [--sweep-cache on|off]\n"
+          "                [--sweep-cache on|off] [--speculate on|off]\n"
           "       g10serve --demo [scale] [--partition ...]\n"
           "       g10serve --list-designs [--format ...]\n"
           "       g10serve --help\n"
@@ -53,6 +53,11 @@ usage(std::ostream& os, int code)
           "--sweep-cache on|off overrides the scenario's sweep_cache:\n"
           "the cross-probe plan-compile cache (on by default). Pure\n"
           "wall-clock; results are bit-identical either way.\n"
+          "\n"
+          "--speculate on|off overrides the scenario's speculate:\n"
+          "speculative parallel knee probes on idle pool workers\n"
+          "(rates = auto; on by default). Pure wall-clock; the\n"
+          "decided search path is byte-identical either way.\n"
           "\n"
           "Observability:\n"
           "  --trace <out.json>  Chrome trace-event timeline of the\n"
@@ -108,6 +113,8 @@ main(int argc, char** argv)
     PartitionPolicy partition = PartitionPolicy::Static;
     bool have_sweep_cache = false;
     bool sweep_cache = true;
+    bool have_speculate = false;
+    bool speculate = true;
     std::vector<char*> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -123,6 +130,18 @@ main(int argc, char** argv)
                 fatal("unknown --sweep-cache '%s' (on | off)",
                       v.c_str());
             have_sweep_cache = true;
+        } else if (std::string(argv[i]) == "--speculate") {
+            if (i + 1 >= argc)
+                fatal("--speculate needs a value (on | off)");
+            std::string v = argv[++i];
+            if (v == "on")
+                speculate = true;
+            else if (v == "off")
+                speculate = false;
+            else
+                fatal("unknown --speculate '%s' (on | off)",
+                      v.c_str());
+            have_speculate = true;
         } else if (std::string(argv[i]) == "--workers") {
             if (i + 1 >= argc)
                 fatal("--workers needs a value");
@@ -185,6 +204,8 @@ main(int argc, char** argv)
         spec.partitionPolicy = partition;
     if (have_sweep_cache)
         spec.sweepPlanCache = sweep_cache;
+    if (have_speculate)
+        spec.speculativeProbes = speculate;
 
     if (args.format == ReportFormat::Table) {
         std::cout << "# g10serve: " << spec.designs.size()
